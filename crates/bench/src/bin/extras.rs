@@ -1,0 +1,36 @@
+//! Extension studies beyond the numbered exhibits: thermal methodology
+//! (§III-D), cold start per engine (§IV-C), NNAPI execution preferences
+//! (§II-D) and the cross-chipset sweep (§III-C).
+
+use aitax_core::extras;
+
+fn main() {
+    let opts = aitax_bench::opts_from_env();
+    aitax_bench::emit(
+        "Thermal methodology — cooled vs pre-heated chip (§III-D)",
+        &extras::thermal_methodology(opts),
+    );
+    aitax_bench::emit(
+        "Cold start — init + first inference per engine (§IV-C)",
+        &extras::cold_start(opts),
+    );
+    aitax_bench::emit(
+        "NNAPI execution preferences (§II-D)",
+        &extras::preference_sweep(opts),
+    );
+    aitax_bench::emit(
+        "Chipset sweep — same app across Table II platforms (§III-C)",
+        &extras::chipset_sweep(opts),
+    );
+    aitax_bench::emit(
+        "Ablation — migration share of the Fig. 5 NNAPI slowdown",
+        &extras::migration_ablation(opts),
+    );
+    aitax_bench::emit(
+        "Design study — FastCV-style DSP pre-processing (conclusion)",
+        &extras::preproc_offload_study(opts),
+    );
+    println!("## Figure 1 taxonomy, measured
+");
+    print!("{}", extras::taxonomy_trees(opts));
+}

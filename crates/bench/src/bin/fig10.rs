@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: app latency breakdown with background
+//! inferences contending for the CPU.
+
+fn main() {
+    let t = aitax_core::experiment::fig10(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 10 — multi-tenancy, background inferences on the CPU", &t);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: CLI benchmark vs benchmark app vs application
+//! end-to-end latency on the CPU.
+
+fn main() {
+    let t = aitax_core::experiment::fig3(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 3 — benchmark vs app end-to-end latency (CPU)", &t);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: data capture + pre-processing vs inference
+//! through NNAPI (absolute and relative).
+
+fn main() {
+    let t = aitax_core::experiment::fig4(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 4 — capture/pre-processing vs inference (NNAPI)", &t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: quantized EfficientNet-Lite0 across execution
+//! targets, exposing the NNAPI CPU-fallback degradation.
+
+fn main() {
+    let r = aitax_core::experiment::fig5(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 5 — EfficientNet-Lite0 int8 target comparison", &r.table);
+    println!("NNAPI vs single-thread CPU: {:.1}x (paper: ~7x)", r.nnapi_vs_cpu1);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: Snapdragon-Profiler-style execution profiles of
+//! EfficientNet-Lite0 under CPU, Hexagon delegate and NNAPI.
+
+fn main() {
+    print!("{}", aitax_core::experiment::fig6(aitax_bench::opts_from_env()));
+}

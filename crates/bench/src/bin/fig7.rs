@@ -1,0 +1,5 @@
+//! Regenerates Figure 7: the FastRPC call flow with phase timestamps.
+
+fn main() {
+    aitax_bench::emit("Figure 7 — FastRPC call flow (steady-state invocation)", &aitax_core::experiment::fig7());
+}

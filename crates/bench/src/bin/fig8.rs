@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: offload overhead amortization over consecutive
+//! inferences.
+
+fn main() {
+    let t = aitax_core::experiment::fig8(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 8 — offload amortization (MobileNet v1 int8, Hexagon)", &t);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: app latency breakdown with background inferences
+//! contending for the DSP.
+
+fn main() {
+    let t = aitax_core::experiment::fig9(aitax_bench::opts_from_env());
+    aitax_bench::emit("Figure 9 — multi-tenancy, background inferences on the DSP", &t);
+}

@@ -1,0 +1,111 @@
+//! Multi-sensor fusion (§II-A's "additional data processing (such as
+//! fusing multiple sources of data into a single metric)").
+//!
+//! A complementary filter combining accelerometer and gyroscope samples
+//! into an orientation estimate — the canonical phone sensor-fusion task
+//! that runs concurrently with the ML pipeline and contends for cores.
+
+/// One inertial sample pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Accelerometer-derived tilt angle (radians).
+    pub accel_angle: f64,
+    /// Gyroscope angular rate (radians/second).
+    pub gyro_rate: f64,
+    /// Seconds since the previous sample.
+    pub dt: f64,
+}
+
+/// A complementary filter fusing accelerometer and gyroscope streams.
+///
+/// # Example
+///
+/// ```
+/// use aitax_capture::fusion::{ComplementaryFilter, ImuSample};
+///
+/// let mut f = ComplementaryFilter::new(0.98);
+/// let est = f.update(ImuSample { accel_angle: 0.1, gyro_rate: 0.0, dt: 0.01 });
+/// assert!(est > 0.0 && est < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplementaryFilter {
+    alpha: f64,
+    angle: f64,
+    updates: u64,
+}
+
+impl ComplementaryFilter {
+    /// Creates a filter; `alpha` is the gyro trust factor in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        ComplementaryFilter {
+            alpha,
+            angle: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Fuses one sample, returning the updated orientation estimate.
+    pub fn update(&mut self, s: ImuSample) -> f64 {
+        self.angle =
+            self.alpha * (self.angle + s.gyro_rate * s.dt) + (1.0 - self.alpha) * s.accel_angle;
+        self.updates += 1;
+        self.angle
+    }
+
+    /// Current orientation estimate (radians).
+    pub fn angle(&self) -> f64 {
+        self.angle
+    }
+
+    /// Number of samples fused.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_static_accel_angle() {
+        let mut f = ComplementaryFilter::new(0.9);
+        for _ in 0..200 {
+            f.update(ImuSample {
+                accel_angle: 0.5,
+                gyro_rate: 0.0,
+                dt: 0.01,
+            });
+        }
+        assert!((f.angle() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn integrates_gyro_rotation() {
+        let mut f = ComplementaryFilter::new(0.999);
+        // 1 rad/s for 1 s in 100 steps.
+        for _ in 0..100 {
+            f.update(ImuSample {
+                accel_angle: 0.0,
+                gyro_rate: 1.0,
+                dt: 0.01,
+            });
+        }
+        assert!(f.angle() > 0.85, "angle {}", f.angle());
+        assert_eq!(f.updates(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        ComplementaryFilter::new(1.5);
+    }
+}

@@ -1,0 +1,654 @@
+//! The end-to-end pipeline runner.
+//!
+//! Drives a [`Machine`] through N iterations of the §II pipeline —
+//! data capture → pre-processing → inference → post-processing (+ UI) —
+//! and records a [`StageBreakdown`] per iteration. This is the
+//! measurement harness every figure-level experiment builds on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aitax_capture::{CameraConfig, RandomTensorGen, StdlibFlavor};
+use aitax_des::{SimSpan, SimTime, TraceBuffer};
+use aitax_framework::{Engine, Plan, Session};
+use aitax_kernel::{Machine, MachineStats, NoiseConfig, TaskSpec, Work};
+use aitax_models::zoo::{MlTask, ModelId, PostTask, PreTask, Zoo, ZooEntry};
+use aitax_models::Graph;
+use aitax_pipeline::{CostModel, PixelOp};
+use aitax_soc::{SocCatalog, SocId};
+use aitax_tensor::DType;
+
+use crate::runmode::RunMode;
+use crate::stage::{StageBreakdown, TaxReport};
+
+/// Configuration of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct E2eConfig {
+    model: ModelId,
+    dtype: DType,
+    engine: Engine,
+    run_mode: RunMode,
+    soc: SocId,
+    iterations: usize,
+    seed: u64,
+    background_loops: usize,
+    background_engine: Option<Engine>,
+    tracing: bool,
+    stdlib: StdlibFlavor,
+    camera: CameraConfig,
+    initial_temp_c: Option<f64>,
+    wander_probability: Option<f64>,
+    preproc_on_dsp: bool,
+}
+
+impl E2eConfig {
+    /// Starts a configuration with the paper's defaults: CLI benchmark on
+    /// the SD845 (Pixel 3), TFLite CPU ×4, 500 iterations (§III-D).
+    pub fn new(model: ModelId, dtype: DType) -> Self {
+        E2eConfig {
+            model,
+            dtype,
+            engine: Engine::tflite_cpu(4),
+            run_mode: RunMode::CliBenchmark,
+            soc: SocId::Sd845,
+            iterations: 500,
+            seed: 1,
+            background_loops: 0,
+            background_engine: None,
+            tracing: false,
+            stdlib: StdlibFlavor::LibCxx,
+            camera: CameraConfig::vga_preview(),
+            initial_temp_c: None,
+            wander_probability: None,
+            preproc_on_dsp: false,
+        }
+    }
+
+    /// Sets the inference engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the packaging mode.
+    pub fn run_mode(mut self, mode: RunMode) -> Self {
+        self.run_mode = mode;
+        self
+    }
+
+    /// Sets the platform.
+    pub fn soc(mut self, soc: SocId) -> Self {
+        self.soc = soc;
+        self
+    }
+
+    /// Sets the iteration count.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Sets the random seed (same seed → identical report).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds `count` concurrent background inference loops running the
+    /// same model through `engine` — the Fig. 9/10 multi-tenancy setup.
+    pub fn background(mut self, count: usize, engine: Engine) -> Self {
+        self.background_loops = count;
+        self.background_engine = Some(engine);
+        self
+    }
+
+    /// Enables structured tracing (for profiler views).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Selects the C++ standard library flavor of the benchmark binary
+    /// (the §IV-A random-generation fallacy).
+    pub fn stdlib(mut self, flavor: StdlibFlavor) -> Self {
+        self.stdlib = flavor;
+        self
+    }
+
+    /// Overrides the camera stream used in app mode.
+    pub fn camera(mut self, camera: CameraConfig) -> Self {
+        self.camera = camera;
+        self
+    }
+
+    /// Starts the chip at a given temperature instead of the cooled-down
+    /// idle temperature (the §III-D methodology study).
+    pub fn initial_temp(mut self, temp_c: f64) -> Self {
+        self.initial_temp_c = Some(temp_c);
+        self
+    }
+
+    /// Overrides the scheduler's wander probability for NNAPI-fallback
+    /// threads (ablation: set 0 to pin the fallback thread).
+    pub fn wander_probability(mut self, p: f64) -> Self {
+        self.wander_probability = Some(p);
+        self
+    }
+
+    /// Routes pre-processing through the DSP (a FastCV-style image
+    /// pipeline) instead of CPU code — the design direction the paper's
+    /// conclusion floats: "consider dropping an expensive tensor
+    /// accelerator in favor of a cheaper DSP that can also do
+    /// pre-processing".
+    pub fn preproc_on_dsp(mut self, on: bool) -> Self {
+        self.preproc_on_dsp = on;
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine cannot run the model's datatype (e.g. the
+    /// Hexagon delegate with an FP32 graph) — check Table I first.
+    pub fn run(self) -> E2eReport {
+        let soc = SocCatalog::get(self.soc);
+        let entry = Zoo::entry(self.model);
+        let graph = Rc::new(entry.build_graph_with(self.dtype));
+        let session = Session::compile(self.engine, graph.clone(), &soc)
+            .unwrap_or_else(|e| panic!("cannot run {}: {e}", entry.display_name));
+        let plan = session.plan().clone();
+
+        let mut m = Machine::new(soc, self.seed);
+        if let Some(t) = self.initial_temp_c {
+            m.set_initial_temp(t);
+        }
+        if let Some(p) = self.wander_probability {
+            m.set_wander_probability(p);
+        }
+        if self.tracing {
+            m.set_tracing(true);
+        }
+        let noise = self.run_mode.noise();
+        m.start_noise(noise);
+
+        // Background inference loops (multi-tenancy).
+        if self.background_loops > 0 {
+            let bg_engine = self
+                .background_engine
+                .expect("background loops require an engine");
+            let soc2 = SocCatalog::get(self.soc);
+            let bg_session = Session::compile(bg_engine, graph.clone(), &soc2)
+                .unwrap_or_else(|e| panic!("background engine unusable: {e}"));
+            for _ in 0..self.background_loops {
+                spawn_background_loop(&mut m, bg_session.clone());
+            }
+        }
+
+        let state = Rc::new(RefCell::new(RunState {
+            breakdowns: Vec::with_capacity(self.iterations),
+            current: StageBreakdown::default(),
+            stage_start: SimTime::ZERO,
+            iteration: 0,
+            done: false,
+            model_init: SimSpan::ZERO,
+            randgen: RandomTensorGen::new(self.stdlib, self.seed ^ 0x5eed),
+            last_frame: SimTime::ZERO,
+        }));
+
+        let driver = Driver {
+            entry,
+            graph,
+            session,
+            config: self.clone(),
+            noise,
+            state: state.clone(),
+        };
+
+        // Model initialization happens once, before the iteration loop.
+        let d = driver.clone();
+        let st = state.clone();
+        let init_start = m.now();
+        driver.session.initialize(&mut m, move |m| {
+            st.borrow_mut().model_init = m.now() - init_start;
+            d.begin_capture(m);
+        });
+
+        while !state.borrow().done {
+            if !m.step() {
+                break;
+            }
+        }
+
+        let trace = if self.tracing {
+            Some(std::mem::replace(&mut m.trace, TraceBuffer::disabled()))
+        } else {
+            None
+        };
+        let (breakdowns, model_init) = {
+            let st = state.borrow();
+            (st.breakdowns.clone(), st.model_init)
+        };
+        E2eReport {
+            dtype: self.dtype,
+            tax: TaxReport::new(breakdowns),
+            model_init,
+            stats: m.stats().clone(),
+            plan,
+            trace,
+        }
+    }
+}
+
+struct RunState {
+    breakdowns: Vec<StageBreakdown>,
+    current: StageBreakdown,
+    stage_start: SimTime,
+    iteration: usize,
+    done: bool,
+    model_init: SimSpan,
+    randgen: RandomTensorGen,
+    /// Timestamp of the camera frame consumed last.
+    last_frame: SimTime,
+}
+
+#[derive(Clone)]
+struct Driver {
+    entry: ZooEntry,
+    graph: Rc<Graph>,
+    session: Session,
+    config: E2eConfig,
+    noise: NoiseConfig,
+    state: Rc<RefCell<RunState>>,
+}
+
+impl Driver {
+    fn mark_stage_start(&self, m: &Machine) {
+        self.state.borrow_mut().stage_start = m.now();
+    }
+
+    fn record(&self, m: &Machine, set: impl FnOnce(&mut StageBreakdown, SimSpan)) {
+        let mut st = self.state.borrow_mut();
+        let span = m.now() - st.stage_start;
+        set(&mut st.current, span);
+        st.stage_start = m.now();
+    }
+
+    // ------------------------------------------------------ data capture
+
+    fn begin_capture(&self, m: &mut Machine) {
+        self.mark_stage_start(m);
+        if self.config.run_mode.uses_camera() {
+            // The camera free-runs into a buffer queue; the app consumes
+            // the most recent frame. If one arrived since the last
+            // iteration it is handed over immediately (plus delivery
+            // jitter); otherwise the app blocks until the next sensor
+            // boundary. Extraction (plane-walking the Image into app
+            // byte arrays) is the expensive managed-code part.
+            let interval = self.config.camera.frame_interval().as_ns().max(1);
+            let readout = self.config.camera.readout;
+            let now = m.now();
+            let latest = if now > SimTime::ZERO + readout {
+                let k = now.since(SimTime::ZERO + readout).as_ns() / interval;
+                Some(SimTime::from_ns(k * interval) + readout)
+            } else {
+                None
+            };
+            let ready = {
+                let st = self.state.borrow();
+                latest.map(|b| b > st.last_frame).unwrap_or(false)
+            };
+            let deliver_at = if ready {
+                now
+            } else {
+                let k = now.since(SimTime::ZERO + readout).as_ns() / interval + 1;
+                SimTime::from_ns(k * interval) + readout
+            };
+            {
+                let mut st = self.state.borrow_mut();
+                st.last_frame = deliver_at;
+            }
+            let jitter = m.sample_irq_jitter(&self.noise);
+            let d = self.clone();
+            let frame_bytes = self.config.camera.frame_bytes();
+            let cost = CostModel::new(self.config.run_mode.runtime_kind());
+            m.after(deliver_at + jitter - now, move |m| {
+                let cycles = cost.cycles(PixelOp::FrameExtract, frame_bytes);
+                let task = TaskSpec::foreground("frame-extract", Work::Cycles(cycles));
+                let d2 = d.clone();
+                m.submit_cpu(task, move |m| d2.end_capture(m));
+            });
+        } else {
+            // Benchmark methodology: generate a random input tensor.
+            let elements = self.graph.input_elements() as usize;
+            let cycles = {
+                let mut st = self.state.borrow_mut();
+                if self.config.dtype.is_quantized() {
+                    st.randgen.gen_i8(&[elements.max(1)]).1
+                } else {
+                    st.randgen.gen_f32(&[elements.max(1)]).1
+                }
+            };
+            let d = self.clone();
+            let task = TaskSpec::foreground("random-input", Work::Cycles(cycles));
+            m.submit_cpu(task, move |m| d.end_capture(m));
+        }
+    }
+
+    fn end_capture(&self, m: &mut Machine) {
+        self.record(m, |b, s| b.data_capture += s);
+        self.begin_preprocess(m);
+    }
+
+    // ----------------------------------------------------- preprocessing
+
+    fn preprocess_cycles(&self) -> f64 {
+        let cost = CostModel::new(self.config.run_mode.runtime_kind());
+        let mut steps: Vec<(PixelOp, u64)> = Vec::new();
+        if let Some((h, w)) = self.entry.resolution {
+            let (out_px, elems) = ((h * w) as u64, (h * w * 3) as u64);
+            if self.config.run_mode.uses_camera() {
+                let cam_px =
+                    (self.config.camera.width * self.config.camera.height) as u64;
+                steps.push((PixelOp::Nv21ToArgb, cam_px));
+                for task in self.entry.preprocess {
+                    match task {
+                        PreTask::Scale => steps.push((PixelOp::ResizeBilinear, out_px)),
+                        PreTask::Crop => steps.push((PixelOp::CenterCrop, out_px)),
+                        PreTask::Normalize => {
+                            if self.config.dtype.is_quantized() {
+                                steps.push((PixelOp::TypeConvert, elems));
+                            } else {
+                                steps.push((PixelOp::Normalize, elems));
+                            }
+                        }
+                        PreTask::Rotate => steps.push((PixelOp::Rotate, out_px)),
+                        PreTask::Tokenize => steps.push((PixelOp::Tokenize, 240)),
+                    }
+                }
+            } else {
+                // Random tensors arrive model-shaped: only type conversion
+                // remains ("negligible pre-processing", §IV).
+                steps.push((PixelOp::TypeConvert, elems));
+            }
+        } else {
+            // Text model.
+            if self.config.run_mode.uses_camera() {
+                steps.push((PixelOp::Tokenize, 240));
+            } else {
+                steps.push((PixelOp::TypeConvert, 128));
+            }
+        }
+        cost.chain_cycles(&steps)
+    }
+
+    fn begin_preprocess(&self, m: &mut Machine) {
+        let cycles = self.preprocess_cycles();
+        let d = self.clone();
+        if self.config.preproc_on_dsp {
+            // FastCV-style offload: the HVX DSP chews per-pixel work at
+            // several times the scalar-CPU rate, but the frame pays a
+            // FastRPC round trip.
+            let dsp_speedup = 6.0;
+            let native_cycles = cycles / self.config.run_mode.runtime_kind().multiplier();
+            let span = aitax_des::SimSpan::from_secs(native_cycles / (2.8e9 * dsp_speedup));
+            let frame_bytes = if self.config.run_mode.uses_camera() {
+                self.config.camera.frame_bytes()
+            } else {
+                self.graph.input_bytes()
+            };
+            let invoke = aitax_kernel::RpcInvoke {
+                label: "fastcv-preprocess".into(),
+                in_bytes: frame_bytes,
+                out_bytes: self.graph.input_bytes(),
+                dsp_work: span,
+                device: aitax_kernel::RpcDevice::Dsp,
+            };
+            m.fastrpc_invoke(invoke, move |m| {
+                d.record(m, |b, s| b.pre_processing += s);
+                d.begin_inference(m);
+            });
+            return;
+        }
+        let task = TaskSpec::foreground("pre-processing", Work::Cycles(cycles));
+        m.submit_cpu(task, move |m| {
+            d.record(m, |b, s| b.pre_processing += s);
+            d.begin_inference(m);
+        });
+    }
+
+    // --------------------------------------------------------- inference
+
+    fn begin_inference(&self, m: &mut Machine) {
+        let d = self.clone();
+        self.session.invoke(m, move |m| {
+            d.record(m, |b, s| b.inference += s);
+            d.begin_postprocess(m);
+        });
+    }
+
+    // ---------------------------------------------------- postprocessing
+
+    fn postprocess_cycles(&self) -> f64 {
+        let cost = CostModel::new(self.config.run_mode.runtime_kind());
+        let mut steps: Vec<(PixelOp, u64)> = Vec::new();
+        for task in self.entry.postprocess {
+            match task {
+                PostTask::TopK => steps.push((PixelOp::TopK, 1001)),
+                PostTask::Dequantize => {
+                    if self.config.dtype.is_quantized() {
+                        steps.push((PixelOp::TypeConvert, 1001));
+                    }
+                }
+                PostTask::MaskFlattening => {
+                    steps.push((PixelOp::FlattenMask, 513 * 513 * 21));
+                }
+                PostTask::CalculateKeypoints => {
+                    steps.push((PixelOp::DecodeKeypoints, 14 * 14 * 51));
+                }
+                PostTask::ComputeLogits => steps.push((PixelOp::TopK, 2 * 128)),
+            }
+        }
+        // Detection apps also track boxes frame-to-frame (§IV-A).
+        if self.entry.task == MlTask::ObjectDetection && self.config.run_mode.uses_camera() {
+            steps.push((PixelOp::DecodeBoxesNms, 100));
+        }
+        cost.chain_cycles(&steps)
+    }
+
+    fn begin_postprocess(&self, m: &mut Machine) {
+        let cycles = self.postprocess_cycles().max(1.0);
+        let d = self.clone();
+        let task = TaskSpec::foreground("post-processing", Work::Cycles(cycles));
+        m.submit_cpu(task, move |m| {
+            d.record(m, |b, s| b.post_processing += s);
+            d.begin_ui(m);
+        });
+    }
+
+    // ---------------------------------------------------------------- ui
+
+    fn begin_ui(&self, m: &mut Machine) {
+        let mut cycles = self.config.run_mode.ui_overhead_cycles();
+        if cycles <= 0.0 {
+            self.finish_iteration(m);
+            return;
+        }
+        // Managed-runtime housekeeping: the ART garbage collector
+        // occasionally pauses the app for several milliseconds — one of
+        // the in-app variability sources behind Fig. 11.
+        if self.config.run_mode.uses_camera() && m.rng_mut().chance(0.035) {
+            let pause_ms = m.rng_mut().lognormal(5.0, 0.45);
+            cycles += pause_ms * 2.8e6;
+        }
+        let d = self.clone();
+        let task = TaskSpec::foreground("ui-render", Work::Cycles(cycles));
+        m.submit_cpu(task, move |m| {
+            d.record(m, |b, s| b.ui_overhead += s);
+            d.finish_iteration(m);
+        });
+    }
+
+    fn finish_iteration(&self, m: &mut Machine) {
+        let next = {
+            let mut st = self.state.borrow_mut();
+            let finished = std::mem::take(&mut st.current);
+            st.breakdowns.push(finished);
+            st.iteration += 1;
+            if st.iteration >= self.config.iterations {
+                st.done = true;
+                false
+            } else {
+                true
+            }
+        };
+        if next {
+            self.begin_capture(m);
+        } else {
+            m.stop_noise();
+        }
+    }
+}
+
+/// An endless background inference loop (the paper's "inference
+/// benchmarks [scheduled] in the background").
+fn spawn_background_loop(m: &mut Machine, session: Session) {
+    fn again(m: &mut Machine, session: Session) {
+        let s2 = session.clone();
+        session.invoke(m, move |m| again(m, s2));
+    }
+    again(m, session);
+}
+
+/// Results of one end-to-end run.
+#[derive(Debug)]
+pub struct E2eReport {
+    /// Numeric format the model ran in.
+    pub dtype: DType,
+    /// Per-iteration stage breakdowns.
+    pub tax: TaxReport,
+    /// One-time model initialization latency.
+    pub model_init: SimSpan,
+    /// Machine counters accumulated over the run.
+    pub stats: MachineStats,
+    /// The compiled execution plan (partitioning inspection).
+    pub plan: Plan,
+    /// The structured trace, when tracing was enabled.
+    pub trace: Option<TraceBuffer>,
+}
+
+impl E2eReport {
+    /// Distribution of one stage across iterations.
+    pub fn summary(&self, stage: crate::stage::Stage) -> crate::stats::Summary {
+        self.tax.summary(stage)
+    }
+
+    /// Distribution of end-to-end latency.
+    pub fn e2e_summary(&self) -> crate::stats::Summary {
+        self.tax.e2e_summary()
+    }
+
+    /// Mean AI-tax fraction.
+    pub fn ai_tax_fraction(&self) -> f64 {
+        self.tax.ai_tax_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+
+    fn quick(model: ModelId, dtype: DType) -> E2eConfig {
+        E2eConfig::new(model, dtype).iterations(15).seed(42)
+    }
+
+    #[test]
+    fn cli_benchmark_has_negligible_preprocessing() {
+        let r = quick(ModelId::MobileNetV1, DType::F32).run();
+        let pre = r.summary(Stage::PreProcessing).mean_ms();
+        let inf = r.summary(Stage::Inference).mean_ms();
+        assert!(
+            pre < inf * 0.1,
+            "benchmark pre-processing {pre}ms vs inference {inf}ms"
+        );
+        assert_eq!(r.tax.iterations(), 15);
+    }
+
+    #[test]
+    fn app_mode_pays_capture_and_preprocessing() {
+        let r = quick(ModelId::MobileNetV1, DType::F32)
+            .run_mode(RunMode::AndroidApp)
+            .run();
+        let cap = r.summary(Stage::DataCapture).mean_ms();
+        let pre = r.summary(Stage::PreProcessing).mean_ms();
+        assert!(cap > 1.0, "capture {cap}ms");
+        assert!(pre > 5.0, "pre-processing {pre}ms");
+        assert!(r.ai_tax_fraction() > 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(ModelId::SqueezeNet, DType::F32).run();
+        let b = quick(ModelId::SqueezeNet, DType::F32).run();
+        assert_eq!(
+            a.e2e_summary().samples_ms(),
+            b.e2e_summary().samples_ms(),
+            "same seed must reproduce exactly"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick(ModelId::MobileNetV1, DType::F32)
+            .run_mode(RunMode::AndroidApp)
+            .run();
+        let b = quick(ModelId::MobileNetV1, DType::F32)
+            .run_mode(RunMode::AndroidApp)
+            .seed(77)
+            .run();
+        assert_ne!(a.e2e_summary().samples_ms(), b.e2e_summary().samples_ms());
+    }
+
+    #[test]
+    fn model_init_is_recorded() {
+        let r = quick(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::TfLiteHexagon { threads: 4 })
+            .run();
+        assert!(r.model_init.as_ms() > 1.0);
+    }
+
+    #[test]
+    fn background_dsp_loops_slow_main_dsp_inference() {
+        let base = quick(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .run();
+        let contended = quick(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .background(2, Engine::TfLiteHexagon { threads: 4 })
+            .run();
+        let b = base.summary(Stage::Inference).mean_ms();
+        let c = contended.summary(Stage::Inference).mean_ms();
+        assert!(c > b * 1.5, "contended {c}ms vs base {b}ms");
+    }
+
+    #[test]
+    fn tracing_returns_a_trace() {
+        let r = quick(ModelId::MobileNetV1, DType::F32)
+            .iterations(3)
+            .tracing(true)
+            .run();
+        let trace = r.trace.expect("trace present");
+        assert!(!trace.events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn dtype_engine_mismatch_panics() {
+        quick(ModelId::MobileNetV1, DType::F32)
+            .engine(Engine::TfLiteHexagon { threads: 4 })
+            .run();
+    }
+}

@@ -1,0 +1,236 @@
+//! Distribution statistics for latency samples.
+//!
+//! §IV-C: "workload performance analysis needs to report statistical
+//! distributions in performance. Instead, today's standard practice is to
+//! report a single ML performance number." [`Summary`] is the
+//! distribution-first report the paper asks for.
+
+use aitax_des::SimSpan;
+
+/// A summary of a latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    samples_ms: Vec<f64>,
+    sorted_ms: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from spans.
+    pub fn from_spans(spans: impl IntoIterator<Item = SimSpan>) -> Self {
+        Self::from_ms(spans.into_iter().map(|s| s.as_ms()))
+    }
+
+    /// Builds a summary from millisecond samples.
+    pub fn from_ms(samples: impl IntoIterator<Item = f64>) -> Self {
+        let samples_ms: Vec<f64> = samples.into_iter().collect();
+        let mut sorted_ms = samples_ms.clone();
+        sorted_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Summary {
+            samples_ms,
+            sorted_ms,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The raw samples in collection order (milliseconds).
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Arithmetic mean in ms (0 when empty) — what the paper reports as
+    /// "the arithmetic mean of 500 runs" (§III-D).
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            0.0
+        } else {
+            self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+        }
+    }
+
+    /// Population standard deviation in ms.
+    pub fn stddev_ms(&self) -> f64 {
+        if self.samples_ms.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_ms();
+        let var = self
+            .samples_ms
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples_ms.len() as f64;
+        var.sqrt()
+    }
+
+    /// Interpolated percentile (`p` in 0..=100) in ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or there are no samples.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        assert!(!self.sorted_ms.is_empty(), "no samples");
+        if self.sorted_ms.len() == 1 {
+            return self.sorted_ms[0];
+        }
+        let rank = p / 100.0 * (self.sorted_ms.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted_ms[lo] + (self.sorted_ms[hi] - self.sorted_ms[lo]) * frac
+    }
+
+    /// Median in ms.
+    pub fn median_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// Smallest sample in ms.
+    pub fn min_ms(&self) -> f64 {
+        self.sorted_ms.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample in ms.
+    pub fn max_ms(&self) -> f64 {
+        self.sorted_ms.last().copied().unwrap_or(0.0)
+    }
+
+    /// Median absolute deviation in ms (robust spread).
+    pub fn mad_ms(&self) -> f64 {
+        if self.sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let med = self.median_ms();
+        let devs: Vec<f64> = self.sorted_ms.iter().map(|x| (x - med).abs()).collect();
+        Summary::from_ms(devs).median_ms()
+    }
+
+    /// The Fig. 11 metric: worst-case relative deviation from the median
+    /// (`max(|max-med|, |med-min|) / med`).
+    pub fn max_deviation_from_median(&self) -> f64 {
+        if self.sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let med = self.median_ms();
+        if med == 0.0 {
+            return 0.0;
+        }
+        let up = self.max_ms() - med;
+        let down = med - self.min_ms();
+        up.max(down) / med
+    }
+
+    /// Fixed-width histogram over `[min, max]` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        assert!(bins > 0, "need at least one bin");
+        if self.sorted_ms.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.min_ms();
+        let hi = self.max_ms();
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &x in &self.sorted_ms {
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[f64]) -> Summary {
+        Summary::from_ms(v.iter().copied())
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let sum = s(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sum.mean_ms() - 5.0).abs() < 1e-12);
+        assert!((sum.stddev_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sum = s(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum.percentile_ms(0.0), 1.0);
+        assert_eq!(sum.percentile_ms(100.0), 4.0);
+        assert!((sum.median_ms() - 2.5).abs() < 1e-12);
+        assert!((sum.percentile_ms(25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        let sum = s(&[9.0, 1.0, 5.0]);
+        assert_eq!(sum.median_ms(), 5.0);
+        assert_eq!(sum.min_ms(), 1.0);
+        assert_eq!(sum.max_ms(), 9.0);
+    }
+
+    #[test]
+    fn mad_is_robust() {
+        let tight = s(&[10.0, 10.1, 9.9, 10.0, 10.05]);
+        let wild = s(&[10.0, 14.0, 6.0, 10.0, 13.0]);
+        assert!(wild.mad_ms() > tight.mad_ms() * 5.0);
+    }
+
+    #[test]
+    fn deviation_from_median_metric() {
+        // Interpolated median 10.25, max 13 → ≈27%.
+        let sum = s(&[9.5, 10.0, 10.5, 13.0]);
+        assert!((sum.max_deviation_from_median() - (13.0 - 10.25) / 10.25).abs() < 1e-9);
+        let spread = s(&[7.0, 10.0, 13.0]);
+        assert!((spread.max_deviation_from_median() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let sum = s(&[1.0, 1.1, 1.2, 5.0, 9.0, 9.1]);
+        let h = sum.histogram(4);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<usize>(), 6);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let sum = s(&[]);
+        assert!(sum.is_empty());
+        assert_eq!(sum.mean_ms(), 0.0);
+        assert_eq!(sum.stddev_ms(), 0.0);
+        assert_eq!(sum.max_deviation_from_median(), 0.0);
+        assert!(sum.histogram(3).is_empty());
+    }
+
+    #[test]
+    fn from_spans_converts_units() {
+        let sum = Summary::from_spans([SimSpan::from_ms(2.0), SimSpan::from_ms(4.0)]);
+        assert_eq!(sum.mean_ms(), 3.0);
+        assert_eq!(sum.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        s(&[1.0]).percentile_ms(101.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The event calendar: a cancellable priority queue over [`SimTime`].
+//!
+//! The calendar is the heart of the simulator. It owns the virtual clock and
+//! guarantees two properties the rest of the stack relies on:
+//!
+//! 1. **Monotonicity** — [`Calendar::next`] never moves the clock backwards.
+//! 2. **Determinism** — events scheduled for the same instant fire in the
+//!    order they were scheduled (FIFO tie-breaking via a sequence number),
+//!    so a simulation with a fixed seed is exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimSpan, SimTime};
+
+/// An opaque handle identifying a scheduled event.
+///
+/// Tokens are unique for the lifetime of a [`Calendar`] and can be used to
+/// [cancel](Calendar::cancel) an event before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(u64);
+
+impl Token {
+    /// Raw sequence number (useful for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A cancellable, deterministically ordered event calendar.
+///
+/// # Example
+///
+/// ```
+/// use aitax_des::{Calendar, SimSpan};
+///
+/// let mut cal = Calendar::new();
+/// let late = cal.schedule_after(SimSpan::from_us(9.0));
+/// let early = cal.schedule_after(SimSpan::from_us(1.0));
+/// cal.cancel(late);
+/// assert_eq!(cal.next().map(|(_, tok)| tok), Some(early));
+/// assert!(cal.next().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct Calendar {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    cancelled: HashSet<u64>,
+    live: usize,
+}
+
+impl Calendar {
+    /// Creates an empty calendar with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events remain.
+    pub fn is_idle(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimSpan) -> Token {
+        self.schedule_at(self.now + delay)
+    }
+
+    /// Schedules an event at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Calendar::now`]); scheduling
+    /// into the past would violate causality.
+    pub fn schedule_at(&mut self, at: SimTime) -> Token {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.live += 1;
+        Token(seq)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, token: Token) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(token.0) {
+            // It may have already fired; `cancelled` entries for fired events
+            // are never inserted because `next` consumes them first, so any
+            // successful insert here is either a live event or a double
+            // cancel of a fired event. Disambiguate conservatively by
+            // checking live count in `next`.
+            if self.live > 0 {
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pops the next live event, advancing the clock to its fire time.
+    ///
+    /// Returns `None` when the calendar is empty. Cancelled events are
+    /// silently skipped (and their cancellation records reclaimed).
+    pub fn next(&mut self) -> Option<(SimTime, Token)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            debug_assert!(at >= self.now, "heap returned an event in the past");
+            self.now = at;
+            self.live -= 1;
+            return Some((at, Token(seq)));
+        }
+        None
+    }
+
+    /// The fire time of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            if self.cancelled.contains(&seq) {
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(at);
+            }
+        }
+        None
+    }
+
+    /// Advances the clock to `at` without firing anything.
+    ///
+    /// Useful for injecting externally-timed phases (e.g. a blocking driver
+    /// call) into an otherwise idle simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time or before a pending event
+    /// (which would make that event fire in the past).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(head) = self.peek_time() {
+            assert!(
+                at <= head,
+                "advance_to({at}) would step over a pending event at {head}"
+            );
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut cal = Calendar::new();
+        let t3 = cal.schedule_after(SimSpan::from_ns(30));
+        let t1 = cal.schedule_after(SimSpan::from_ns(10));
+        let t2 = cal.schedule_after(SimSpan::from_ns(20));
+        let order: Vec<Token> = std::iter::from_fn(|| cal.next().map(|(_, t)| t)).collect();
+        assert_eq!(order, vec![t1, t2, t3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut cal = Calendar::new();
+        let toks: Vec<Token> = (0..16)
+            .map(|_| cal.schedule_after(SimSpan::from_ns(5)))
+            .collect();
+        let fired: Vec<Token> = std::iter::from_fn(|| cal.next().map(|(_, t)| t)).collect();
+        assert_eq!(fired, toks, "equal-time events must fire in schedule order");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut cal = Calendar::new();
+        for d in [40u64, 10, 30, 10, 20] {
+            cal.schedule_after(SimSpan::from_ns(d));
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = cal.next() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(cal.now(), t);
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule_after(SimSpan::from_ns(10));
+        let b = cal.schedule_after(SimSpan::from_ns(20));
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a), "double cancel reports false");
+        assert_eq!(cal.pending(), 1);
+        let (_, tok) = cal.next().unwrap();
+        assert_eq!(tok, b);
+        assert!(cal.next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut cal = Calendar::new();
+        assert!(!cal.cancel(Token(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule_after(SimSpan::from_ns(5));
+        let _b = cal.schedule_after(SimSpan::from_ns(9));
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ns(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule_after(SimSpan::from_ns(10));
+        cal.next();
+        cal.schedule_at(SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut cal = Calendar::new();
+        cal.advance_to(SimTime::from_ns(100));
+        assert_eq!(cal.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "step over")]
+    fn advance_past_pending_event_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule_after(SimSpan::from_ns(10));
+        cal.advance_to(SimTime::from_ns(50));
+    }
+
+    #[test]
+    fn pending_counts_live_events() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_idle());
+        let a = cal.schedule_after(SimSpan::from_ns(1));
+        let _b = cal.schedule_after(SimSpan::from_ns(2));
+        assert_eq!(cal.pending(), 2);
+        cal.cancel(a);
+        assert_eq!(cal.pending(), 1);
+        cal.next();
+        assert!(cal.is_idle());
+    }
+}

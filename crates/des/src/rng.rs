@@ -1,0 +1,204 @@
+//! Seedable randomness for workload and noise models.
+//!
+//! [`SimRng`] wraps a deterministic PRNG and adds the handful of
+//! distributions the simulator needs (normal, log-normal, exponential,
+//! bounded jitter). The same seed always reproduces the same simulation,
+//! which the integration tests rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random source for the simulator.
+///
+/// # Example
+///
+/// ```
+/// use aitax_des::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator (for per-subsystem streams).
+    ///
+    /// Mixing in `salt` keeps children with different salts decorrelated.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller transform; avoid u1 == 0.
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard_normal()
+    }
+
+    /// Log-normal sample parameterized by the *median* and a multiplicative
+    /// spread `sigma` (standard deviation of the underlying normal).
+    ///
+    /// Heavy-tailed delays (interrupt latency, scheduler wakeups) use this.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Exponential sample with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Multiplicative jitter factor in `[1 - frac, 1 + frac]`.
+    ///
+    /// `jitter(0.05)` returns a factor within ±5%. `frac == 0` returns 1.
+    pub fn jitter(&mut self, frac: f64) -> f64 {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        if frac == 0.0 {
+            1.0
+        } else {
+            self.uniform(1.0 - frac, 1.0 + frac)
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        let i = self.inner.gen_range(0..items.len());
+        &items[i]
+    }
+
+    /// Raw 64-bit sample (for hashing/salting).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = SimRng::seed_from(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = SimRng::seed_from(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut r = SimRng::seed_from(11);
+        let mut samples: Vec<f64> = (0..10_001).map(|_| r.lognormal(4.0, 0.5)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median - 4.0).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut r = SimRng::seed_from(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_zero_is_identity() {
+        let mut r = SimRng::seed_from(17);
+        assert_eq!(r.jitter(0.0), 1.0);
+        for _ in 0..100 {
+            let j = r.jitter(0.1);
+            assert!((0.9..=1.1).contains(&j));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(19);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

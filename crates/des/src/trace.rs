@@ -1,0 +1,364 @@
+//! Structured trace vocabulary.
+//!
+//! The simulated kernel and frameworks emit these events while running;
+//! `aitax-profiler` consumes them to build Snapdragon-Profiler-style views
+//! (per-core utilization strips, context-switch counts, CDSP activity, AXI
+//! traffic — Figure 6 of the paper).
+//!
+//! Tracing is opt-in: a disabled [`TraceBuffer`] drops events with a single
+//! branch, keeping the probe effect of the *simulator itself* at zero, in the
+//! spirit of the paper's §III-D probe-effect discussion.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A hardware execution resource appearing in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceResource {
+    /// A CPU core, by index.
+    CpuCore(u8),
+    /// The compute DSP (Hexagon-class).
+    Dsp,
+    /// The GPU.
+    Gpu,
+    /// The dedicated NPU block, when present.
+    Npu,
+    /// The AXI interconnect.
+    Axi,
+}
+
+impl fmt::Display for TraceResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceResource::CpuCore(i) => write!(f, "cpu{i}"),
+            TraceResource::Dsp => write!(f, "cdsp"),
+            TraceResource::Gpu => write!(f, "gpu"),
+            TraceResource::Npu => write!(f, "npu"),
+            TraceResource::Axi => write!(f, "axi"),
+        }
+    }
+}
+
+/// Phases of a FastRPC offload round trip (Figure 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpcPhase {
+    /// User-space stub marshals arguments and enters the kernel (ioctl).
+    IoctlEntry,
+    /// Kernel driver flushes CPU caches for shared buffers.
+    CacheFlush,
+    /// Kernel signals the DSP (doorbell).
+    DoorbellRing,
+    /// Method executes on the DSP.
+    DspExecute,
+    /// DSP signals completion back to the kernel.
+    CompletionSignal,
+    /// Kernel returns to user space.
+    IoctlReturn,
+}
+
+impl RpcPhase {
+    /// All phases in call order.
+    pub const ALL: [RpcPhase; 6] = [
+        RpcPhase::IoctlEntry,
+        RpcPhase::CacheFlush,
+        RpcPhase::DoorbellRing,
+        RpcPhase::DspExecute,
+        RpcPhase::CompletionSignal,
+        RpcPhase::IoctlReturn,
+    ];
+}
+
+impl fmt::Display for RpcPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RpcPhase::IoctlEntry => "ioctl-entry",
+            RpcPhase::CacheFlush => "cache-flush",
+            RpcPhase::DoorbellRing => "doorbell",
+            RpcPhase::DspExecute => "dsp-execute",
+            RpcPhase::CompletionSignal => "completion-signal",
+            RpcPhase::IoctlReturn => "ioctl-return",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A task began executing on a resource.
+    ExecStart {
+        /// Simulator-wide task id.
+        task: u64,
+        /// Human-readable task label.
+        label: Box<str>,
+    },
+    /// The task currently on the resource stopped executing (completed or
+    /// was preempted).
+    ExecEnd {
+        /// Simulator-wide task id.
+        task: u64,
+    },
+    /// The scheduler switched tasks on a core.
+    ContextSwitch,
+    /// A task moved between cores.
+    Migration {
+        /// Simulator-wide task id.
+        task: u64,
+        /// Core the task left.
+        from: u8,
+        /// Core the task landed on.
+        to: u8,
+    },
+    /// An interrupt was serviced.
+    Irq {
+        /// Interrupt source label.
+        source: Box<str>,
+    },
+    /// A FastRPC phase boundary.
+    Rpc {
+        /// Which phase began at this instant.
+        phase: RpcPhase,
+    },
+    /// A burst of traffic on the interconnect.
+    AxiBurst {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Free-form marker (pipeline stage boundaries etc.).
+    Marker {
+        /// Marker label.
+        label: Box<str>,
+    },
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Where it happened.
+    pub resource: TraceResource,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only buffer of trace events.
+///
+/// # Example
+///
+/// ```
+/// use aitax_des::trace::{TraceBuffer, TraceKind, TraceResource};
+/// use aitax_des::SimTime;
+///
+/// let mut buf = TraceBuffer::enabled();
+/// buf.record(SimTime::from_ns(10), TraceResource::Dsp, TraceKind::ContextSwitch);
+/// assert_eq!(buf.events().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer that drops all events (zero probe effect).
+    pub fn disabled() -> Self {
+        TraceBuffer {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates a buffer that records events.
+    pub fn enabled() -> Self {
+        TraceBuffer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, resource: TraceResource, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                resource,
+                kind,
+            });
+        }
+    }
+
+    /// All recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the buffer, yielding the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Drops all recorded events, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Extracts closed execution intervals per resource.
+    ///
+    /// Pairs each `ExecStart` with the next `ExecEnd` for the same task on
+    /// the same resource. Unclosed intervals (still running at trace end)
+    /// are dropped.
+    pub fn exec_intervals(&self) -> Vec<ExecInterval> {
+        let mut open: Vec<(TraceResource, u64, SimTime, Box<str>)> = Vec::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                TraceKind::ExecStart { task, label } => {
+                    open.push((ev.resource, *task, ev.time, label.clone()));
+                }
+                TraceKind::ExecEnd { task } => {
+                    if let Some(pos) = open
+                        .iter()
+                        .rposition(|(r, t, _, _)| *r == ev.resource && *t == *task)
+                    {
+                        let (resource, task, start, label) = open.swap_remove(pos);
+                        out.push(ExecInterval {
+                            resource,
+                            task,
+                            label,
+                            start,
+                            end: ev.time,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.sort_by_key(|iv| (iv.start, iv.resource));
+        out
+    }
+}
+
+/// A closed execution interval extracted from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecInterval {
+    /// Resource the task ran on.
+    pub resource: TraceResource,
+    /// Simulator-wide task id.
+    pub task: u64,
+    /// Task label captured at start.
+    pub label: Box<str>,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+}
+
+impl ExecInterval {
+    /// Length of the interval.
+    pub fn span(&self) -> crate::SimSpan {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimSpan;
+
+    fn start(task: u64, label: &str) -> TraceKind {
+        TraceKind::ExecStart {
+            task,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_drops_events() {
+        let mut buf = TraceBuffer::disabled();
+        buf.record(SimTime::ZERO, TraceResource::Dsp, TraceKind::ContextSwitch);
+        assert!(buf.events().is_empty());
+        assert!(!buf.is_enabled());
+    }
+
+    #[test]
+    fn intervals_pair_start_end() {
+        let mut buf = TraceBuffer::enabled();
+        let r = TraceResource::CpuCore(0);
+        buf.record(SimTime::from_ns(10), r, start(1, "job"));
+        buf.record(SimTime::from_ns(30), r, TraceKind::ExecEnd { task: 1 });
+        let ivs = buf.exec_intervals();
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].span(), SimSpan::from_ns(20));
+        assert_eq!(&*ivs[0].label, "job");
+    }
+
+    #[test]
+    fn unclosed_intervals_are_dropped() {
+        let mut buf = TraceBuffer::enabled();
+        buf.record(SimTime::from_ns(5), TraceResource::Gpu, start(7, "dangling"));
+        assert!(buf.exec_intervals().is_empty());
+    }
+
+    #[test]
+    fn interleaved_resources_pair_correctly() {
+        let mut buf = TraceBuffer::enabled();
+        let c0 = TraceResource::CpuCore(0);
+        let c1 = TraceResource::CpuCore(1);
+        buf.record(SimTime::from_ns(0), c0, start(1, "a"));
+        buf.record(SimTime::from_ns(1), c1, start(2, "b"));
+        buf.record(SimTime::from_ns(4), c1, TraceKind::ExecEnd { task: 2 });
+        buf.record(SimTime::from_ns(9), c0, TraceKind::ExecEnd { task: 1 });
+        let ivs = buf.exec_intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].resource, c0);
+        assert_eq!(ivs[0].span(), SimSpan::from_ns(9));
+        assert_eq!(ivs[1].resource, c1);
+        assert_eq!(ivs[1].span(), SimSpan::from_ns(3));
+    }
+
+    #[test]
+    fn same_task_reexecution_pairs_nested() {
+        let mut buf = TraceBuffer::enabled();
+        let r = TraceResource::CpuCore(2);
+        // Task runs twice (preemption produces two intervals).
+        buf.record(SimTime::from_ns(0), r, start(3, "x"));
+        buf.record(SimTime::from_ns(2), r, TraceKind::ExecEnd { task: 3 });
+        buf.record(SimTime::from_ns(5), r, start(3, "x"));
+        buf.record(SimTime::from_ns(6), r, TraceKind::ExecEnd { task: 3 });
+        let ivs = buf.exec_intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].start, SimTime::from_ns(0));
+        assert_eq!(ivs[1].start, SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn resource_display_names() {
+        assert_eq!(TraceResource::CpuCore(4).to_string(), "cpu4");
+        assert_eq!(TraceResource::Dsp.to_string(), "cdsp");
+        assert_eq!(TraceResource::Axi.to_string(), "axi");
+    }
+
+    #[test]
+    fn rpc_phases_cover_fig7_flow() {
+        // The Fig. 7 call flow has six phases; keep order stable.
+        assert_eq!(RpcPhase::ALL.len(), 6);
+        assert_eq!(RpcPhase::ALL[0], RpcPhase::IoctlEntry);
+        assert_eq!(RpcPhase::ALL[5], RpcPhase::IoctlReturn);
+    }
+
+    #[test]
+    fn clear_retains_enabled_flag() {
+        let mut buf = TraceBuffer::enabled();
+        buf.record(SimTime::ZERO, TraceResource::Axi, TraceKind::AxiBurst { bytes: 64 });
+        buf.clear();
+        assert!(buf.events().is_empty());
+        assert!(buf.is_enabled());
+    }
+}

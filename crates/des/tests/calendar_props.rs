@@ -1,0 +1,89 @@
+//! Property tests for the event calendar and RNG — the invariants every
+//! other crate relies on.
+
+use aitax_des::{Calendar, SimRng, SimSpan, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always fire in non-decreasing time order regardless of
+    /// schedule order, and every scheduled event fires exactly once.
+    #[test]
+    fn calendar_is_a_priority_queue(delays in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for &d in &delays {
+            cal.schedule_after(SimSpan::from_ns(d));
+        }
+        let mut fired = 0;
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = cal.next() {
+            prop_assert!(t >= last);
+            last = t;
+            fired += 1;
+        }
+        prop_assert_eq!(fired, delays.len());
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(last.as_ns(), *sorted.last().unwrap());
+    }
+
+    /// Cancelled events never fire; everything else does.
+    #[test]
+    fn cancellation_is_exact(
+        delays in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let tokens: Vec<_> = delays
+            .iter()
+            .map(|&d| cal.schedule_after(SimSpan::from_ns(d)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (tok, &c) in tokens.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if c {
+                prop_assert!(cal.cancel(*tok));
+                cancelled.insert(*tok);
+            }
+        }
+        let mut fired = std::collections::HashSet::new();
+        while let Some((_, tok)) = cal.next() {
+            prop_assert!(!cancelled.contains(&tok), "cancelled event fired");
+            prop_assert!(fired.insert(tok), "event fired twice");
+        }
+        prop_assert_eq!(fired.len(), tokens.len() - cancelled.len());
+    }
+
+    /// Equal-time events preserve FIFO order (determinism backbone).
+    #[test]
+    fn fifo_tie_break(n in 1usize..64, at in 0u64..1000) {
+        let mut cal = Calendar::new();
+        let toks: Vec<_> = (0..n)
+            .map(|_| cal.schedule_at(SimTime::from_ns(at)))
+            .collect();
+        let fired: Vec<_> = std::iter::from_fn(|| cal.next().map(|(_, t)| t)).collect();
+        prop_assert_eq!(fired, toks);
+    }
+
+    /// Same-seed RNG streams are identical; jitter stays in bounds.
+    #[test]
+    fn rng_determinism_and_bounds(seed in any::<u64>(), frac in 0.0f64..0.5) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let ja = a.jitter(frac);
+            prop_assert_eq!(ja, b.jitter(frac));
+            prop_assert!(ja >= 1.0 - frac - 1e-12 && ja <= 1.0 + frac + 1e-12);
+        }
+    }
+
+    /// Log-normal samples are always positive; exponential samples too.
+    #[test]
+    fn distribution_supports(seed in any::<u64>(), median in 0.001f64..100.0, sigma in 0.0f64..2.0) {
+        let mut r = SimRng::seed_from(seed);
+        for _ in 0..20 {
+            prop_assert!(r.lognormal(median, sigma) > 0.0);
+            prop_assert!(r.exponential(median) >= 0.0);
+        }
+    }
+}

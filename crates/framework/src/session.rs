@@ -1,0 +1,572 @@
+//! Sessions: compiled models ready to invoke on a [`Machine`].
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use aitax_des::SimSpan;
+use aitax_kernel::{GpuJob, Machine, RpcDevice, RpcInvoke, TaskSpec, Work};
+use aitax_models::Graph;
+use aitax_soc::SocSpec;
+use aitax_tensor::DType;
+
+use crate::cost;
+use crate::nnapi::ExecutionPreference;
+
+/// Which runtime drives model execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// TFLite interpreter on CPU threads (the native kernel path).
+    TfLiteCpu {
+        /// Interpreter thread count.
+        threads: usize,
+    },
+    /// TFLite GPU delegate (fp16/fp32), CPU threads for residual ops.
+    TfLiteGpu {
+        /// Interpreter thread count for non-delegated ops.
+        threads: usize,
+    },
+    /// TFLite Hexagon delegate (quantized models only).
+    TfLiteHexagon {
+        /// Interpreter thread count for non-delegated ops.
+        threads: usize,
+    },
+    /// Android NNAPI with automatic device assignment.
+    Nnapi {
+        /// Interpreter thread count for non-delegated ops.
+        threads: usize,
+        /// The application's execution preference.
+        preference: ExecutionPreference,
+    },
+    /// Qualcomm SNPE targeting the DSP runtime (quantized models).
+    SnpeDsp,
+    /// Qualcomm SNPE targeting the GPU runtime.
+    SnpeGpu,
+}
+
+impl Engine {
+    /// TFLite CPU with the given thread count.
+    pub fn tflite_cpu(threads: usize) -> Engine {
+        Engine::TfLiteCpu { threads }
+    }
+
+    /// NNAPI with the benchmark-default `FAST_SINGLE_ANSWER` preference.
+    pub fn nnapi() -> Engine {
+        Engine::Nnapi {
+            threads: 4,
+            preference: ExecutionPreference::FastSingleAnswer,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Engine::TfLiteCpu { threads } => format!("cpu-{threads}t"),
+            Engine::TfLiteGpu { .. } => "gpu-delegate".into(),
+            Engine::TfLiteHexagon { .. } => "hexagon-delegate".into(),
+            Engine::Nnapi { .. } => "nnapi".into(),
+            Engine::SnpeDsp => "snpe-dsp".into(),
+            Engine::SnpeGpu => "snpe-gpu".into(),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Where a partition executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecTarget {
+    /// TFLite's optimized CPU kernels, multi-threaded.
+    TfLiteCpu {
+        /// Thread count.
+        threads: usize,
+    },
+    /// The NNAPI vendor driver's single-threaded CPU *reference* path —
+    /// the slow, core-wandering fallback of Figs. 5/6.
+    NnapiRefCpu,
+    /// The compute DSP via FastRPC.
+    Dsp {
+        /// Delivered fraction of DSP peak.
+        efficiency: f64,
+    },
+    /// The GPU queue.
+    Gpu {
+        /// Delivered fraction of GPU fp16 peak.
+        efficiency: f64,
+    },
+    /// The dedicated tensor accelerator (SD865-class), reached through the
+    /// same FastRPC stack as the DSP.
+    Npu {
+        /// Delivered fraction of NPU peak.
+        efficiency: f64,
+    },
+}
+
+/// A contiguous run of operators bound to one execution target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Target device/path.
+    pub target: ExecTarget,
+    /// Half-open op index range into the graph.
+    pub ops: (usize, usize),
+    /// Total MACs in the partition.
+    pub macs: u64,
+    /// Activation bytes entering the partition.
+    pub in_bytes: u64,
+    /// Activation bytes leaving the partition.
+    pub out_bytes: u64,
+}
+
+impl Partition {
+    /// Number of ops in the partition.
+    pub fn op_count(&self) -> usize {
+        self.ops.1 - self.ops.0
+    }
+}
+
+/// A compiled execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Ordered partitions.
+    pub partitions: Vec<Partition>,
+    /// One-time model load + compile time (the "model initialization"
+    /// the TFLite benchmark tool breaks out, §IV-C).
+    pub compile_span: SimSpan,
+    /// Whether the first invocation should probe the DSP and give up —
+    /// the transient CDSP spike of Fig. 6 when a driver accepts a model
+    /// but cannot actually place it.
+    pub dsp_probe: bool,
+}
+
+impl Plan {
+    /// Number of device transitions during one inference.
+    pub fn transitions(&self) -> usize {
+        self.partitions.len().saturating_sub(1)
+    }
+
+    /// Renders the partitioning decision as a human-readable table — the
+    /// transparency §IV-B asks frameworks for ("there is a need for
+    /// greater transparency in frameworks being used during performance
+    /// analysis").
+    pub fn describe(&self, graph: &Graph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan for {} ({} ops, {} partitions, {:.0}% of MACs offloaded, init {})",
+            graph.name(),
+            graph.len(),
+            self.partitions.len(),
+            self.offloaded_mac_fraction() * 100.0,
+            self.compile_span,
+        );
+        for (i, p) in self.partitions.iter().enumerate() {
+            let target = match p.target {
+                ExecTarget::TfLiteCpu { threads } => format!("tflite-cpu x{threads}"),
+                ExecTarget::NnapiRefCpu => "nnapi-reference-cpu (!)".to_string(),
+                ExecTarget::Dsp { efficiency } => format!("dsp (eff {efficiency:.2})"),
+                ExecTarget::Gpu { efficiency } => format!("gpu (eff {efficiency:.2})"),
+                ExecTarget::Npu { efficiency } => format!("npu (eff {efficiency:.2})"),
+            };
+            let first = &graph.nodes()[p.ops.0].name;
+            let last = &graph.nodes()[p.ops.1 - 1].name;
+            let _ = writeln!(
+                out,
+                "  #{i:<3} {target:<26} ops {:>4}..{:<4} ({first} .. {last})  {:>7.1} MMACs",
+                p.ops.0,
+                p.ops.1,
+                p.macs as f64 / 1e6,
+            );
+        }
+        out
+    }
+
+    /// Fraction of MACs bound to an accelerator (DSP or GPU).
+    pub fn offloaded_mac_fraction(&self) -> f64 {
+        let total: u64 = self.partitions.iter().map(|p| p.macs).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let off: u64 = self
+            .partitions
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.target,
+                    ExecTarget::Dsp { .. } | ExecTarget::Gpu { .. } | ExecTarget::Npu { .. }
+                )
+            })
+            .map(|p| p.macs)
+            .sum();
+        off as f64 / total as f64
+    }
+}
+
+/// Errors from [`Session::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The engine cannot run this model's datatype (e.g. the Hexagon
+    /// delegate or SNPE's DSP runtime with a float model).
+    UnsupportedDType {
+        /// Engine label.
+        engine: String,
+        /// The offending dtype.
+        dtype: DType,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedDType { engine, dtype } => {
+                write!(f, "engine {engine} does not support {dtype} models")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+struct Inner {
+    graph: Rc<Graph>,
+    plan: Plan,
+    dsp_probe_done: Cell<bool>,
+}
+
+/// A model compiled for a specific engine and SoC, ready to invoke.
+///
+/// Compile once (paying [`Plan::compile_span`] at model-init time), then
+/// invoke repeatedly — exactly the lifecycle §II-D describes.
+#[derive(Clone)]
+pub struct Session {
+    inner: Rc<Inner>,
+    engine: Engine,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("model", &self.inner.graph.name())
+            .field("engine", &self.engine.label())
+            .field("partitions", &self.inner.plan.partitions.len())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Compiles a graph for an engine on an SoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedDType`] for engine/datatype
+    /// mismatches (DSP runtimes need quantized models).
+    pub fn compile(engine: Engine, graph: Rc<Graph>, soc: &SocSpec) -> Result<Session, CompileError> {
+        let quant_only = matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp);
+        if quant_only && !graph.dtype().is_quantized() {
+            return Err(CompileError::UnsupportedDType {
+                engine: engine.label(),
+                dtype: graph.dtype(),
+            });
+        }
+        let plan = match engine {
+            Engine::TfLiteCpu { threads } => crate::tflite::plan_cpu(&graph, threads),
+            Engine::TfLiteGpu { threads } => crate::tflite::plan_gpu(&graph, threads),
+            Engine::TfLiteHexagon { threads } => crate::tflite::plan_hexagon(&graph, soc, threads),
+            Engine::Nnapi {
+                threads,
+                preference,
+            } => crate::nnapi::plan_nnapi(&graph, soc, preference, threads),
+            Engine::SnpeDsp => crate::snpe::plan_dsp(&graph, soc),
+            Engine::SnpeGpu => crate::snpe::plan_gpu(&graph),
+        };
+        Ok(Session {
+            inner: Rc::new(Inner {
+                graph,
+                plan,
+                dsp_probe_done: Cell::new(false),
+            }),
+            engine,
+        })
+    }
+
+    /// The engine this session was compiled for.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The compiled plan (inspection/reporting).
+    pub fn plan(&self) -> &Plan {
+        &self.inner.plan
+    }
+
+    /// The model graph.
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// Runs the one-time model-initialization work (load, compile,
+    /// partition, driver prepare) on the machine, then fires `on_done`.
+    pub fn initialize(&self, m: &mut Machine, on_done: impl FnOnce(&mut Machine) + 'static) {
+        let span = self.inner.plan.compile_span;
+        let task = TaskSpec::foreground(
+            format!("model-init:{}", self.inner.graph.name()),
+            Work::Span(span),
+        );
+        m.submit_cpu(task, on_done);
+    }
+
+    /// Performs one inference, firing `on_done` when outputs are back in
+    /// the application's hands.
+    pub fn invoke(&self, m: &mut Machine, on_done: impl FnOnce(&mut Machine) + 'static) {
+        let inner = self.inner.clone();
+        // The Fig. 6 pathology: on the first invocation the driver probes
+        // the DSP (visible as a CDSP spike) before falling back.
+        if inner.plan.dsp_probe && !inner.dsp_probe_done.get() {
+            inner.dsp_probe_done.set(true);
+            let probe = RpcInvoke {
+                label: format!("nnapi-probe:{}", inner.graph.name()),
+                in_bytes: 4096,
+                out_bytes: 64,
+                dsp_work: SimSpan::from_us(400.0),
+                device: RpcDevice::Dsp,
+            };
+            let chain_inner = inner.clone();
+            let done: DoneCb = Box::new(on_done);
+            m.fastrpc_invoke(probe, move |m| run_partition(chain_inner, 0, m, done));
+        } else {
+            run_partition(inner, 0, m, Box::new(on_done));
+        }
+    }
+}
+
+type DoneCb = Box<dyn FnOnce(&mut Machine)>;
+
+fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
+    if idx >= inner.plan.partitions.len() {
+        done(m);
+        return;
+    }
+    let part = inner.plan.partitions[idx].clone();
+    let next_inner = inner.clone();
+    let next: DoneCb = Box::new(move |m: &mut Machine| {
+        run_partition(next_inner, idx + 1, m, done);
+    });
+    match part.target {
+        ExecTarget::TfLiteCpu { threads } => {
+            run_cpu_op(inner, part.ops.0, part.ops.1, threads, m, next);
+        }
+        ExecTarget::NnapiRefCpu => {
+            // One long single-threaded task on the driver's reference
+            // kernels; unpinned and prone to wandering across cores.
+            let elements: u64 = inner.graph.nodes()[part.ops.0..part.ops.1]
+                .iter()
+                .map(|n| n.op.output_elements())
+                .sum();
+            let cycles = part.macs as f64 * cost::NNAPI_REFERENCE_CYCLES_PER_MAC
+                + elements as f64 * 2.0;
+            let task = TaskSpec::nnapi_fallback(
+                format!("nnapi-ref:{}", inner.graph.name()),
+                Work::Cycles(cycles),
+            );
+            m.submit_cpu(task, next);
+        }
+        ExecTarget::Dsp { efficiency } => {
+            let work = cost::dsp_exec_span(&m.spec().dsp, part.macs, efficiency);
+            let invoke = RpcInvoke {
+                label: format!("dsp:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
+                in_bytes: part.in_bytes,
+                out_bytes: part.out_bytes,
+                dsp_work: work,
+                device: RpcDevice::Dsp,
+            };
+            m.fastrpc_invoke(invoke, next);
+        }
+        ExecTarget::Npu { efficiency } => {
+            let npu = m
+                .spec()
+                .npu
+                .expect("Npu partition compiled for a chipset without an NPU");
+            let work = aitax_des::SimSpan::from_secs(
+                2.0 * part.macs as f64 / (npu.int8_ops * efficiency),
+            );
+            let invoke = RpcInvoke {
+                label: format!("npu:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
+                in_bytes: part.in_bytes,
+                out_bytes: part.out_bytes,
+                dsp_work: work,
+                device: RpcDevice::Npu,
+            };
+            m.fastrpc_invoke(invoke, next);
+        }
+        ExecTarget::Gpu { efficiency } => {
+            let exec = cost::gpu_exec_span(&m.spec().gpu, part.macs, efficiency)
+                + m.spec().memory.transfer_span(part.in_bytes)
+                + m.spec().memory.transfer_span(part.out_bytes);
+            let job = GpuJob {
+                label: format!("gpu:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
+                exec,
+            };
+            m.submit_gpu(job, next);
+        }
+    }
+}
+
+/// Executes ops `[op..end)` on the TFLite CPU backend, one fork-join gang
+/// per op, then fires `done`.
+fn run_cpu_op(
+    inner: Rc<Inner>,
+    op: usize,
+    end: usize,
+    threads: usize,
+    m: &mut Machine,
+    done: DoneCb,
+) {
+    if op >= end {
+        done(m);
+        return;
+    }
+    let node = &inner.graph.nodes()[op];
+    let dtype = inner.graph.dtype();
+    let units = cost::tflite_cpu_work_units(&node.op, dtype);
+    let threads = threads.max(1);
+    // Dispatch + fork/join overheads folded in as equivalent work units
+    // (cycles × per-cycle throughput).
+    let per_cycle = if dtype.is_quantized() { 16.0 } else { 8.0 };
+    let overhead_units =
+        (cost::OP_DISPATCH_CYCLES / threads as f64 + cost::THREAD_FORK_JOIN_CYCLES) * per_cycle;
+    let per_thread = units / threads as f64 + overhead_units;
+    let work = if dtype.is_quantized() {
+        Work::Int8Ops(per_thread)
+    } else {
+        Work::Fp32Flops(per_thread)
+    };
+    let specs: Vec<TaskSpec> = (0..threads)
+        .map(|t| TaskSpec::foreground(format!("{}#{t}", node.name), work))
+        .collect();
+    let next_inner = inner.clone();
+    m.submit_cpu_parallel(specs, move |m| {
+        run_cpu_op(next_inner, op + 1, end, threads, m, done);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitax_models::zoo::{ModelId, Zoo};
+    use aitax_soc::{SocCatalog, SocId};
+    use std::cell::Cell;
+
+    fn soc() -> SocSpec {
+        SocCatalog::get(SocId::Sd845)
+    }
+
+    fn graph(id: ModelId, dtype: DType) -> Rc<Graph> {
+        Rc::new(Zoo::entry(id).build_graph_with(dtype))
+    }
+
+    fn run_invoke(session: &Session, m: &mut Machine) -> f64 {
+        let start = m.now();
+        let done = Rc::new(Cell::new(f64::NAN));
+        let d = done.clone();
+        session.invoke(m, move |mm| d.set((mm.now() - start).as_ms()));
+        m.run_until_idle();
+        done.get()
+    }
+
+    #[test]
+    fn hexagon_rejects_float_models() {
+        let err = Session::compile(
+            Engine::TfLiteHexagon { threads: 4 },
+            graph(ModelId::MobileNetV1, DType::F32),
+            &soc(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedDType { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn cpu_plan_is_single_partition() {
+        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
+            .unwrap();
+        assert_eq!(s.plan().partitions.len(), 1);
+        assert_eq!(s.plan().offloaded_mac_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mobilenet_fp32_cpu_latency_calibration() {
+        // Paper ballpark: ≈30-45 ms on 4 big cores of an SD845.
+        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
+            .unwrap();
+        let mut m = Machine::new(soc(), 3);
+        let ms = run_invoke(&s, &mut m);
+        assert!((20.0..60.0).contains(&ms), "MobileNet fp32 cpu-4t = {ms}ms");
+    }
+
+    #[test]
+    fn four_threads_beat_one() {
+        let g = graph(ModelId::MobileNetV1, DType::F32);
+        let s4 = Session::compile(Engine::tflite_cpu(4), g.clone(), &soc()).unwrap();
+        let s1 = Session::compile(Engine::tflite_cpu(1), g, &soc()).unwrap();
+        let mut m4 = Machine::new(soc(), 3);
+        let mut m1 = Machine::new(soc(), 3);
+        let t4 = run_invoke(&s4, &mut m4);
+        let t1 = run_invoke(&s1, &mut m1);
+        let scaling = t1 / t4;
+        assert!(
+            (2.0..4.0).contains(&scaling),
+            "4-thread scaling should be sub-linear but real: {scaling:.2}×"
+        );
+    }
+
+    #[test]
+    fn inception_v3_cpu_near_250ms() {
+        // §IV (Fig. 3): "the benchmark latency is ... at 250 ms".
+        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::InceptionV3, DType::F32), &soc())
+            .unwrap();
+        let mut m = Machine::new(soc(), 3);
+        let ms = run_invoke(&s, &mut m);
+        assert!(
+            (170.0..340.0).contains(&ms),
+            "Inception v3 fp32 cpu-4t = {ms}ms, paper ≈250ms"
+        );
+    }
+
+    #[test]
+    fn int8_faster_than_fp32_on_cpu() {
+        let sf = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
+            .unwrap();
+        let sq = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::I8), &soc())
+            .unwrap();
+        let mut mf = Machine::new(soc(), 3);
+        let mut mq = Machine::new(soc(), 3);
+        let tf = run_invoke(&sf, &mut mf);
+        let tq = run_invoke(&sq, &mut mq);
+        assert!(tq < tf * 0.7, "int8 {tq}ms should beat fp32 {tf}ms");
+    }
+
+    #[test]
+    fn plan_describe_is_informative() {
+        let g = graph(ModelId::SsdMobileNetV2, DType::I8);
+        let s = Session::compile(Engine::nnapi(), g.clone(), &soc()).unwrap();
+        let text = s.plan().describe(&g);
+        assert!(text.contains("ssd_mobilenet_v2"));
+        assert!(text.contains("dsp"));
+        assert!(text.contains("tflite-cpu"));
+        assert!(text.lines().count() > 2);
+    }
+
+    #[test]
+    fn session_is_cheaply_cloneable() {
+        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
+            .unwrap();
+        let s2 = s.clone();
+        assert_eq!(s2.plan(), s.plan());
+        assert_eq!(format!("{s2:?}").contains("mobilenet"), true);
+    }
+}

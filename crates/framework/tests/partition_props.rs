@@ -1,0 +1,152 @@
+//! Property tests for compilation/partitioning soundness over randomly
+//! generated operator graphs.
+
+use aitax_framework::{Engine, ExecTarget, Session};
+use aitax_models::graph::GraphBuilder;
+use aitax_models::{Graph, Op};
+use aitax_soc::{SocCatalog, SocId};
+use aitax_tensor::DType;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// A strategy producing arbitrary (but valid) operator sequences.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..64, 1usize..32, 1usize..32, 1usize..5, 1usize..3).prop_map(
+            |(hw, in_c, out_c, k, s)| Op::Conv2d {
+                in_h: hw,
+                in_w: hw,
+                in_c,
+                out_c,
+                k,
+                stride: s,
+            }
+        ),
+        (1usize..64, 1usize..64, 1usize..5).prop_map(|(hw, c, k)| Op::DepthwiseConv2d {
+            in_h: hw,
+            in_w: hw,
+            c,
+            k,
+            stride: 1,
+        }),
+        (1usize..2048, 1usize..2048).prop_map(|(i, o)| Op::FullyConnected {
+            in_features: i,
+            out_features: o,
+        }),
+        (1usize..10_000).prop_map(|n| Op::Add { elements: n }),
+        (1usize..10_000).prop_map(|n| Op::Softmax { n }),
+        (1usize..10_000).prop_map(|n| Op::Reshape { elements: n }),
+        (1usize..512, 1usize..512, 1usize..512).prop_map(|(m, k, n)| Op::MatMul {
+            m,
+            k,
+            n,
+            weights: true,
+        }),
+        (1usize..100, 1usize..50).prop_map(|(a, c)| Op::DetectionPostProcess {
+            anchors: a,
+            classes: c,
+        }),
+        (1usize..64, 1usize..64, 1usize..32).prop_map(|(h, w, c)| Op::ResizeBilinear {
+            out_h: h,
+            out_w: w,
+            c,
+        }),
+        (1usize..100_000).prop_map(|n| Op::Mean { elements: n }),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (prop::collection::vec(arb_op(), 1..60), prop::bool::ANY).prop_map(|(ops, per_channel)| {
+        GraphBuilder::new("random", DType::I8, 1000)
+            .extend(ops)
+            .finish()
+            .expect("non-empty")
+            .with_per_channel_quant(per_channel)
+    })
+}
+
+fn assert_plan_sound(graph: &Graph, engine: Engine) {
+    let soc = SocCatalog::get(SocId::Sd845);
+    let session = Session::compile(engine, Rc::new(graph.clone()), &soc).expect("compiles");
+    let plan = session.plan();
+    // 1. Partitions tile the graph exactly: no gaps, overlaps or
+    //    reordering.
+    let mut cursor = 0usize;
+    for p in &plan.partitions {
+        assert_eq!(p.ops.0, cursor, "gap/overlap at {cursor}");
+        assert!(p.ops.1 > p.ops.0, "empty partition");
+        cursor = p.ops.1;
+    }
+    assert_eq!(cursor, graph.len(), "ops uncovered");
+    // 2. MACs are conserved.
+    let macs: u64 = plan.partitions.iter().map(|p| p.macs).sum();
+    assert_eq!(macs, graph.total_macs());
+    // 3. Adjacent partitions never share a target (maximal runs).
+    for w in plan.partitions.windows(2) {
+        assert_ne!(
+            std::mem::discriminant(&w[0].target),
+            std::mem::discriminant(&w[1].target)
+        );
+    }
+    // 4. Custom ops never land on an accelerator.
+    for p in &plan.partitions {
+        if matches!(p.target, ExecTarget::Dsp { .. } | ExecTarget::Gpu { .. }) {
+            for node in &graph.nodes()[p.ops.0..p.ops.1] {
+                assert!(
+                    !matches!(node.op.kind(), aitax_models::OpKind::DetectionPostProcess),
+                    "DetectionPostProcess offloaded"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nnapi_plans_are_sound(graph in arb_graph()) {
+        assert_plan_sound(&graph, Engine::nnapi());
+    }
+
+    #[test]
+    fn hexagon_plans_are_sound(graph in arb_graph()) {
+        assert_plan_sound(&graph, Engine::TfLiteHexagon { threads: 4 });
+    }
+
+    #[test]
+    fn gpu_plans_are_sound(graph in arb_graph()) {
+        let g = graph.with_dtype(DType::F32);
+        assert_plan_sound(&g, Engine::TfLiteGpu { threads: 4 });
+    }
+
+    /// Per-channel quantized graphs on SD845 NNAPI never reach the DSP.
+    #[test]
+    fn per_channel_never_reaches_dsp_on_sd845(graph in arb_graph()) {
+        let g = graph.with_per_channel_quant(true);
+        let soc = SocCatalog::get(SocId::Sd845);
+        let session = Session::compile(Engine::nnapi(), Rc::new(g), &soc).unwrap();
+        for p in &session.plan().partitions {
+            let on_dsp = matches!(p.target, ExecTarget::Dsp { .. });
+            prop_assert!(!on_dsp, "per-channel partition reached the DSP");
+        }
+    }
+
+    /// Every plan executes to completion on a machine (no deadlocks, no
+    /// lost callbacks), and takes strictly positive simulated time.
+    #[test]
+    fn plans_execute_to_completion(graph in arb_graph(), seed in any::<u64>()) {
+        use aitax_kernel::Machine;
+        use std::cell::Cell;
+        let soc = SocCatalog::get(SocId::Sd845);
+        let session = Session::compile(Engine::nnapi(), Rc::new(graph), &soc).unwrap();
+        let mut m = Machine::new(SocCatalog::get(SocId::Sd845), seed);
+        let done = std::rc::Rc::new(Cell::new(false));
+        let d = done.clone();
+        session.invoke(&mut m, move |_| d.set(true));
+        m.run_until_idle();
+        prop_assert!(done.get(), "invoke never completed");
+        prop_assert!(m.now().as_ns() > 0);
+        prop_assert_eq!(m.cpu_load(), 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! The simulated phone: SoC + OS state + event loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use aitax_des::trace::{TraceKind, TraceResource};
+use aitax_des::{Calendar, SimRng, SimSpan, SimTime, Token, TraceBuffer};
+use aitax_soc::{SocSpec, ThermalState};
+
+use crate::fastrpc::FastRpcCosts;
+use crate::task::{CoreMask, TaskClass, TaskId, Work};
+
+/// A completion callback fired by the machine.
+pub(crate) type Callback = Box<dyn FnOnce(&mut Machine)>;
+
+/// Counters the machine accumulates while running.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MachineStats {
+    /// Context switches charged across all cores.
+    pub context_switches: u64,
+    /// Task migrations between cores (idle steals + wandering).
+    pub migrations: u64,
+    /// CPU tasks completed.
+    pub tasks_completed: u64,
+    /// DSP jobs completed.
+    pub dsp_jobs: u64,
+    /// Total DSP busy time.
+    pub dsp_busy: SimSpan,
+    /// GPU jobs completed.
+    pub gpu_jobs: u64,
+    /// Total GPU busy time.
+    pub gpu_busy: SimSpan,
+    /// NPU jobs completed.
+    pub npu_jobs: u64,
+    /// Total NPU busy time.
+    pub npu_busy: SimSpan,
+    /// Bytes that crossed the AXI fabric for offloads.
+    pub axi_bytes: u64,
+    /// FastRPC invocations issued.
+    pub rpc_calls: u64,
+}
+
+pub(crate) struct Task {
+    pub name: String,
+    pub work_kind: Work,
+    /// Remaining work, in the units of `work_kind`.
+    pub remaining: f64,
+    pub class: TaskClass,
+    pub affinity: CoreMask,
+    pub on_done: Option<Callback>,
+    /// Extra delay to pay before the next slice (migration penalty).
+    pub pending_penalty: SimSpan,
+    pub last_core: Option<usize>,
+    pub cpu_time: SimSpan,
+}
+
+pub(crate) struct Running {
+    pub task: TaskId,
+    /// When useful work starts (after switch cost + penalties).
+    pub work_start: SimTime,
+    /// Work units retired per second during this slice.
+    pub rate: f64,
+}
+
+#[derive(Default)]
+pub(crate) struct CoreState {
+    pub running: Option<Running>,
+    pub runq: VecDeque<TaskId>,
+    pub last_task: Option<TaskId>,
+}
+
+impl CoreState {
+    pub fn load(&self) -> usize {
+        self.runq.len() + usize::from(self.running.is_some())
+    }
+}
+
+/// A job for a serial FIFO accelerator (DSP or GPU).
+pub(crate) struct AccelJob {
+    pub label: String,
+    pub exec: SimSpan,
+    pub on_done: Callback,
+    pub trace_id: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct AccelState {
+    pub queue: VecDeque<AccelJob>,
+    pub running: Option<AccelJob>,
+}
+
+/// A GPU compute job.
+///
+/// The submitter (a GPU delegate) computes the execution span from the
+/// [`GpuSpec`](aitax_soc::GpuSpec); the machine provides queueing and
+/// launch-overhead semantics.
+#[derive(Debug, Clone)]
+pub struct GpuJob {
+    /// Label for traces.
+    pub label: String,
+    /// Pure execution time on the GPU (excluding launch overhead).
+    pub exec: SimSpan,
+}
+
+pub(crate) enum Ev {
+    SliceEnd { core: usize },
+    DspDone,
+    GpuDone,
+    NpuDone,
+    Timer(Callback),
+}
+
+/// A discrete-event simulated phone.
+///
+/// See the [crate-level docs](crate) for an overview and example.
+pub struct Machine {
+    pub(crate) spec: SocSpec,
+    pub(crate) core_specs: Vec<aitax_soc::CpuCoreSpec>,
+    pub(crate) cal: Calendar,
+    pub(crate) rng: SimRng,
+    /// Structured trace buffer (disabled by default; enable for profiling).
+    pub trace: TraceBuffer,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) tasks: Vec<Option<Task>>,
+    pub(crate) events: HashMap<Token, Ev>,
+    pub(crate) dsp: AccelState,
+    pub(crate) dsp_session_mapped: bool,
+    pub(crate) gpu: AccelState,
+    pub(crate) npu: AccelState,
+    pub(crate) thermal: ThermalState,
+    pub(crate) busy_cores: usize,
+    pub(crate) rpc_costs: FastRpcCosts,
+    pub(crate) noise_generation: u64,
+    pub(crate) next_obj_id: u64,
+    pub(crate) wander_probability: f64,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Boots a machine from an SoC spec with a deterministic seed.
+    pub fn new(spec: SocSpec, seed: u64) -> Self {
+        let core_specs = spec.cores();
+        let cores = core_specs.iter().map(|_| CoreState::default()).collect();
+        let thermal = ThermalState::new(spec.thermal);
+        Machine {
+            core_specs,
+            cores,
+            thermal,
+            cal: Calendar::new(),
+            rng: SimRng::seed_from(seed),
+            trace: TraceBuffer::disabled(),
+            tasks: Vec::new(),
+            events: HashMap::new(),
+            dsp: AccelState::default(),
+            dsp_session_mapped: false,
+            gpu: AccelState::default(),
+            npu: AccelState::default(),
+            busy_cores: 0,
+            rpc_costs: FastRpcCosts::default(),
+            noise_generation: 0,
+            next_obj_id: 1,
+            wander_probability: crate::sched::DEFAULT_WANDER_PROBABILITY,
+            stats: MachineStats::default(),
+            spec,
+        }
+    }
+
+    /// Overrides the per-slice probability that wandering-class tasks
+    /// (NNAPI fallback threads) migrate between cores. Zero pins them —
+    /// the ablation knob for quantifying how much of the Fig. 5/6
+    /// slowdown comes from migrations versus the reference kernels.
+    pub fn set_wander_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.wander_probability = p;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// The SoC this machine models.
+    pub fn spec(&self) -> &SocSpec {
+        &self.spec
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut MachineStats {
+        &mut self.stats
+    }
+
+    /// Current chip temperature in °C.
+    pub fn temp_c(&self) -> f64 {
+        self.thermal.temp_c()
+    }
+
+    /// Overrides the starting chip temperature (the paper cools devices
+    /// to ≈33 °C before measuring, §III-D; use this to study what
+    /// happens when a benchmark skips that step).
+    pub fn set_initial_temp(&mut self, temp_c: f64) {
+        self.thermal = aitax_soc::ThermalState::with_temp(self.spec.thermal, temp_c);
+    }
+
+    /// Enables or disables structured tracing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        let events = std::mem::take(&mut self.trace).into_events();
+        self.trace = if enabled {
+            TraceBuffer::enabled()
+        } else {
+            TraceBuffer::disabled()
+        };
+        // Preserve already-recorded events when re-enabling.
+        if enabled {
+            for ev in events {
+                self.trace.record(ev.time, ev.resource, ev.kind);
+            }
+        }
+    }
+
+    /// The machine's random stream (for drivers layered on top).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Whether the DSP process mapping has been established
+    /// (the Fig. 8 one-time setup).
+    pub fn dsp_session_mapped(&self) -> bool {
+        self.dsp_session_mapped
+    }
+
+    /// Number of jobs waiting on (or running on) the DSP.
+    pub fn dsp_depth(&self) -> usize {
+        self.dsp.queue.len() + usize::from(self.dsp.running.is_some())
+    }
+
+    /// Number of jobs waiting on (or running on) the NPU block.
+    pub fn npu_depth(&self) -> usize {
+        self.npu.queue.len() + usize::from(self.npu.running.is_some())
+    }
+
+    pub(crate) fn fresh_obj_id(&mut self) -> u64 {
+        let id = self.next_obj_id;
+        self.next_obj_id += 1;
+        id
+    }
+
+    // ---------------------------------------------------------------- time
+
+    /// Runs one event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.cal.next() {
+            None => false,
+            Some((_, token)) => {
+                if let Some(ev) = self.events.remove(&token) {
+                    self.dispatch(ev);
+                }
+                true
+            }
+        }
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// Note: with a noise generator or a free-running camera active the
+    /// machine never idles; use [`Machine::run_until`] instead.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs all events up to and including `t`, then advances the clock
+    /// to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.cal.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.cal.now() < t {
+            self.cal.advance_to(t);
+        }
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, span: SimSpan) {
+        let target = self.now() + span;
+        self.run_until(target);
+    }
+
+    /// Schedules `cb` to run after `delay`.
+    pub fn after(&mut self, delay: SimSpan, cb: impl FnOnce(&mut Machine) + 'static) -> Token {
+        let token = self.cal.schedule_after(delay);
+        self.events.insert(token, Ev::Timer(Box::new(cb)));
+        token
+    }
+
+    /// Cancels a timer scheduled with [`Machine::after`].
+    pub fn cancel_timer(&mut self, token: Token) -> bool {
+        self.events.remove(&token);
+        self.cal.cancel(token)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::SliceEnd { core } => self.on_slice_end(core),
+            Ev::DspDone => self.on_accel_done(AccelKind::Dsp),
+            Ev::GpuDone => self.on_accel_done(AccelKind::Gpu),
+            Ev::NpuDone => self.on_accel_done(AccelKind::Npu),
+            Ev::Timer(cb) => cb(self),
+        }
+    }
+
+    // ------------------------------------------------------------- thermal
+
+    /// Advances the thermal state to now using the current busy fraction.
+    pub(crate) fn touch_thermal(&mut self) {
+        let frac = self.busy_cores as f64 / self.cores.len() as f64;
+        let now = self.cal.now();
+        self.thermal.advance(now, frac.min(1.0));
+    }
+
+    /// Current frequency multiplier (thermal throttling).
+    pub fn freq_multiplier(&self) -> f64 {
+        self.thermal.freq_multiplier()
+    }
+
+    // -------------------------------------------------------- accelerators
+
+    /// Submits a job to the compute DSP queue (serial FIFO — the paper's
+    /// "only one DSP available" multi-tenancy bottleneck, Fig. 9).
+    pub fn submit_dsp_raw(
+        &mut self,
+        label: impl Into<String>,
+        exec: SimSpan,
+        on_done: impl FnOnce(&mut Machine) + 'static,
+    ) {
+        let trace_id = self.fresh_obj_id();
+        let job = AccelJob {
+            label: label.into(),
+            exec,
+            on_done: Box::new(on_done),
+            trace_id,
+        };
+        self.dsp.queue.push_back(job);
+        self.maybe_start_accel(AccelKind::Dsp);
+    }
+
+    /// Marks the DSP process mapping as established.
+    pub(crate) fn set_dsp_session_mapped(&mut self) {
+        self.dsp_session_mapped = true;
+    }
+
+    /// Submits a job to the GPU queue, charging the launch overhead.
+    pub fn submit_gpu(&mut self, job: GpuJob, on_done: impl FnOnce(&mut Machine) + 'static) {
+        let exec = self.spec.gpu.launch_overhead + job.exec;
+        let trace_id = self.fresh_obj_id();
+        self.gpu.queue.push_back(AccelJob {
+            label: job.label,
+            exec,
+            on_done: Box::new(on_done),
+            trace_id,
+        });
+        self.maybe_start_accel(AccelKind::Gpu);
+    }
+
+    fn accel_resource(kind: AccelKind) -> TraceResource {
+        match kind {
+            AccelKind::Dsp => TraceResource::Dsp,
+            AccelKind::Gpu => TraceResource::Gpu,
+            AccelKind::Npu => TraceResource::Npu,
+        }
+    }
+
+    /// Submits a job to the dedicated NPU block (SD865-class chipsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SoC has no NPU.
+    pub fn submit_npu_raw(
+        &mut self,
+        label: impl Into<String>,
+        exec: SimSpan,
+        on_done: impl FnOnce(&mut Machine) + 'static,
+    ) {
+        assert!(self.spec.npu.is_some(), "{} has no NPU block", self.spec.name);
+        let trace_id = self.fresh_obj_id();
+        self.npu.queue.push_back(AccelJob {
+            label: label.into(),
+            exec,
+            on_done: Box::new(on_done),
+            trace_id,
+        });
+        self.maybe_start_accel(AccelKind::Npu);
+    }
+
+    fn maybe_start_accel(&mut self, kind: AccelKind) {
+        let state = match kind {
+            AccelKind::Dsp => &mut self.dsp,
+            AccelKind::Gpu => &mut self.gpu,
+            AccelKind::Npu => &mut self.npu,
+        };
+        if state.running.is_some() {
+            return;
+        }
+        let Some(job) = state.queue.pop_front() else {
+            return;
+        };
+        let exec = job.exec;
+        let trace_id = job.trace_id;
+        let label = job.label.clone();
+        state.running = Some(job);
+        let token = self.cal.schedule_after(exec);
+        self.events.insert(
+            token,
+            match kind {
+                AccelKind::Dsp => Ev::DspDone,
+                AccelKind::Gpu => Ev::GpuDone,
+                AccelKind::Npu => Ev::NpuDone,
+            },
+        );
+        let now = self.cal.now();
+        self.trace.record(
+            now,
+            Self::accel_resource(kind),
+            TraceKind::ExecStart {
+                task: trace_id,
+                label: label.into(),
+            },
+        );
+    }
+
+    fn on_accel_done(&mut self, kind: AccelKind) {
+        let state = match kind {
+            AccelKind::Dsp => &mut self.dsp,
+            AccelKind::Gpu => &mut self.gpu,
+            AccelKind::Npu => &mut self.npu,
+        };
+        let job = state
+            .running
+            .take()
+            .expect("accelerator completion without a running job");
+        let now = self.cal.now();
+        self.trace.record(
+            now,
+            Self::accel_resource(kind),
+            TraceKind::ExecEnd { task: job.trace_id },
+        );
+        match kind {
+            AccelKind::Dsp => {
+                self.stats.dsp_jobs += 1;
+                self.stats.dsp_busy += job.exec;
+            }
+            AccelKind::Gpu => {
+                self.stats.gpu_jobs += 1;
+                self.stats.gpu_busy += job.exec;
+            }
+            AccelKind::Npu => {
+                self.stats.npu_jobs += 1;
+                self.stats.npu_busy += job.exec;
+            }
+        }
+        (job.on_done)(self);
+        self.maybe_start_accel(kind);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccelKind {
+    Dsp,
+    Gpu,
+    Npu,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitax_soc::{SocCatalog, SocId};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn machine() -> Machine {
+        Machine::new(SocCatalog::get(SocId::Sd845), 7)
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut m = machine();
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, ms) in [30.0, 10.0, 20.0].iter().enumerate() {
+            let log = log.clone();
+            m.after(SimSpan::from_ms(*ms), move |_| log.borrow_mut().push(i));
+        }
+        m.run_until_idle();
+        assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut m = machine();
+        let hit = Rc::new(Cell::new(false));
+        let h = hit.clone();
+        let tok = m.after(SimSpan::from_ms(1.0), move |_| h.set(true));
+        assert!(m.cancel_timer(tok));
+        m.run_until_idle();
+        assert!(!hit.get());
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut m = machine();
+        m.after(SimSpan::from_ms(5.0), |_| {});
+        m.run_until(SimTime::ZERO + SimSpan::from_ms(2.0));
+        assert_eq!(m.now().as_ms(), 2.0);
+        m.run_until_idle();
+        assert_eq!(m.now().as_ms(), 5.0);
+    }
+
+    #[test]
+    fn dsp_jobs_serialize_fifo() {
+        let mut m = machine();
+        let done: Rc<std::cell::RefCell<Vec<(u32, f64)>>> = Rc::default();
+        for i in 0..3u32 {
+            let done = done.clone();
+            m.submit_dsp_raw(format!("job{i}"), SimSpan::from_ms(10.0), move |mm| {
+                done.borrow_mut().push((i, mm.now().as_ms()));
+            });
+        }
+        assert_eq!(m.dsp_depth(), 3);
+        m.run_until_idle();
+        let d = done.borrow();
+        assert_eq!(d.len(), 3);
+        // Serial FIFO: completions at 10, 20, 30 ms.
+        assert_eq!(d[0], (0, 10.0));
+        assert_eq!(d[1], (1, 20.0));
+        assert_eq!(d[2], (2, 30.0));
+        assert_eq!(m.stats().dsp_jobs, 3);
+    }
+
+    #[test]
+    fn gpu_charges_launch_overhead() {
+        let mut m = machine();
+        let t = Rc::new(Cell::new(0.0));
+        let tc = t.clone();
+        m.submit_gpu(
+            GpuJob {
+                label: "kernel".into(),
+                exec: SimSpan::from_ms(2.0),
+            },
+            move |mm| tc.set(mm.now().as_ms()),
+        );
+        m.run_until_idle();
+        let overhead = SocCatalog::get(SocId::Sd845).gpu.launch_overhead.as_ms();
+        assert!((t.get() - (2.0 + overhead)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn npu_queue_works_on_sd865() {
+        let mut m = Machine::new(SocCatalog::get(SocId::Sd865), 5);
+        let done = Rc::new(Cell::new(0.0));
+        let d = done.clone();
+        m.submit_npu_raw("hta-job", SimSpan::from_ms(3.0), move |mm| {
+            d.set(mm.now().as_ms())
+        });
+        m.run_until_idle();
+        assert_eq!(done.get(), 3.0);
+        assert_eq!(m.stats().npu_jobs, 1);
+        assert_eq!(m.npu_depth(), 0);
+    }
+
+    #[test]
+    fn npu_and_dsp_run_concurrently() {
+        // Unlike two DSP jobs, a DSP job and an NPU job overlap.
+        let mut m = Machine::new(SocCatalog::get(SocId::Sd865), 5);
+        m.submit_dsp_raw("dsp", SimSpan::from_ms(10.0), |_| {});
+        m.submit_npu_raw("npu", SimSpan::from_ms(10.0), |_| {});
+        m.run_until_idle();
+        assert_eq!(m.now().as_ms(), 10.0, "parallel blocks overlap");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no NPU")]
+    fn npu_submit_panics_without_npu() {
+        let mut m = Machine::new(SocCatalog::get(SocId::Sd845), 5);
+        m.submit_npu_raw("x", SimSpan::from_ms(1.0), |_| {});
+    }
+
+    #[test]
+    fn accel_trace_records_intervals() {
+        let mut m = machine();
+        m.set_tracing(true);
+        m.submit_dsp_raw("traced", SimSpan::from_ms(1.0), |_| {});
+        m.run_until_idle();
+        let ivs = m.trace.exec_intervals();
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].resource, TraceResource::Dsp);
+        assert_eq!(&*ivs[0].label, "traced");
+    }
+}

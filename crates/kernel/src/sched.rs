@@ -1,0 +1,542 @@
+//! The CPU scheduler: placement, time slices, preemption, migration.
+//!
+//! A deliberately CFS-flavoured model: per-core run queues with weighted
+//! round-robin slices, context-switch costs, idle stealing with a
+//! cache-warmup migration penalty, and the "wandering" behaviour of NNAPI
+//! CPU-fallback threads that Figure 6 of the paper captures (annotation 4:
+//! "frequent CPU migrations ... and the core utilization pattern").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aitax_des::trace::{TraceKind, TraceResource};
+use aitax_des::SimSpan;
+
+use crate::machine::{Ev, Machine, Running, Task};
+use crate::task::{CoreMask, TaskClass, TaskId, TaskSpec};
+
+/// Base scheduling quantum; actual slices scale with task weight.
+pub const BASE_QUANTUM: SimSpan = SimSpan::from_ns(4_000_000);
+
+/// Direct cost of a context switch (register save/restore, runqueue work).
+pub const CONTEXT_SWITCH_COST: SimSpan = SimSpan::from_ns(8_000);
+
+/// Default probability that a wandering-class task is rebalanced to
+/// another core at a slice boundary.
+pub const DEFAULT_WANDER_PROBABILITY: f64 = 0.35;
+
+/// Remaining-work threshold below which a task is complete.
+const WORK_EPSILON: f64 = 1e-6;
+
+/// Smallest schedulable slice. Guarantees forward progress: without it, a
+/// residue of work smaller than half a nanosecond at the current rate
+/// would round to a zero-length slice and loop forever at one timestamp.
+const MIN_SLICE: SimSpan = SimSpan::from_ns(1);
+
+impl Machine {
+    /// Submits one CPU task; `on_done` fires when it completes.
+    ///
+    /// Foreground tasks default to big-core affinity; other classes may run
+    /// anywhere. Returns the task id (also used in traces).
+    pub fn submit_cpu(
+        &mut self,
+        spec: TaskSpec,
+        on_done: impl FnOnce(&mut Machine) + 'static,
+    ) -> TaskId {
+        let affinity = spec.affinity.unwrap_or_else(|| self.default_affinity(spec.class));
+        let id = TaskId(self.fresh_obj_id());
+        let idx = self.task_slot(id);
+        self.tasks[idx] = Some(Task {
+            name: spec.name,
+            work_kind: spec.work,
+            remaining: spec.work.amount().max(0.0),
+            class: spec.class,
+            affinity,
+            on_done: Some(Box::new(on_done)),
+            pending_penalty: SimSpan::ZERO,
+            last_core: None,
+            cpu_time: SimSpan::ZERO,
+        });
+        let core = self.place(affinity);
+        self.enqueue(core, id);
+        id
+    }
+
+    /// Submits a gang of CPU tasks; `on_all_done` fires when the last one
+    /// completes (fork-join, as a multi-threaded TFLite op does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn submit_cpu_parallel(
+        &mut self,
+        specs: Vec<TaskSpec>,
+        on_all_done: impl FnOnce(&mut Machine) + 'static,
+    ) -> Vec<TaskId> {
+        assert!(!specs.is_empty(), "parallel submission needs at least one task");
+        type JoinSlot = Rc<RefCell<(usize, Option<Box<dyn FnOnce(&mut Machine)>>)>>;
+        let join: JoinSlot = Rc::new(RefCell::new((specs.len(), Some(Box::new(on_all_done)))));
+        specs
+            .into_iter()
+            .map(|spec| {
+                let join = join.clone();
+                self.submit_cpu(spec, move |m| {
+                    let cb = {
+                        let mut j = join.borrow_mut();
+                        j.0 -= 1;
+                        if j.0 == 0 {
+                            j.1.take()
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(cb) = cb {
+                        cb(m);
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Total runnable + running CPU tasks.
+    pub fn cpu_load(&self) -> usize {
+        self.cores.iter().map(|c| c.load()).sum()
+    }
+
+    fn default_affinity(&self, class: TaskClass) -> CoreMask {
+        match class {
+            TaskClass::Foreground => CoreMask::of(&self.spec.big_core_ids()),
+            _ => CoreMask::of(&(0..self.cores.len()).collect::<Vec<_>>()),
+        }
+    }
+
+    fn task_slot(&mut self, id: TaskId) -> usize {
+        let idx = id.0 as usize;
+        if self.tasks.len() <= idx {
+            self.tasks.resize_with(idx + 1, || None);
+        }
+        idx
+    }
+
+    /// Least-loaded eligible core, lowest index on ties.
+    fn place(&self, affinity: CoreMask) -> usize {
+        let mut best = None;
+        let mut best_load = usize::MAX;
+        for (i, core) in self.cores.iter().enumerate() {
+            if !affinity.allows(i) {
+                continue;
+            }
+            let load = core.load();
+            if load < best_load {
+                best_load = load;
+                best = Some(i);
+            }
+        }
+        best.expect("affinity mask excludes every core on this SoC")
+    }
+
+    fn enqueue(&mut self, core: usize, id: TaskId) {
+        // Kernel/driver work (ioctl handling, cache maintenance) jumps the
+        // queue, as softirq-style work does on a real kernel — this keeps
+        // offload round trips responsive even under CPU contention.
+        let is_kernel_work = self.tasks[id.0 as usize]
+            .as_ref()
+            .map(|t| t.class == TaskClass::KernelWork)
+            .unwrap_or(false);
+        if is_kernel_work {
+            self.cores[core].runq.push_front(id);
+        } else {
+            self.cores[core].runq.push_back(id);
+        }
+        if self.cores[core].running.is_none() {
+            self.dispatch_next(core);
+        }
+    }
+
+    pub(crate) fn dispatch_next(&mut self, core: usize) {
+        debug_assert!(self.cores[core].running.is_none());
+        let Some(id) = self.cores[core].runq.pop_front() else {
+            return;
+        };
+        let now = self.cal.now();
+        self.touch_thermal();
+
+        // Costs before useful work resumes.
+        let mut overhead = SimSpan::ZERO;
+        let switching = self.cores[core].last_task != Some(id);
+        if switching {
+            overhead += CONTEXT_SWITCH_COST;
+            self.stats_mut().context_switches += 1;
+            self.trace
+                .record(now, TraceResource::CpuCore(core as u8), TraceKind::ContextSwitch);
+        }
+
+        let (rate, slice, label, penalty) = {
+            let task = self.tasks[id.0 as usize]
+                .as_mut()
+                .expect("dispatching a completed task");
+            let penalty = std::mem::replace(&mut task.pending_penalty, SimSpan::ZERO);
+            let spec = &self.core_specs[core];
+            // Small per-slice rate jitter: DVFS settling, cache state,
+            // memory interference — the residual variability even quiet
+            // benchmarks exhibit (Fig. 11's tight-but-nonzero spread).
+            let rate = task.work_kind.rate_on(spec)
+                * self.thermal.freq_multiplier()
+                * self.rng.jitter(0.01);
+            let quantum = BASE_QUANTUM * task.class.weight();
+            let run_secs = (task.remaining / rate).max(0.0);
+            let slice = SimSpan::from_secs(run_secs).min(quantum).max(MIN_SLICE);
+            task.last_core = Some(core);
+            (rate, slice, task.name.clone(), penalty)
+        };
+        overhead += penalty;
+
+        let work_start = now + overhead;
+        let token = self.cal.schedule_at(work_start + slice);
+        self.events.insert(token, Ev::SliceEnd { core });
+        self.cores[core].running = Some(Running {
+            task: id,
+            work_start,
+            rate,
+        });
+        self.cores[core].last_task = Some(id);
+        self.busy_cores += 1;
+        self.trace.record(
+            now,
+            TraceResource::CpuCore(core as u8),
+            TraceKind::ExecStart {
+                task: id.0,
+                label: label.into(),
+            },
+        );
+    }
+
+    pub(crate) fn on_slice_end(&mut self, core: usize) {
+        let running = self.cores[core]
+            .running
+            .take()
+            .expect("slice end on an idle core");
+        let now = self.cal.now();
+        self.touch_thermal();
+        self.busy_cores -= 1;
+        let id = running.task;
+        self.trace.record(
+            now,
+            TraceResource::CpuCore(core as u8),
+            TraceKind::ExecEnd { task: id.0 },
+        );
+
+        let finished = {
+            let task = self.tasks[id.0 as usize]
+                .as_mut()
+                .expect("running task has no record");
+            let ran = now.since(running.work_start);
+            task.cpu_time += ran;
+            task.remaining -= ran.as_secs() * running.rate;
+            task.remaining <= WORK_EPSILON
+        };
+
+        if finished {
+            let cb = {
+                let task = self.tasks[id.0 as usize].as_mut().unwrap();
+                task.on_done.take()
+            };
+            self.tasks[id.0 as usize] = None;
+            self.stats_mut().tasks_completed += 1;
+            if let Some(cb) = cb {
+                cb(self);
+            }
+            if self.cores[core].running.is_none() {
+                self.dispatch_next(core);
+            }
+            self.steal_if_idle(core);
+            return;
+        }
+
+        // Not finished: wander, yield to waiting work, or keep running.
+        let wanders = self.tasks[id.0 as usize]
+            .as_ref()
+            .map(|t| t.class.wanders())
+            .unwrap_or(false);
+        if wanders && self.try_wander(core, id) {
+            if self.cores[core].running.is_none() {
+                self.dispatch_next(core);
+            }
+            return;
+        }
+        if self.cores[core].runq.is_empty() {
+            // Sole runnable task: next slice continues without switch cost.
+            self.cores[core].runq.push_back(id);
+            self.dispatch_next(core);
+        } else {
+            self.cores[core].runq.push_back(id);
+            self.dispatch_next(core);
+        }
+    }
+
+    /// Rebalances a wandering task to a random other eligible core.
+    fn try_wander(&mut self, from: usize, id: TaskId) -> bool {
+        let p = self.wander_probability;
+        if p <= 0.0 || !self.rng.chance(p) {
+            return false;
+        }
+        let affinity = match &self.tasks[id.0 as usize] {
+            Some(t) => t.affinity,
+            None => return false,
+        };
+        let candidates: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| c != from && affinity.allows(c))
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let to = *self.rng.pick(&candidates);
+        self.migrate(id, from, to);
+        true
+    }
+
+    fn migrate(&mut self, id: TaskId, from: usize, to: usize) {
+        let penalty = self.core_specs[to].migration_penalty;
+        if let Some(task) = self.tasks[id.0 as usize].as_mut() {
+            task.pending_penalty += penalty;
+        }
+        self.stats_mut().migrations += 1;
+        let now = self.cal.now();
+        self.trace.record(
+            now,
+            TraceResource::CpuCore(to as u8),
+            TraceKind::Migration {
+                task: id.0,
+                from: from as u8,
+                to: to as u8,
+            },
+        );
+        self.cores[to].runq.push_back(id);
+        if self.cores[to].running.is_none() {
+            self.dispatch_next(to);
+        }
+    }
+
+    /// When `core` idles, pull a waiting task from the most loaded core.
+    fn steal_if_idle(&mut self, core: usize) {
+        if self.cores[core].running.is_some() || !self.cores[core].runq.is_empty() {
+            return;
+        }
+        let mut victim: Option<(usize, usize)> = None; // (core, queue pos)
+        let mut victim_qlen = 0usize;
+        for (vc, state) in self.cores.iter().enumerate() {
+            if vc == core || state.runq.len() <= victim_qlen {
+                continue;
+            }
+            // Steal the first queued task whose affinity allows this core.
+            if let Some(pos) = state.runq.iter().position(|tid| {
+                self.tasks[tid.0 as usize]
+                    .as_ref()
+                    .map(|t| t.affinity.allows(core))
+                    .unwrap_or(false)
+            }) {
+                victim = Some((vc, pos));
+                victim_qlen = state.runq.len();
+            }
+        }
+        if let Some((vc, pos)) = victim {
+            let id = self.cores[vc].runq.remove(pos).expect("victim position valid");
+            self.migrate(id, vc, core);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Work;
+    use aitax_soc::{SocCatalog, SocId};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn machine() -> Machine {
+        Machine::new(SocCatalog::get(SocId::Sd845), 11)
+    }
+
+    /// SD845 big core peak fp32 rate.
+    const BIG_FLOPS: f64 = 2.8e9 * 8.0;
+
+    #[test]
+    fn single_task_latency_matches_rate() {
+        let mut m = machine();
+        let done = Rc::new(Cell::new(0.0));
+        let d = done.clone();
+        // 22.4 GFLOP/s → 224 MFLOP in 10 ms.
+        m.submit_cpu(
+            TaskSpec::foreground("t", Work::Fp32Flops(BIG_FLOPS * 0.01)),
+            move |mm| d.set(mm.now().as_ms()),
+        );
+        m.run_until_idle();
+        // One context switch plus slice rounding.
+        assert!((done.get() - 10.0).abs() < 0.1, "latency {}", done.get());
+    }
+
+    #[test]
+    fn four_tasks_fill_four_big_cores() {
+        let mut m = machine();
+        let done = Rc::new(Cell::new(0usize));
+        for i in 0..4 {
+            let d = done.clone();
+            m.submit_cpu(
+                TaskSpec::foreground(format!("t{i}"), Work::Fp32Flops(BIG_FLOPS * 0.01)),
+                move |_| d.set(d.get() + 1),
+            );
+        }
+        m.run_until_idle();
+        assert_eq!(done.get(), 4);
+        // Perfectly parallel: total ≈ 10 ms, not 40 ms.
+        assert!(m.now().as_ms() < 11.0, "end {}", m.now());
+    }
+
+    #[test]
+    fn oversubscription_time_slices_fairly() {
+        let mut m = machine();
+        // 8 foreground tasks on 4 big cores → ~2× the solo time each.
+        let times: Rc<std::cell::RefCell<Vec<f64>>> = Rc::default();
+        for i in 0..8 {
+            let t = times.clone();
+            m.submit_cpu(
+                TaskSpec::foreground(format!("t{i}"), Work::Fp32Flops(BIG_FLOPS * 0.02)),
+                move |mm| t.borrow_mut().push(mm.now().as_ms()),
+            );
+        }
+        m.run_until_idle();
+        let times = times.borrow();
+        let last = times.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (38.0..46.0).contains(&last),
+            "8×20ms of work on 4 cores should finish near 40ms, got {last}"
+        );
+        // Fairness: all completions within ~1 quantum of each other.
+        let first = times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(last - first < 12.0, "spread {}", last - first);
+        assert!(m.stats().context_switches > 8);
+    }
+
+    #[test]
+    fn parallel_gang_joins_once() {
+        let mut m = machine();
+        let joined = Rc::new(Cell::new(0));
+        let j = joined.clone();
+        let specs = (0..4)
+            .map(|i| TaskSpec::foreground(format!("g{i}"), Work::Fp32Flops(1e6)))
+            .collect();
+        m.submit_cpu_parallel(specs, move |_| j.set(j.get() + 1));
+        m.run_until_idle();
+        assert_eq!(joined.get(), 1);
+    }
+
+    #[test]
+    fn background_tasks_may_use_little_cores() {
+        let mut m = machine();
+        m.set_tracing(true);
+        for i in 0..8 {
+            m.submit_cpu(
+                TaskSpec::background(format!("bg{i}"), Work::Cycles(1e6)),
+                |_| {},
+            );
+        }
+        m.run_until_idle();
+        let used: std::collections::HashSet<_> = m
+            .trace
+            .exec_intervals()
+            .iter()
+            .map(|iv| iv.resource)
+            .collect();
+        assert!(used.len() >= 8, "8 tasks spread over all 8 cores: {used:?}");
+    }
+
+    #[test]
+    fn foreground_sticks_to_big_cores() {
+        let mut m = machine();
+        m.set_tracing(true);
+        for i in 0..4 {
+            m.submit_cpu(
+                TaskSpec::foreground(format!("fg{i}"), Work::Fp32Flops(1e8)),
+                |_| {},
+            );
+        }
+        m.run_until_idle();
+        for iv in m.trace.exec_intervals() {
+            if let aitax_des::trace::TraceResource::CpuCore(c) = iv.resource {
+                assert!(c < 4, "foreground task ran on little core {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wandering_tasks_migrate() {
+        let mut m = machine();
+        // A long NNAPI-fallback task with plenty of slice boundaries.
+        m.submit_cpu(
+            TaskSpec::nnapi_fallback("fallback", Work::Fp32Flops(BIG_FLOPS * 0.5)),
+            |_| {},
+        );
+        m.run_until_idle();
+        assert!(
+            m.stats().migrations > 3,
+            "wandering task should migrate, saw {}",
+            m.stats().migrations
+        );
+    }
+
+    #[test]
+    fn migrations_slow_the_wanderer_down() {
+        // Same work as foreground vs NNAPI-fallback class.
+        let work = Work::Fp32Flops(BIG_FLOPS * 0.1);
+        let mut fg = machine();
+        fg.submit_cpu(TaskSpec::foreground("fg", work), |_| {});
+        fg.run_until_idle();
+        let fg_time = fg.now();
+
+        let mut nn = machine();
+        nn.submit_cpu(TaskSpec::nnapi_fallback("nn", work), |_| {});
+        nn.run_until_idle();
+        let nn_time = nn.now();
+        assert!(
+            nn_time > fg_time,
+            "fallback ({nn_time}) should be slower than pinned foreground ({fg_time})"
+        );
+    }
+
+    #[test]
+    fn idle_steal_balances_queues() {
+        let mut m = machine();
+        // Pin 3 tasks to core 0; other cores should steal.
+        for i in 0..3 {
+            m.submit_cpu(
+                TaskSpec::foreground(format!("p{i}"), Work::Fp32Flops(BIG_FLOPS * 0.01))
+                    .with_affinity(CoreMask::of(&[0, 1])),
+                |_| {},
+            );
+        }
+        m.run_until_idle();
+        // With stealing, 3×10ms over 2 cores ≲ 21ms; without, 30ms.
+        assert!(m.now().as_ms() < 25.0, "end {}", m.now());
+        assert!(m.stats().migrations >= 1);
+    }
+
+    #[test]
+    fn work_conservation_no_lost_tasks() {
+        let mut m = machine();
+        let count = Rc::new(Cell::new(0));
+        for i in 0..50 {
+            let c = count.clone();
+            let spec = match i % 3 {
+                0 => TaskSpec::foreground(format!("t{i}"), Work::Fp32Flops(1e7)),
+                1 => TaskSpec::background(format!("t{i}"), Work::Cycles(1e6)),
+                _ => TaskSpec::nnapi_fallback(format!("t{i}"), Work::Int8Ops(1e7)),
+            };
+            m.submit_cpu(spec, move |_| c.set(c.get() + 1));
+        }
+        m.run_until_idle();
+        assert_eq!(count.get(), 50);
+        assert_eq!(m.stats().tasks_completed, 50);
+        assert_eq!(m.cpu_load(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the machine: scheduler conservation, FastRPC
+//! structure and timing monotonicity.
+
+use aitax_des::SimSpan;
+use aitax_kernel::{CoreMask, Machine, RpcDevice, RpcInvoke, TaskSpec, Work};
+use aitax_soc::{SocCatalog, SocId};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn machine(seed: u64) -> Machine {
+    Machine::new(SocCatalog::get(SocId::Sd845), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No task is lost or duplicated, no core is left running, and the
+    /// clock advances whenever work was submitted.
+    #[test]
+    fn no_lost_work(
+        seed in any::<u64>(),
+        jobs in prop::collection::vec((1u64..100, 0u8..4), 1..40),
+    ) {
+        let mut m = machine(seed);
+        let done = Rc::new(Cell::new(0usize));
+        for (units, class) in &jobs {
+            let work = match class % 2 {
+                0 => Work::Fp32Flops(*units as f64 * 1e6),
+                _ => Work::Cycles(*units as f64 * 1e5),
+            };
+            let spec = match class {
+                0 => TaskSpec::foreground("t", work),
+                1 => TaskSpec::background("t", work),
+                2 => TaskSpec::kernel("t", work),
+                _ => TaskSpec::nnapi_fallback("t", work),
+            };
+            let d = done.clone();
+            m.submit_cpu(spec, move |_| d.set(d.get() + 1));
+        }
+        m.run_until_idle();
+        prop_assert_eq!(done.get(), jobs.len());
+        prop_assert_eq!(m.cpu_load(), 0);
+        prop_assert!(m.now().as_ns() > 0);
+    }
+
+    /// Fork-join gangs complete exactly once, regardless of shape.
+    #[test]
+    fn parallel_join_fires_once(seed in any::<u64>(), width in 1usize..12, units in 1u64..50) {
+        let mut m = machine(seed);
+        let joined = Rc::new(Cell::new(0usize));
+        let j = joined.clone();
+        let specs = (0..width)
+            .map(|i| TaskSpec::foreground(format!("g{i}"), Work::Fp32Flops(units as f64 * 1e6)))
+            .collect();
+        m.submit_cpu_parallel(specs, move |_| j.set(j.get() + 1));
+        m.run_until_idle();
+        prop_assert_eq!(joined.get(), 1);
+    }
+
+    /// More work on a pinned core never finishes sooner (monotonicity).
+    #[test]
+    fn pinned_work_is_monotone(base in 1u64..60) {
+        let time_for = |mflops: u64| {
+            let mut m = machine(7);
+            m.submit_cpu(
+                TaskSpec::foreground("t", Work::Fp32Flops(mflops as f64 * 1e6))
+                    .with_affinity(CoreMask::of(&[0])),
+                |_| {},
+            );
+            m.run_until_idle();
+            m.now()
+        };
+        prop_assert!(time_for(base * 2) > time_for(base));
+    }
+
+    /// FastRPC latency grows with payload size and DSP work, and the
+    /// session is mapped exactly once.
+    #[test]
+    fn rpc_monotone_in_inputs(bytes in 1u64..4_000_000, work_us in 1.0f64..20_000.0) {
+        let run = |bytes: u64, work_us: f64| {
+            let mut m = machine(3);
+            // Warm the session first.
+            m.fastrpc_invoke(
+                RpcInvoke {
+                    label: "warm".into(),
+                    in_bytes: 16,
+                    out_bytes: 16,
+                    dsp_work: SimSpan::from_us(1.0),
+                    device: RpcDevice::Dsp,
+                },
+                |_| {},
+            );
+            m.run_until_idle();
+            let t0 = m.now();
+            let done = Rc::new(Cell::new(SimSpan::ZERO));
+            let d = done.clone();
+            m.fastrpc_invoke(
+                RpcInvoke {
+                    label: "x".into(),
+                    in_bytes: bytes,
+                    out_bytes: 64,
+                    dsp_work: SimSpan::from_us(work_us),
+                    device: RpcDevice::Dsp,
+                },
+                move |mm| d.set(mm.now() - t0),
+            );
+            m.run_until_idle();
+            prop_assert!(mm_session(&m));
+            Ok(done.get())
+        };
+        fn mm_session(m: &Machine) -> bool {
+            m.dsp_session_mapped()
+        }
+        let small = run(bytes, work_us)?;
+        let bigger_payload = run(bytes * 2, work_us)?;
+        let more_work = run(bytes, work_us * 2.0)?;
+        prop_assert!(bigger_payload >= small);
+        prop_assert!(more_work > small);
+        // Total latency always exceeds the pure DSP work.
+        prop_assert!(small > SimSpan::from_us(work_us));
+    }
+
+    /// Timers fire at exactly the requested instants, in order.
+    #[test]
+    fn timers_are_exact(delays in prop::collection::vec(1u64..10_000_000u64, 1..30)) {
+        let mut m = machine(1);
+        let fired: Rc<std::cell::RefCell<Vec<u64>>> = Rc::default();
+        for &d in &delays {
+            let f = fired.clone();
+            m.after(SimSpan::from_ns(d), move |mm| {
+                f.borrow_mut().push(mm.now().as_ns());
+            });
+        }
+        m.run_until_idle();
+        let mut expect = delays.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&*fired.borrow(), &expect);
+    }
+}

@@ -1,0 +1,447 @@
+//! The operator vocabulary.
+
+use std::fmt;
+
+/// A neural-network operator with enough shape information for analytic
+/// cost accounting.
+///
+/// Spatial operators assume NHWC layout and `same` padding (output spatial
+/// size = ceil(in/stride)), which matches the mobile architectures in the
+/// zoo closely enough for MAC accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Depthwise 2-D convolution.
+    DepthwiseConv2d {
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Channels (multiplier 1).
+        c: usize,
+        /// Square kernel side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Fully-connected / dense layer.
+    FullyConnected {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Channels.
+        c: usize,
+        /// Square window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Channels.
+        c: usize,
+        /// Square window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Softmax over `n` values.
+    Softmax {
+        /// Element count.
+        n: usize,
+    },
+    /// Elementwise residual addition.
+    Add {
+        /// Element count.
+        elements: usize,
+    },
+    /// Channel concatenation (copy cost only).
+    Concat {
+        /// Element count of the result.
+        elements: usize,
+    },
+    /// Standalone activation (ReLU/ReLU6/sigmoid/swish).
+    Activation {
+        /// Element count.
+        elements: usize,
+    },
+    /// Shape change (copy/bookkeeping).
+    Reshape {
+        /// Element count.
+        elements: usize,
+    },
+    /// In-graph bilinear resize (DeepLab decoder).
+    ResizeBilinear {
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+        /// Channels.
+        c: usize,
+    },
+    /// General matrix multiply `m×k · k×n` (transformers).
+    MatMul {
+        /// Rows of the left operand.
+        m: usize,
+        /// Shared dimension.
+        k: usize,
+        /// Columns of the right operand.
+        n: usize,
+        /// Whether the right operand is a trained weight (counts as
+        /// parameters) or an activation (attention scores).
+        weights: bool,
+    },
+    /// Layer normalization.
+    LayerNorm {
+        /// Element count.
+        elements: usize,
+    },
+    /// Token embedding lookup.
+    Embedding {
+        /// Sequence length.
+        tokens: usize,
+        /// Embedding dimension.
+        dim: usize,
+        /// Vocabulary size (parameters).
+        vocab: usize,
+    },
+    /// Fused SSD detection post-processing op (TFLite's custom op).
+    DetectionPostProcess {
+        /// Number of anchors.
+        anchors: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Global spatial mean (global average pool).
+    Mean {
+        /// Input element count.
+        elements: usize,
+    },
+}
+
+/// Operator kind without shape parameters — the key NNAPI vendor drivers
+/// declare support against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    AvgPool,
+    MaxPool,
+    Softmax,
+    Add,
+    Concat,
+    Activation,
+    Reshape,
+    ResizeBilinear,
+    MatMul,
+    LayerNorm,
+    Embedding,
+    DetectionPostProcess,
+    Mean,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn out_spatial(in_dim: usize, stride: usize) -> usize {
+    in_dim.div_ceil(stride)
+}
+
+impl Op {
+    /// The shape-free operator kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Conv2d { .. } => OpKind::Conv2d,
+            Op::DepthwiseConv2d { .. } => OpKind::DepthwiseConv2d,
+            Op::FullyConnected { .. } => OpKind::FullyConnected,
+            Op::AvgPool { .. } => OpKind::AvgPool,
+            Op::MaxPool { .. } => OpKind::MaxPool,
+            Op::Softmax { .. } => OpKind::Softmax,
+            Op::Add { .. } => OpKind::Add,
+            Op::Concat { .. } => OpKind::Concat,
+            Op::Activation { .. } => OpKind::Activation,
+            Op::Reshape { .. } => OpKind::Reshape,
+            Op::ResizeBilinear { .. } => OpKind::ResizeBilinear,
+            Op::MatMul { .. } => OpKind::MatMul,
+            Op::LayerNorm { .. } => OpKind::LayerNorm,
+            Op::Embedding { .. } => OpKind::Embedding,
+            Op::DetectionPostProcess { .. } => OpKind::DetectionPostProcess,
+            Op::Mean { .. } => OpKind::Mean,
+        }
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Op::Conv2d {
+                in_h,
+                in_w,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => {
+                let oh = out_spatial(in_h, stride) as u64;
+                let ow = out_spatial(in_w, stride) as u64;
+                oh * ow * (out_c as u64) * (in_c as u64) * (k as u64) * (k as u64)
+            }
+            Op::DepthwiseConv2d {
+                in_h,
+                in_w,
+                c,
+                k,
+                stride,
+            } => {
+                let oh = out_spatial(in_h, stride) as u64;
+                let ow = out_spatial(in_w, stride) as u64;
+                oh * ow * (c as u64) * (k as u64) * (k as u64)
+            }
+            Op::FullyConnected {
+                in_features,
+                out_features,
+            } => (in_features as u64) * (out_features as u64),
+            Op::AvgPool {
+                in_h,
+                in_w,
+                c,
+                k,
+                stride,
+            }
+            | Op::MaxPool {
+                in_h,
+                in_w,
+                c,
+                k,
+                stride,
+            } => {
+                let oh = out_spatial(in_h, stride) as u64;
+                let ow = out_spatial(in_w, stride) as u64;
+                // Comparisons/adds counted as one "mac" per window element.
+                oh * ow * (c as u64) * (k as u64) * (k as u64)
+            }
+            Op::Softmax { n } => 4 * n as u64,
+            Op::Add { elements } | Op::Activation { elements } => elements as u64,
+            Op::Concat { elements } | Op::Reshape { elements } => (elements as u64) / 2,
+            Op::ResizeBilinear { out_h, out_w, c } => {
+                // 4 taps × interpolation per output element.
+                8 * (out_h as u64) * (out_w as u64) * (c as u64)
+            }
+            Op::MatMul { m, k, n, .. } => (m as u64) * (k as u64) * (n as u64),
+            Op::LayerNorm { elements } => 6 * elements as u64,
+            Op::Embedding { tokens, dim, .. } => (tokens as u64) * (dim as u64),
+            Op::DetectionPostProcess { anchors, classes } => {
+                90 * (anchors as u64) + 10 * (anchors as u64) * (classes as u64)
+            }
+            Op::Mean { elements } => elements as u64,
+        }
+    }
+
+    /// Trained parameter count (weights + biases).
+    pub fn params(&self) -> u64 {
+        match *self {
+            Op::Conv2d {
+                in_c, out_c, k, ..
+            } => (in_c as u64) * (out_c as u64) * (k as u64) * (k as u64) + out_c as u64,
+            Op::DepthwiseConv2d { c, k, .. } => (c as u64) * (k as u64) * (k as u64) + c as u64,
+            Op::FullyConnected {
+                in_features,
+                out_features,
+            } => (in_features as u64) * (out_features as u64) + out_features as u64,
+            Op::MatMul { k, n, weights, .. } => {
+                if weights {
+                    (k as u64) * (n as u64)
+                } else {
+                    0
+                }
+            }
+            Op::LayerNorm { elements } => 2 * (elements as u64).min(4096),
+            Op::Embedding { dim, vocab, .. } => (vocab as u64) * (dim as u64),
+            _ => 0,
+        }
+    }
+
+    /// Output activation element count.
+    pub fn output_elements(&self) -> u64 {
+        match *self {
+            Op::Conv2d {
+                in_h,
+                in_w,
+                out_c,
+                stride,
+                ..
+            } => (out_spatial(in_h, stride) * out_spatial(in_w, stride) * out_c) as u64,
+            Op::DepthwiseConv2d {
+                in_h,
+                in_w,
+                c,
+                stride,
+                ..
+            } => (out_spatial(in_h, stride) * out_spatial(in_w, stride) * c) as u64,
+            Op::FullyConnected { out_features, .. } => out_features as u64,
+            Op::AvgPool {
+                in_h,
+                in_w,
+                c,
+                stride,
+                ..
+            }
+            | Op::MaxPool {
+                in_h,
+                in_w,
+                c,
+                stride,
+                ..
+            } => (out_spatial(in_h, stride) * out_spatial(in_w, stride) * c) as u64,
+            Op::Softmax { n } => n as u64,
+            Op::Add { elements }
+            | Op::Concat { elements }
+            | Op::Activation { elements }
+            | Op::Reshape { elements }
+            | Op::LayerNorm { elements } => elements as u64,
+            Op::ResizeBilinear { out_h, out_w, c } => (out_h * out_w * c) as u64,
+            Op::MatMul { m, n, .. } => (m * n) as u64,
+            Op::Embedding { tokens, dim, .. } => (tokens * dim) as u64,
+            Op::DetectionPostProcess { anchors, .. } => (anchors.min(100) * 6) as u64,
+            Op::Mean { elements } => ((elements / 49).max(1)) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_formula() {
+        // 224×224×3 → 112×112×32, 3×3 stride 2.
+        let op = Op::Conv2d {
+            in_h: 224,
+            in_w: 224,
+            in_c: 3,
+            out_c: 32,
+            k: 3,
+            stride: 2,
+        };
+        assert_eq!(op.macs(), 112 * 112 * 32 * 3 * 9);
+        assert_eq!(op.params(), 3 * 32 * 9 + 32);
+        assert_eq!(op.output_elements(), 112 * 112 * 32);
+        assert_eq!(op.kind(), OpKind::Conv2d);
+    }
+
+    #[test]
+    fn depthwise_is_cheaper_than_full_conv() {
+        let dw = Op::DepthwiseConv2d {
+            in_h: 112,
+            in_w: 112,
+            c: 64,
+            k: 3,
+            stride: 1,
+        };
+        let full = Op::Conv2d {
+            in_h: 112,
+            in_w: 112,
+            in_c: 64,
+            out_c: 64,
+            k: 3,
+            stride: 1,
+        };
+        assert_eq!(full.macs() / dw.macs(), 64);
+    }
+
+    #[test]
+    fn fc_macs_and_params() {
+        let op = Op::FullyConnected {
+            in_features: 1024,
+            out_features: 1000,
+        };
+        assert_eq!(op.macs(), 1024 * 1000);
+        assert_eq!(op.params(), 1024 * 1000 + 1000);
+        assert_eq!(op.output_elements(), 1000);
+    }
+
+    #[test]
+    fn matmul_weight_flag_controls_params() {
+        let w = Op::MatMul {
+            m: 384,
+            k: 512,
+            n: 512,
+            weights: true,
+        };
+        let a = Op::MatMul {
+            m: 384,
+            k: 512,
+            n: 512,
+            weights: false,
+        };
+        assert_eq!(w.macs(), a.macs());
+        assert_eq!(w.params(), 512 * 512);
+        assert_eq!(a.params(), 0);
+    }
+
+    #[test]
+    fn same_padding_spatial_math() {
+        // 7 / stride 2 → 4 (ceil).
+        let op = Op::MaxPool {
+            in_h: 7,
+            in_w: 7,
+            c: 8,
+            k: 2,
+            stride: 2,
+        };
+        assert_eq!(op.output_elements(), 4 * 4 * 8);
+    }
+
+    #[test]
+    fn elementwise_ops_have_no_params() {
+        for op in [
+            Op::Add { elements: 100 },
+            Op::Softmax { n: 10 },
+            Op::Activation { elements: 50 },
+            Op::Mean { elements: 49 * 1024 },
+        ] {
+            assert_eq!(op.params(), 0, "{:?}", op.kind());
+        }
+    }
+
+    #[test]
+    fn embedding_params_scale_with_vocab() {
+        let op = Op::Embedding {
+            tokens: 384,
+            dim: 128,
+            vocab: 30522,
+        };
+        assert_eq!(op.params(), 30522 * 128);
+        assert_eq!(op.output_elements(), 384 * 128);
+    }
+}

@@ -1,0 +1,271 @@
+//! Image buffer types: the raw camera format and the bitmap format.
+
+/// A camera frame in Android's YUV NV21 format (paper §II-B, "Bitmap
+/// formatting": "retrieve a camera frame in the YUV NV21 format using the
+/// Android Camera API").
+///
+/// NV21 stores a full-resolution Y (luma) plane followed by an interleaved
+/// VU plane at quarter resolution (2×2 subsampling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YuvNv21Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl YuvNv21Image {
+    /// Wraps raw NV21 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or odd (NV21 requires even spatial
+    /// dimensions), or if `data` is not exactly `w*h + 2*(w/2)*(h/2)`
+    /// bytes.
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert!(
+            width % 2 == 0 && height % 2 == 0,
+            "NV21 requires even dimensions, got {width}x{height}"
+        );
+        let expected = width * height + 2 * (width / 2) * (height / 2);
+        assert_eq!(
+            data.len(),
+            expected,
+            "NV21 {width}x{height} needs {expected} bytes"
+        );
+        YuvNv21Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Generates a deterministic synthetic frame: smooth luma gradients
+    /// with a seed-positioned bright blob and mild chroma variation, so
+    /// pre-processing exercises non-trivial pixel values.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        assert!(width % 2 == 0 && height % 2 == 0, "NV21 requires even dims");
+        let mut data = vec![0u8; width * height + 2 * (width / 2) * (height / 2)];
+        let bx = (seed as usize * 37) % width;
+        let by = (seed as usize * 61) % height;
+        for y in 0..height {
+            for x in 0..width {
+                let grad = (255 * x / width.max(1)) as i32;
+                let dy = y as i32 - by as i32;
+                let dx = x as i32 - bx as i32;
+                let d2 = dx * dx + dy * dy;
+                let blob = if d2 < 400 { 80 - d2 / 6 } else { 0 };
+                data[y * width + x] = (grad / 2 + 64 + blob).clamp(0, 255) as u8;
+            }
+        }
+        let chroma_base = width * height;
+        for cy in 0..height / 2 {
+            for cx in 0..width / 2 {
+                let idx = chroma_base + (cy * (width / 2) + cx) * 2;
+                data[idx] = (128 + ((cx * 31 + seed as usize) % 64) as i32 - 32) as u8; // V
+                data[idx + 1] = (128 + ((cy * 17) % 48) as i32 - 24) as u8; // U
+            }
+        }
+        YuvNv21Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw NV21 bytes (Y plane then interleaved VU).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Luma at a pixel.
+    pub fn luma(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// (V, U) chroma pair covering a pixel.
+    pub fn chroma(&self, x: usize, y: usize) -> (u8, u8) {
+        let base = self.width * self.height;
+        let idx = base + ((y / 2) * (self.width / 2) + x / 2) * 2;
+        (self.data[idx], self.data[idx + 1])
+    }
+
+    /// Total payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A bitmap in ARGB8888 layout — the format TensorFlow-based Android apps
+/// convert camera frames into (§II-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgbImage {
+    width: usize,
+    height: usize,
+    /// Packed 0xAARRGGBB pixels, row-major.
+    data: Vec<u32>,
+}
+
+impl ArgbImage {
+    /// Creates a black, fully-opaque image.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        ArgbImage {
+            width,
+            height,
+            data: vec![0xFF00_0000; width * height],
+        }
+    }
+
+    /// Wraps packed pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        ArgbImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Packed pixels, row-major.
+    pub fn pixels(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Mutable packed pixels.
+    pub fn pixels_mut(&mut self) -> &mut [u32] {
+        &mut self.data
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, argb: u32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = argb;
+    }
+
+    /// Splits a packed pixel into `(a, r, g, b)`.
+    pub fn unpack(argb: u32) -> (u8, u8, u8, u8) {
+        (
+            (argb >> 24) as u8,
+            (argb >> 16) as u8,
+            (argb >> 8) as u8,
+            argb as u8,
+        )
+    }
+
+    /// Packs `(a, r, g, b)` into a pixel.
+    pub fn pack(a: u8, r: u8, g: u8, b: u8) -> u32 {
+        (a as u32) << 24 | (r as u32) << 16 | (g as u32) << 8 | b as u32
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nv21_layout_size() {
+        let img = YuvNv21Image::synthetic(64, 48, 1);
+        assert_eq!(img.byte_len(), 64 * 48 * 3 / 2);
+        assert_eq!(img.width(), 64);
+        assert_eq!(img.height(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_nv21_dims_rejected() {
+        YuvNv21Image::new(63, 48, vec![0; 63 * 48 * 3 / 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes")]
+    fn wrong_nv21_payload_rejected() {
+        YuvNv21Image::new(64, 48, vec![0; 10]);
+    }
+
+    #[test]
+    fn synthetic_frames_are_deterministic_and_varied() {
+        let a = YuvNv21Image::synthetic(64, 48, 9);
+        let b = YuvNv21Image::synthetic(64, 48, 9);
+        let c = YuvNv21Image::synthetic(64, 48, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Not a constant image.
+        let min = a.bytes().iter().min().unwrap();
+        let max = a.bytes().iter().max().unwrap();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn chroma_subsampling_shares_2x2_blocks() {
+        let img = YuvNv21Image::synthetic(8, 8, 3);
+        assert_eq!(img.chroma(0, 0), img.chroma(1, 1));
+        assert_eq!(img.chroma(4, 6), img.chroma(5, 7));
+    }
+
+    #[test]
+    fn argb_pack_unpack_round_trip() {
+        let px = ArgbImage::pack(0xFF, 0x12, 0x34, 0x56);
+        assert_eq!(px, 0xFF12_3456);
+        assert_eq!(ArgbImage::unpack(px), (0xFF, 0x12, 0x34, 0x56));
+    }
+
+    #[test]
+    fn argb_get_set() {
+        let mut img = ArgbImage::new(4, 3);
+        img.set(2, 1, 0xFFAB_CDEF);
+        assert_eq!(img.get(2, 1), 0xFFAB_CDEF);
+        assert_eq!(img.get(0, 0), 0xFF00_0000);
+        assert_eq!(img.byte_len(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn argb_oob_panics() {
+        ArgbImage::new(2, 2).get(2, 0);
+    }
+}

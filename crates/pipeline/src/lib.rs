@@ -1,0 +1,35 @@
+//! Real pre-/post-processing algorithms for mobile ML pipelines.
+//!
+//! Section II of the paper walks through every algorithmic stage that wraps
+//! model execution: bitmap formatting (YUV NV21 → ARGB8888), scale/crop,
+//! normalization, rotation, type conversion, and the task-specific
+//! post-processing (topK, dequantization, mask flattening, keypoint
+//! decoding, box decoding, tokenization). This crate implements each of
+//! them **for real**, operating on actual pixel buffers — they are the code
+//! paths the paper's "AI tax: Algorithms" category measures — plus a
+//! calibrated [`cost`] model that maps the work they perform onto the
+//! simulated timeline (native code vs. the managed Java/JNI path real
+//! Android apps take).
+//!
+//! # Example: the classification pre-processing chain
+//!
+//! ```
+//! use aitax_pipeline::image::YuvNv21Image;
+//! use aitax_pipeline::preprocess;
+//!
+//! // A 64×48 camera frame (any content).
+//! let frame = YuvNv21Image::synthetic(64, 48, 7);
+//! let argb = preprocess::nv21_to_argb(&frame);
+//! let cropped = preprocess::center_crop(&argb, 40, 40);
+//! let scaled = preprocess::resize_bilinear(&cropped, 24, 24);
+//! let tensor = preprocess::normalize_to_tensor(&scaled, 127.5, 127.5);
+//! assert_eq!(tensor.shape().dims(), &[1, 24, 24, 3]);
+//! ```
+
+pub mod cost;
+pub mod image;
+pub mod post;
+pub mod preprocess;
+
+pub use cost::{CostModel, PixelOp, RuntimeKind};
+pub use image::{ArgbImage, YuvNv21Image};

@@ -1,0 +1,20 @@
+//! Post-processing algorithms (paper §II-E).
+//!
+//! "Post-processing refers to the remaining computations on the model's
+//! outputs before presenting them to the user. As with pre-processing
+//! algorithms, the details are task-dependent." One module per Table I
+//! post-processing task:
+//!
+//! * [`topk`] — classification (`topK`, dequantization),
+//! * [`detection`] — SSD box decoding + non-maximum suppression and the
+//!   bounding-box tracking dashcam-style apps run per frame,
+//! * [`keypoints`] — PoseNet heatmap/offset decoding ("an application
+//!   using PoseNet must map the detected key points to the image"),
+//! * [`segmentation`] — DeepLab mask flattening,
+//! * [`nlp`] — MobileBERT WordPiece tokenization and logit handling.
+
+pub mod detection;
+pub mod keypoints;
+pub mod nlp;
+pub mod segmentation;
+pub mod topk;

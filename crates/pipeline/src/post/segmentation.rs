@@ -1,0 +1,165 @@
+//! Image-segmentation post-processing: mask flattening.
+//!
+//! DeepLab-v3 emits per-pixel class logits `[H × W × num_classes]`; the
+//! app flattens them to a class-index mask and a color overlay (Table I
+//! lists "mask flattening" as DeepLab's post-processing task; §IV-A notes
+//! segmentation "require[s] more intensive data processing on the model
+//! output").
+
+/// A flattened segmentation mask: one class index per pixel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentationMask {
+    width: usize,
+    height: usize,
+    classes: Vec<u16>,
+}
+
+impl SegmentationMask {
+    /// Mask width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Per-pixel class indices, row-major.
+    pub fn classes(&self) -> &[u16] {
+        &self.classes
+    }
+
+    /// Class at a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn class_at(&self, x: usize, y: usize) -> u16 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.classes[y * self.width + x]
+    }
+
+    /// Histogram of class occurrence (class index → pixel count), sorted
+    /// by descending count — the "{people, forest, person, lamps, ...}"
+    /// summary in the paper's Fig. 2.
+    pub fn class_histogram(&self) -> Vec<(u16, usize)> {
+        let mut counts = std::collections::HashMap::new();
+        for &c in &self.classes {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        let mut v: Vec<(u16, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Flattens per-pixel logits `[h × w × num_classes]` to an argmax mask.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != h * w * num_classes` or `num_classes == 0`.
+pub fn flatten_mask(logits: &[f32], h: usize, w: usize, num_classes: usize) -> SegmentationMask {
+    assert!(num_classes > 0, "need at least one class");
+    assert_eq!(logits.len(), h * w * num_classes, "logit tensor length");
+    let mut classes = Vec::with_capacity(h * w);
+    for px in 0..h * w {
+        let base = px * num_classes;
+        let mut best = 0usize;
+        let mut best_v = logits[base];
+        for c in 1..num_classes {
+            let v = logits[base + c];
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        classes.push(best as u16);
+    }
+    SegmentationMask {
+        width: w,
+        height: h,
+        classes,
+    }
+}
+
+/// Renders a mask to packed ARGB pixels with a deterministic palette —
+/// the overlay composition step segmentation apps run per frame.
+pub fn colorize_mask(mask: &SegmentationMask, alpha: u8) -> Vec<u32> {
+    mask.classes()
+        .iter()
+        .map(|&c| {
+            let r = (c.wrapping_mul(97) % 256) as u32;
+            let g = (c.wrapping_mul(53).wrapping_add(80) % 256) as u32;
+            let b = (c.wrapping_mul(29).wrapping_add(160) % 256) as u32;
+            (alpha as u32) << 24 | r << 16 | g << 8 | b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_picks_argmax_per_pixel() {
+        // 1×2 image, 3 classes.
+        let logits = vec![
+            0.1, 0.9, 0.0, // pixel 0 → class 1
+            0.5, 0.2, 0.7, // pixel 1 → class 2
+        ];
+        let mask = flatten_mask(&logits, 1, 2, 3);
+        assert_eq!(mask.classes(), &[1, 2]);
+        assert_eq!(mask.class_at(0, 0), 1);
+        assert_eq!(mask.class_at(1, 0), 2);
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_class() {
+        let logits = vec![0.5, 0.5];
+        let mask = flatten_mask(&logits, 1, 1, 2);
+        assert_eq!(mask.classes(), &[0]);
+    }
+
+    #[test]
+    fn histogram_sorts_by_count() {
+        let logits = vec![
+            1.0, 0.0, // class 0
+            1.0, 0.0, // class 0
+            0.0, 1.0, // class 1
+        ];
+        let mask = flatten_mask(&logits, 1, 3, 2);
+        assert_eq!(mask.class_histogram(), vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn colorize_is_deterministic_and_alpha_respected() {
+        let logits = vec![1.0, 0.0, 0.0, 1.0];
+        let mask = flatten_mask(&logits, 1, 2, 2);
+        let px = colorize_mask(&mask, 0x80);
+        assert_eq!(px.len(), 2);
+        assert!(px.iter().all(|p| p >> 24 == 0x80));
+        assert_ne!(px[0], px[1]);
+        assert_eq!(px, colorize_mask(&mask, 0x80));
+    }
+
+    #[test]
+    #[should_panic(expected = "logit tensor length")]
+    fn wrong_length_panics() {
+        flatten_mask(&[0.0; 5], 1, 2, 3);
+    }
+
+    #[test]
+    fn deeplab_scale_mask() {
+        // DeepLab-v3 emits 513×513×21 — make sure the full-size path works.
+        let (h, w, c) = (65, 65, 21); // scaled-down but same structure
+        let mut logits = vec![0.0f32; h * w * c];
+        for px in 0..h * w {
+            logits[px * c + (px % c)] = 1.0;
+        }
+        let mask = flatten_mask(&logits, h, w, c);
+        assert_eq!(mask.classes().len(), h * w);
+        assert_eq!(mask.class_at(0, 0), 0);
+        assert_eq!(mask.class_at(1, 0), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Classification post-processing: softmax scores → top-K labels.
+//!
+//! "The outputs of a model are sorted by the likelihood of labels, and so
+//! choosing topK elements is simply an array slice operation" once sorted
+//! (§II-E). For quantized models a dequantization pass precedes the
+//! selection (the tasks marked "*" in Table I).
+
+use aitax_tensor::{Tensor, TensorError};
+
+/// One classification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScore {
+    /// Index into the label file.
+    pub class: usize,
+    /// Score (probability or logit, as the model emits).
+    pub score: f32,
+}
+
+/// Selects the `k` highest-scoring classes from a score slice, in
+/// descending score order (ties broken by lower class index).
+pub fn top_k(scores: &[f32], k: usize) -> Vec<ClassScore> {
+    let mut indexed: Vec<ClassScore> = scores
+        .iter()
+        .enumerate()
+        .map(|(class, &score)| ClassScore { class, score })
+        .collect();
+    indexed.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.class.cmp(&b.class))
+    });
+    indexed.truncate(k);
+    indexed
+}
+
+/// Dequantizes a quantized score tensor and selects top-K — the combined
+/// post-processing chain of quantized classifiers.
+///
+/// # Errors
+///
+/// Returns an error if the tensor is not I8 or lacks quantization
+/// parameters.
+pub fn top_k_quantized(scores: &Tensor, k: usize) -> Result<Vec<ClassScore>, TensorError> {
+    let deq = scores.dequantize()?;
+    Ok(top_k(deq.as_f32()?, k))
+}
+
+/// In-place softmax (used when a model emits raw logits).
+pub fn softmax(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in logits.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitax_tensor::QuantParams;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1, 0.7, 0.05, 0.15];
+        let top = top_k(&scores, 3);
+        assert_eq!(top[0].class, 1);
+        assert_eq!(top[1].class, 3);
+        assert_eq!(top[2].class, 0);
+    }
+
+    #[test]
+    fn top_k_clamps_to_len() {
+        let top = top_k(&[0.5, 0.5], 10);
+        assert_eq!(top.len(), 2);
+        // Tie broken by class index.
+        assert_eq!(top[0].class, 0);
+    }
+
+    #[test]
+    fn top_k_empty_scores() {
+        assert!(top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn quantized_top_k_matches_float_path() {
+        let params = QuantParams::from_range(0.0, 1.0);
+        let float_scores = vec![0.02f32, 0.9, 0.3, 0.6];
+        let q: Vec<i8> = float_scores.iter().map(|&s| params.quantize(s)).collect();
+        let t = Tensor::from_i8(&[4], q, params);
+        let top = top_k_quantized(&t, 2).unwrap();
+        assert_eq!(top[0].class, 1);
+        assert_eq!(top[1].class, 3);
+        assert!((top[0].score - 0.9).abs() <= params.scale());
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        softmax(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut v = vec![1000.0f32, 1001.0];
+        softmax(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+    }
+}

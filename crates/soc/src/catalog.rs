@@ -1,0 +1,279 @@
+//! The Table II platform catalog.
+//!
+//! Calibrated [`SocSpec`] instances for the four Snapdragon chipsets the
+//! paper studied. Peak numbers are derived from public microarchitecture
+//! data (NEON/HVX widths × clocks); invocation overheads are calibrated so
+//! the SD845 ("Google Pixel 3") reproduces the latencies the paper quotes
+//! (e.g. Inception-v3 fp32 ≈ 250 ms CPU benchmark inference, MobileNet-v1
+//! int8 DSP inference ≈ 10 ms, FastRPC session setup amortizing per Fig. 8).
+
+use aitax_des::SimSpan;
+
+use crate::cpu::{big_cluster, little_cluster};
+use crate::devices::{DspSpec, GpuSpec, NpuSpec};
+use crate::memory::MemorySpec;
+use crate::thermal::default_phone_thermals;
+use crate::SocSpec;
+
+/// Identifier for a catalog platform (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SocId {
+    /// Snapdragon 835 (Open-Q 835 µSOM): Adreno 540, Hexagon 682.
+    Sd835,
+    /// Snapdragon 845 (Google Pixel 3): Adreno 630, Hexagon 685. The
+    /// platform all headline results are reported on.
+    Sd845,
+    /// Snapdragon 855 HDK: Adreno 640, Hexagon 690.
+    Sd855,
+    /// Snapdragon 865 HDK: Adreno 650, Hexagon 698 (+ tensor accelerator).
+    Sd865,
+}
+
+impl SocId {
+    /// All platforms, oldest first.
+    pub const ALL: [SocId; 4] = [SocId::Sd835, SocId::Sd845, SocId::Sd855, SocId::Sd865];
+}
+
+impl std::fmt::Display for SocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SocId::Sd835 => "SD835",
+            SocId::Sd845 => "SD845",
+            SocId::Sd855 => "SD855",
+            SocId::Sd865 => "SD865",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Factory for catalog platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocCatalog;
+
+impl SocCatalog {
+    /// Builds the spec for a platform.
+    pub fn get(id: SocId) -> SocSpec {
+        match id {
+            SocId::Sd835 => sd835(),
+            SocId::Sd845 => sd845(),
+            SocId::Sd855 => sd855(),
+            SocId::Sd865 => sd865(),
+        }
+    }
+
+    /// All specs, oldest first.
+    pub fn all() -> Vec<SocSpec> {
+        SocId::ALL.iter().map(|&id| Self::get(id)).collect()
+    }
+}
+
+fn common_memory() -> MemorySpec {
+    MemorySpec {
+        axi_bytes_per_sec: 12.0e9,
+        dma_setup: SimSpan::from_us(8.0),
+        cache_flush_ns_per_byte: 0.08,
+        cache_flush_fixed: SimSpan::from_us(15.0),
+    }
+}
+
+fn sd835() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 835",
+        host_system: "Open-Q 835 \u{00b5}SOM",
+        clusters: vec![big_cluster(4, 2.45, 60.0, 6.0), little_cluster(4, 1.90, 80.0)],
+        gpu: GpuSpec {
+            name: "Adreno 540",
+            fp16_flops: 1.13e12,
+            fp32_flops: 0.567e12,
+            launch_overhead: SimSpan::from_us(350.0),
+        },
+        dsp: DspSpec {
+            name: "Hexagon 682",
+            int8_ops: 200.0e9,
+            fp32_flops: 8.0e9,
+            session_setup: SimSpan::from_ms(28.0),
+            invoke_overhead: SimSpan::from_us(180.0),
+        },
+        npu: None,
+        memory: MemorySpec {
+            axi_bytes_per_sec: 10.0e9,
+            ..common_memory()
+        },
+        thermal: default_phone_thermals(),
+    }
+}
+
+fn sd845() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 845",
+        host_system: "Google Pixel 3",
+        clusters: vec![big_cluster(4, 2.80, 60.0, 8.0), little_cluster(4, 1.77, 80.0)],
+        gpu: GpuSpec {
+            name: "Adreno 630",
+            fp16_flops: 1.45e12,
+            fp32_flops: 0.727e12,
+            launch_overhead: SimSpan::from_us(300.0),
+        },
+        dsp: DspSpec {
+            name: "Hexagon 685",
+            int8_ops: 300.0e9,
+            fp32_flops: 10.0e9,
+            session_setup: SimSpan::from_ms(25.0),
+            invoke_overhead: SimSpan::from_us(150.0),
+        },
+        npu: None,
+        memory: common_memory(),
+        thermal: default_phone_thermals(),
+    }
+}
+
+fn sd855() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 855",
+        host_system: "Snapdragon 855 HDK",
+        clusters: vec![
+            big_cluster(1, 2.84, 60.0, 9.0),
+            big_cluster(3, 2.42, 60.0, 9.0),
+            little_cluster(4, 1.78, 80.0),
+        ],
+        gpu: GpuSpec {
+            name: "Adreno 640",
+            fp16_flops: 1.80e12,
+            fp32_flops: 0.90e12,
+            launch_overhead: SimSpan::from_us(280.0),
+        },
+        dsp: DspSpec {
+            name: "Hexagon 690",
+            int8_ops: 500.0e9,
+            fp32_flops: 12.0e9,
+            session_setup: SimSpan::from_ms(22.0),
+            invoke_overhead: SimSpan::from_us(130.0),
+        },
+        npu: None,
+        memory: MemorySpec {
+            axi_bytes_per_sec: 15.0e9,
+            ..common_memory()
+        },
+        thermal: default_phone_thermals(),
+    }
+}
+
+fn sd865() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 865",
+        host_system: "Snapdragon 865 HDK",
+        clusters: vec![
+            big_cluster(1, 2.84, 60.0, 10.0),
+            big_cluster(3, 2.42, 60.0, 10.0),
+            little_cluster(4, 1.80, 80.0),
+        ],
+        gpu: GpuSpec {
+            name: "Adreno 650",
+            fp16_flops: 2.50e12,
+            fp32_flops: 1.25e12,
+            launch_overhead: SimSpan::from_us(250.0),
+        },
+        dsp: DspSpec {
+            name: "Hexagon 698",
+            int8_ops: 800.0e9,
+            fp32_flops: 15.0e9,
+            session_setup: SimSpan::from_ms(20.0),
+            invoke_overhead: SimSpan::from_us(110.0),
+        },
+        npu: Some(NpuSpec {
+            name: "Hexagon Tensor Accelerator",
+            int8_ops: 1.6e12,
+            invoke_overhead: SimSpan::from_us(100.0),
+        }),
+        memory: MemorySpec {
+            axi_bytes_per_sec: 17.0e9,
+            ..common_memory()
+        },
+        thermal: default_phone_thermals(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterKind;
+
+    #[test]
+    fn catalog_has_all_table2_rows() {
+        let all = SocCatalog::all();
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Snapdragon 835",
+                "Snapdragon 845",
+                "Snapdragon 855",
+                "Snapdragon 865"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_platform_has_eight_cores() {
+        for soc in SocCatalog::all() {
+            assert_eq!(soc.core_count(), 8, "{}", soc.name);
+            let big = soc.big_core_ids().len();
+            let little = soc.little_core_ids().len();
+            assert_eq!(big, 4, "{}", soc.name);
+            assert_eq!(little, 4, "{}", soc.name);
+        }
+    }
+
+    #[test]
+    fn newer_chipsets_have_faster_dsps() {
+        let specs = SocCatalog::all();
+        for pair in specs.windows(2) {
+            assert!(
+                pair[1].dsp.int8_ops > pair[0].dsp.int8_ops,
+                "{} should beat {}",
+                pair[1].dsp.name,
+                pair[0].dsp.name
+            );
+        }
+    }
+
+    #[test]
+    fn only_sd865_has_npu() {
+        assert!(SocCatalog::get(SocId::Sd835).npu.is_none());
+        assert!(SocCatalog::get(SocId::Sd845).npu.is_none());
+        assert!(SocCatalog::get(SocId::Sd855).npu.is_none());
+        assert!(SocCatalog::get(SocId::Sd865).npu.is_some());
+    }
+
+    #[test]
+    fn pixel3_is_the_sd845() {
+        let soc = SocCatalog::get(SocId::Sd845);
+        assert_eq!(soc.host_system, "Google Pixel 3");
+        assert_eq!(soc.gpu.name, "Adreno 630");
+        assert_eq!(soc.dsp.name, "Hexagon 685");
+    }
+
+    #[test]
+    fn big_cores_listed_before_little() {
+        let soc = SocCatalog::get(SocId::Sd855);
+        let cores = soc.cores();
+        let first_little = cores.iter().position(|c| c.kind == ClusterKind::Little);
+        let last_big = cores.iter().rposition(|c| c.kind == ClusterKind::Big);
+        assert!(last_big < first_little || first_little.is_none());
+    }
+
+    #[test]
+    fn big_core_fp32_throughput_calibration() {
+        // SD845 big core: 2.8 GHz × 8 FLOPs/cycle = 22.4 GFLOP/s peak.
+        let soc = SocCatalog::get(SocId::Sd845);
+        let big = soc.cores()[0];
+        assert!((big.peak_fp32_flops() - 22.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SocId::Sd845.to_string(), "SD845");
+        assert_eq!(SocId::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,73 @@
+//! Memory subsystem: AXI interconnect, DMA and cache-maintenance costs.
+//!
+//! The DSP on these chipsets is *loosely coupled* (paper §II-D): it sits
+//! behind the AXI fabric with its own memory subsystem, so every offload
+//! crosses the interconnect and requires CPU cache maintenance to keep the
+//! shared buffers coherent (the "cache flush" arrow in Fig. 7).
+
+use aitax_des::SimSpan;
+
+/// Memory/interconnect parameters of an SoC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySpec {
+    /// Sustained AXI/DRAM bandwidth in bytes/s seen by one initiator.
+    pub axi_bytes_per_sec: f64,
+    /// Fixed latency of starting a DMA transfer.
+    pub dma_setup: SimSpan,
+    /// Cache maintenance cost per byte (clean+invalidate walk).
+    pub cache_flush_ns_per_byte: f64,
+    /// Fixed cost of any cache-maintenance call (kernel entry, barriers).
+    pub cache_flush_fixed: SimSpan,
+}
+
+impl MemorySpec {
+    /// Time to move `bytes` across the AXI fabric, including DMA setup.
+    pub fn transfer_span(&self, bytes: u64) -> SimSpan {
+        self.dma_setup + SimSpan::from_secs(bytes as f64 / self.axi_bytes_per_sec)
+    }
+
+    /// Time to clean/invalidate `bytes` of cached data before handing a
+    /// buffer to a loosely-coupled accelerator.
+    pub fn cache_flush_span(&self, bytes: u64) -> SimSpan {
+        self.cache_flush_fixed + SimSpan::from_ns((bytes as f64 * self.cache_flush_ns_per_byte) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySpec {
+        MemorySpec {
+            axi_bytes_per_sec: 10e9,
+            dma_setup: SimSpan::from_us(5.0),
+            cache_flush_ns_per_byte: 0.1,
+            cache_flush_fixed: SimSpan::from_us(10.0),
+        }
+    }
+
+    #[test]
+    fn transfer_includes_setup() {
+        let m = mem();
+        // 10 GB/s → 1 MB in 100 µs, plus 5 µs setup.
+        let s = m.transfer_span(1_000_000);
+        assert!((s.as_us() - 105.0).abs() < 0.1, "{}", s);
+    }
+
+    #[test]
+    fn flush_scales_with_bytes() {
+        let m = mem();
+        let small = m.cache_flush_span(1_000);
+        let large = m.cache_flush_span(1_000_000);
+        assert!(large > small);
+        // 1 MB × 0.1 ns/B = 100 µs + 10 µs fixed.
+        assert!((large.as_us() - 110.0).abs() < 0.1, "{}", large);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_fixed_overheads() {
+        let m = mem();
+        assert_eq!(m.transfer_span(0), m.dma_setup);
+        assert_eq!(m.cache_flush_span(0), m.cache_flush_fixed);
+    }
+}

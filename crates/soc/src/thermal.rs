@@ -1,0 +1,171 @@
+//! Thermal model with frequency throttling.
+//!
+//! Mobile SoCs are "particularly susceptible to thermal throttling"
+//! (paper §III-D); the authors only start runs once the CPU has cooled to
+//! its ~33 °C idle temperature. We model chip temperature as a first-order
+//! system: heating proportional to how many cores are busy, exponential
+//! cooling toward ambient, and a piecewise frequency-multiplier curve.
+
+use aitax_des::{SimSpan, SimTime};
+
+/// Static thermal parameters of a chipset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Idle / ambient-coupled temperature in °C (paper: ≈33 °C).
+    pub idle_temp_c: f64,
+    /// Steady-state temperature rise in °C with all cores busy.
+    pub max_rise_c: f64,
+    /// Thermal time constant (how fast the chip heats/cools).
+    pub time_constant: SimSpan,
+    /// Temperature at which light throttling begins.
+    pub soft_limit_c: f64,
+    /// Temperature at which aggressive throttling begins.
+    pub hard_limit_c: f64,
+}
+
+impl ThermalModel {
+    /// Frequency multiplier for a given temperature.
+    ///
+    /// `1.0` below the soft limit, `0.85` between soft and hard limits,
+    /// `0.7` above the hard limit — a coarse but representative governor.
+    pub fn freq_multiplier(&self, temp_c: f64) -> f64 {
+        if temp_c < self.soft_limit_c {
+            1.0
+        } else if temp_c < self.hard_limit_c {
+            0.85
+        } else {
+            0.7
+        }
+    }
+}
+
+/// Evolving thermal state of a running chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalState {
+    model: ThermalModel,
+    temp_c: f64,
+    last_update: SimTime,
+}
+
+impl ThermalState {
+    /// Starts at the idle temperature (the paper's cool-down protocol).
+    pub fn new(model: ThermalModel) -> Self {
+        ThermalState {
+            temp_c: model.idle_temp_c,
+            model,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Starts at an explicit temperature (for warm-start experiments).
+    pub fn with_temp(model: ThermalModel, temp_c: f64) -> Self {
+        ThermalState {
+            temp_c,
+            model,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Current temperature in °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Current frequency multiplier.
+    pub fn freq_multiplier(&self) -> f64 {
+        self.model.freq_multiplier(self.temp_c)
+    }
+
+    /// Advances the thermal state to `now` given the average busy fraction
+    /// (0–1: fraction of cores active) since the last update.
+    ///
+    /// Uses the exact first-order step toward the utilization-dependent
+    /// equilibrium `idle + busy_fraction × max_rise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_fraction` is outside `[0, 1]`.
+    pub fn advance(&mut self, now: SimTime, busy_fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&busy_fraction),
+            "busy fraction must be in [0,1], got {busy_fraction}"
+        );
+        let dt = now.since(self.last_update);
+        self.last_update = now;
+        if dt.is_zero() {
+            return;
+        }
+        let target = self.model.idle_temp_c + busy_fraction * self.model.max_rise_c;
+        let tau = self.model.time_constant.as_secs();
+        let alpha = if tau > 0.0 {
+            1.0 - (-dt.as_secs() / tau).exp()
+        } else {
+            1.0
+        };
+        self.temp_c += (target - self.temp_c) * alpha;
+    }
+}
+
+/// A representative phone thermal envelope.
+pub fn default_phone_thermals() -> ThermalModel {
+    ThermalModel {
+        idle_temp_c: 33.0,
+        max_rise_c: 45.0,
+        time_constant: SimSpan::from_secs(20.0),
+        soft_limit_c: 65.0,
+        hard_limit_c: 78.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_idle_temperature() {
+        let st = ThermalState::new(default_phone_thermals());
+        assert_eq!(st.temp_c(), 33.0);
+        assert_eq!(st.freq_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn heats_toward_equilibrium_under_load() {
+        let mut st = ThermalState::new(default_phone_thermals());
+        st.advance(SimTime::from_ns(0), 1.0);
+        st.advance(SimTime::ZERO + SimSpan::from_secs(200.0), 1.0);
+        // After 10 time constants, essentially at equilibrium 33 + 45 = 78.
+        assert!((st.temp_c() - 78.0).abs() < 0.1, "temp {}", st.temp_c());
+        assert!(st.freq_multiplier() < 1.0);
+    }
+
+    #[test]
+    fn cools_back_when_idle() {
+        let model = default_phone_thermals();
+        let mut st = ThermalState::with_temp(model, 70.0);
+        st.advance(SimTime::ZERO + SimSpan::from_secs(200.0), 0.0);
+        assert!((st.temp_c() - 33.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn throttle_curve_is_monotone() {
+        let m = default_phone_thermals();
+        assert_eq!(m.freq_multiplier(40.0), 1.0);
+        assert_eq!(m.freq_multiplier(70.0), 0.85);
+        assert_eq!(m.freq_multiplier(90.0), 0.7);
+    }
+
+    #[test]
+    fn zero_dt_is_noop() {
+        let mut st = ThermalState::new(default_phone_thermals());
+        let before = st.temp_c();
+        st.advance(SimTime::ZERO, 1.0);
+        assert_eq!(st.temp_c(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy fraction")]
+    fn invalid_busy_fraction_panics() {
+        let mut st = ThermalState::new(default_phone_thermals());
+        st.advance(SimTime::from_ns(1), 1.5);
+    }
+}

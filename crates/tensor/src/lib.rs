@@ -1,0 +1,38 @@
+//! Tensors, element types and affine quantization for the `aitax` simulator.
+//!
+//! Mobile inference pipelines shuttle data between *raw sensor bytes*,
+//! *float tensors* and *8-bit quantized tensors* (paper §II-B, "Type
+//! conversion"). This crate provides the small, dependency-free tensor
+//! machinery the pre-/post-processing implementations (`aitax-pipeline`)
+//! and the model IR (`aitax-models`) are built on:
+//!
+//! * [`DType`] — the element types that appear in Table I (FP32, FP16,
+//!   INT8/UINT8, INT32),
+//! * [`Shape`] — NHWC-oriented shape arithmetic with overflow-checked
+//!   element counts,
+//! * [`QuantParams`] — affine (scale, zero-point) quantization exactly as
+//!   TFLite defines it,
+//! * [`Tensor`] — an owned, dynamically-typed buffer.
+//!
+//! # Example
+//!
+//! ```
+//! use aitax_tensor::{QuantParams, Tensor};
+//!
+//! let q = QuantParams::new(0.5, 10);
+//! let t = Tensor::from_f32(&[2, 2], vec![1.0, -0.5, 3.0, 0.0]);
+//! let quantized = t.quantize(q)?;
+//! let restored = quantized.dequantize()?;
+//! assert!((restored.as_f32()?[0] - 1.0).abs() <= 0.5);
+//! # Ok::<(), aitax_tensor::TensorError>(())
+//! ```
+
+pub mod dtype;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use quant::QuantParams;
+pub use shape::Shape;
+pub use tensor::{Tensor, TensorError};

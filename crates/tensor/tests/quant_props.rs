@@ -1,0 +1,64 @@
+//! Property tests for quantization and shape arithmetic.
+
+use aitax_tensor::{DType, QuantParams, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantization is monotone: larger reals never map to smaller
+    /// quantized codes.
+    #[test]
+    fn quantization_is_monotone(scale in 0.001f32..10.0, zp in -100i32..100, a in -500f32..500.0, b in -500f32..500.0) {
+        let q = QuantParams::new(scale, zp);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    /// Dequantize(quantize(x)) is within half a step for values inside
+    /// the representable range.
+    #[test]
+    fn round_trip_error_bound(scale in 0.01f32..2.0, zp in -50i32..50, x in -100f32..100.0) {
+        let q = QuantParams::new(scale, zp);
+        let lo = q.dequantize(i8::MIN);
+        let hi = q.dequantize(i8::MAX);
+        prop_assume!(x >= lo && x <= hi);
+        let rt = q.dequantize(q.quantize(x));
+        prop_assert!((rt - x).abs() <= q.max_round_trip_error() + 1e-4);
+    }
+
+    /// from_range always covers the requested range ends within one step.
+    #[test]
+    fn from_range_covers(lo in -100f32..0.0, width in 0.1f32..200.0) {
+        let hi = lo + width;
+        let q = QuantParams::from_range(lo, hi);
+        prop_assert!((q.dequantize(q.quantize(lo)) - lo).abs() <= q.scale() * 1.5);
+        prop_assert!((q.dequantize(q.quantize(hi)) - hi).abs() <= q.scale() * 1.5);
+    }
+
+    /// Shape element counts multiply; byte length respects dtype width.
+    #[test]
+    fn shape_and_bytes(dims in prop::collection::vec(1usize..20, 1..5)) {
+        let shape = Shape::new(&dims);
+        let expect: usize = dims.iter().product();
+        prop_assert_eq!(shape.elements(), expect);
+        for dtype in DType::ALL {
+            let t = Tensor::zeros(&dims, dtype);
+            prop_assert_eq!(t.byte_len(), expect * dtype.size_bytes());
+        }
+    }
+
+    /// Tensor quantize→dequantize preserves shape and dtype transitions.
+    #[test]
+    fn tensor_quantization_shape_safety(n in 1usize..256, scale in 0.01f32..1.0) {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 20.0).collect();
+        let t = Tensor::from_f32(&[n], data);
+        let q = t.quantize(QuantParams::new(scale, 0)).unwrap();
+        prop_assert_eq!(q.dtype(), DType::I8);
+        prop_assert_eq!(q.elements(), n);
+        prop_assert_eq!(q.byte_len() * 4, t.byte_len());
+        let back = q.dequantize().unwrap();
+        prop_assert_eq!(back.dtype(), DType::F32);
+        prop_assert_eq!(back.shape(), t.shape());
+    }
+}

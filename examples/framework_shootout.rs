@@ -1,0 +1,77 @@
+//! Framework shoot-out: NNAPI vs SNPE vs TFLite across the model zoo and
+//! across chipset generations — §IV-B's "not all frameworks are created
+//! equal" quantified.
+//!
+//! Run with: `cargo run --example framework_shootout`
+
+use aitax::core::pipeline::E2eConfig;
+use aitax::core::report::{fmt_ms, Table};
+use aitax::core::stage::Stage;
+use aitax::framework::Engine;
+use aitax::models::zoo::{ModelId, Zoo};
+use aitax::soc::SocId;
+use aitax::tensor::DType;
+
+fn inference_ms(model: ModelId, dtype: DType, engine: Engine, soc: SocId) -> Option<f64> {
+    let entry = Zoo::entry(model);
+    let nnapi_like = matches!(engine, Engine::Nnapi { .. });
+    if !entry.support.supports(nnapi_like, dtype) {
+        return None;
+    }
+    if matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp) && !dtype.is_quantized() {
+        return None;
+    }
+    let r = E2eConfig::new(model, dtype)
+        .engine(engine)
+        .soc(soc)
+        .iterations(50)
+        .seed(3)
+        .run();
+    Some(r.summary(Stage::Inference).mean_ms())
+}
+
+fn main() {
+    // Part 1: quantized models across frameworks on the SD845.
+    println!("== Quantized inference across frameworks (SD845 / Pixel 3) ==\n");
+    let mut t = Table::new(vec!["model", "cpu-4t", "hexagon", "nnapi", "snpe-dsp"]);
+    for model in [
+        ModelId::MobileNetV1,
+        ModelId::EfficientNetLite0,
+        ModelId::InceptionV3,
+        ModelId::SsdMobileNetV2,
+    ] {
+        let cell = |e: Engine| {
+            inference_ms(model, DType::I8, e, SocId::Sd845)
+                .map(fmt_ms)
+                .unwrap_or_else(|| "n/a".into())
+        };
+        t.row(vec![
+            model.to_string(),
+            cell(Engine::tflite_cpu(4)),
+            cell(Engine::TfLiteHexagon { threads: 4 }),
+            cell(Engine::nnapi()),
+            cell(Engine::SnpeDsp),
+        ]);
+    }
+    print!("{}", t.render_text());
+    println!("\nEfficientNet-Lite0 is the trap: NNAPI accepts it, then runs it");
+    println!("on the driver's reference CPU path (§IV-B / Fig. 5).\n");
+
+    // Part 2: the same model across chipset generations under NNAPI.
+    println!("== EfficientNet-Lite0 int8 via NNAPI across chipsets ==\n");
+    let mut t2 = Table::new(vec!["chipset", "nnapi_inference_ms", "driver"]);
+    for soc in SocId::ALL {
+        let ms = inference_ms(ModelId::EfficientNetLite0, DType::I8, Engine::nnapi(), soc)
+            .map(fmt_ms)
+            .unwrap_or_else(|| "n/a".into());
+        let spec = aitax::soc::SocCatalog::get(soc);
+        t2.row(vec![
+            soc.to_string(),
+            ms,
+            aitax::framework::nnapi::driver_for(&spec).name.to_string(),
+        ]);
+    }
+    print!("{}", t2.render_text());
+    println!("\nThe SD865's driver finally supports per-channel weights on the");
+    println!("DSP — the same APK is an order of magnitude faster there.");
+}

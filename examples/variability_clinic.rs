@@ -1,0 +1,53 @@
+//! Variability clinic: why a single latency number misleads (Fig. 11).
+//!
+//! Runs the same model/engine as a quiet benchmark and as a real app, and
+//! prints the full distributions with an ASCII histogram — the
+//! distribution-first reporting the paper calls for.
+//!
+//! Run with: `cargo run --example variability_clinic`
+
+use aitax::core::pipeline::E2eConfig;
+use aitax::core::runmode::RunMode;
+use aitax::core::stats::Summary;
+use aitax::framework::Engine;
+use aitax::models::zoo::ModelId;
+use aitax::tensor::DType;
+
+fn histogram(summary: &Summary) {
+    let bins = summary.histogram(24);
+    let max = bins.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+    for (center, count) in bins {
+        let bar = "#".repeat(count * 48 / max);
+        println!("  {center:>7.1} ms | {bar}");
+    }
+}
+
+fn main() {
+    println!("MobileNet v1 fp32 on 4 CPU threads, 300 runs each:\n");
+    for mode in [RunMode::CliBenchmark, RunMode::AndroidApp] {
+        let r = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+            .engine(Engine::tflite_cpu(4))
+            .run_mode(mode)
+            .iterations(300)
+            .seed(5)
+            .run();
+        let s = r.e2e_summary();
+        println!("== {mode} ==");
+        println!(
+            "  median {:.1} ms   mean {:.1} ms   sd {:.2} ms   p5 {:.1}   p95 {:.1}",
+            s.median_ms(),
+            s.mean_ms(),
+            s.stddev_ms(),
+            s.percentile_ms(5.0),
+            s.percentile_ms(95.0)
+        );
+        println!(
+            "  worst deviation from median: {:.1}%",
+            s.max_deviation_from_median() * 100.0
+        );
+        histogram(&s);
+        println!();
+    }
+    println!("The benchmark's distribution is a spike; the app's has a body");
+    println!("and a tail — report distributions, not single numbers (§IV-C).");
+}

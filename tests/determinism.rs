@@ -1,0 +1,73 @@
+//! Reproducibility: the simulator is fully deterministic per seed, across
+//! every subsystem an experiment touches.
+
+use aitax::core::pipeline::E2eConfig;
+use aitax::core::runmode::RunMode;
+use aitax::framework::Engine;
+use aitax::models::zoo::ModelId;
+use aitax::tensor::DType;
+
+fn run_twice(cfg: impl Fn() -> E2eConfig) {
+    let a = cfg().run();
+    let b = cfg().run();
+    assert_eq!(
+        a.e2e_summary().samples_ms(),
+        b.e2e_summary().samples_ms(),
+        "identical configs must produce identical sample streams"
+    );
+    assert_eq!(a.stats, b.stats, "machine counters must match");
+    assert_eq!(a.model_init, b.model_init);
+}
+
+#[test]
+fn cli_benchmark_is_reproducible() {
+    run_twice(|| E2eConfig::new(ModelId::MobileNetV1, DType::F32).iterations(20).seed(9));
+}
+
+#[test]
+fn noisy_app_is_reproducible() {
+    run_twice(|| {
+        E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .iterations(20)
+            .seed(1234)
+    });
+}
+
+#[test]
+fn multitenant_run_is_reproducible() {
+    run_twice(|| {
+        E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .background(3, Engine::TfLiteHexagon { threads: 4 })
+            .iterations(12)
+            .seed(55)
+    });
+}
+
+#[test]
+fn nnapi_fallback_run_is_reproducible() {
+    run_twice(|| {
+        E2eConfig::new(ModelId::EfficientNetLite0, DType::I8)
+            .engine(Engine::nnapi())
+            .iterations(6)
+            .seed(2)
+    });
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .run_mode(RunMode::AndroidApp)
+        .iterations(20)
+        .seed(1)
+        .run();
+    let b = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .run_mode(RunMode::AndroidApp)
+        .iterations(20)
+        .seed(2)
+        .run();
+    assert_ne!(a.e2e_summary().samples_ms(), b.e2e_summary().samples_ms());
+}

@@ -1,0 +1,248 @@
+//! Integration tests asserting the *shape* of every headline result the
+//! paper reports — who wins, by roughly what factor, and in which
+//! direction the trends run (absolute numbers are simulator-calibrated).
+
+use aitax::core::experiment::{self, ExperimentOpts};
+use aitax::core::pipeline::E2eConfig;
+use aitax::core::runmode::RunMode;
+use aitax::core::stage::Stage;
+use aitax::framework::Engine;
+use aitax::models::zoo::ModelId;
+use aitax::tensor::DType;
+
+fn opts() -> ExperimentOpts {
+    ExperimentOpts {
+        iterations: 30,
+        seed: 1,
+    }
+}
+
+/// Headline claim 1 (§IV-A, Figs. 3–4): in a real app, capture +
+/// pre-processing can reach ~50% of end-to-end time — ~2× inference for
+/// quantized MobileNet — while being negligible in the CLI benchmark.
+#[test]
+fn capture_and_preprocessing_dominate_apps_not_benchmarks() {
+    let app = E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+        .engine(Engine::nnapi())
+        .run_mode(RunMode::AndroidApp)
+        .iterations(40)
+        .run();
+    let cap = app.summary(Stage::DataCapture).mean_ms();
+    let pre = app.summary(Stage::PreProcessing).mean_ms();
+    let inf = app.summary(Stage::Inference).mean_ms();
+    let ratio = (cap + pre) / inf;
+    assert!(
+        (1.2..3.2).contains(&ratio),
+        "app capture+preproc should be ≈2× inference, got {ratio:.2}x"
+    );
+    assert!(
+        app.ai_tax_fraction() > 0.45,
+        "AI tax should be ≈half of E2E or more, got {:.2}",
+        app.ai_tax_fraction()
+    );
+
+    let bench = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .engine(Engine::nnapi())
+        .run_mode(RunMode::CliBenchmark)
+        .iterations(40)
+        .run();
+    let bpre = bench.summary(Stage::PreProcessing).mean_ms();
+    let binf = bench.summary(Stage::Inference).mean_ms();
+    assert!(
+        bpre < binf * 0.1,
+        "benchmark pre-processing must be negligible: {bpre:.2} vs {binf:.2}"
+    );
+}
+
+/// Headline claim 2 (Fig. 5): NNAPI with broken driver support is ≈7×
+/// slower than a single TFLite CPU thread for quantized
+/// EfficientNet-Lite0, and the ordering is hexagon < cpu4 < cpu1 << nnapi.
+#[test]
+fn fig5_nnapi_fallback_is_roughly_7x() {
+    let r = experiment::fig5(opts());
+    assert!(
+        (4.5..11.0).contains(&r.nnapi_vs_cpu1),
+        "NNAPI degradation should be ≈7x, got {:.1}x",
+        r.nnapi_vs_cpu1
+    );
+    let ms: Vec<f64> = r
+        .table
+        .rows()
+        .iter()
+        .map(|row| row[1].parse().unwrap())
+        .collect();
+    // hexagon < cpu4 < cpu1 < nnapi
+    assert!(ms[0] < ms[1], "hexagon should beat cpu-4t: {ms:?}");
+    assert!(ms[1] < ms[2], "cpu-4t should beat cpu-1t: {ms:?}");
+    assert!(ms[2] < ms[3], "cpu-1t should beat nnapi: {ms:?}");
+}
+
+/// Headline claim 4 (Fig. 8): offload overhead dominates small inference
+/// counts and amortizes away with consecutive inferences.
+#[test]
+fn fig8_offload_amortizes() {
+    let t = experiment::fig8(ExperimentOpts {
+        iterations: 30,
+        seed: 1,
+    });
+    let per_inf: Vec<f64> = t
+        .rows()
+        .iter()
+        .map(|r| r[2].parse().unwrap())
+        .collect();
+    assert!(per_inf.len() >= 5);
+    // First inference pays setup: much more expensive than steady state.
+    assert!(
+        per_inf[0] > per_inf.last().unwrap() * 3.0,
+        "cold start should dominate n=1: {per_inf:?}"
+    );
+    // Monotone (within noise) decrease.
+    assert!(
+        per_inf.last().unwrap() < &per_inf[2],
+        "per-inference cost should keep falling: {per_inf:?}"
+    );
+}
+
+/// Headline claim 5 (Figs. 9–10): DSP contention inflates inference
+/// linearly and leaves pre-processing flat; CPU contention does the
+/// opposite.
+#[test]
+fn fig9_fig10_multitenancy_shapes() {
+    let quick = ExperimentOpts {
+        iterations: 12,
+        seed: 1,
+    };
+    let dsp = experiment::fig9(quick);
+    let rows = dsp.rows();
+    let inf = |i: usize| rows[i][3].parse::<f64>().unwrap();
+    let pre = |i: usize| rows[i][2].parse::<f64>().unwrap();
+    let last = rows.len() - 1;
+    assert!(
+        inf(last) > inf(0) * 3.0,
+        "DSP contention should inflate inference severely: {} -> {}",
+        inf(0),
+        inf(last)
+    );
+    assert!(
+        pre(last) < pre(0) * 1.5,
+        "pre-processing should stay flat under DSP contention: {} -> {}",
+        pre(0),
+        pre(last)
+    );
+
+    let cpu = experiment::fig10(quick);
+    let rows = cpu.rows();
+    let inf = |i: usize| rows[i][3].parse::<f64>().unwrap();
+    let pre = |i: usize| rows[i][2].parse::<f64>().unwrap();
+    let last = rows.len() - 1;
+    assert!(
+        pre(last) > pre(0) * 1.2,
+        "CPU contention should inflate pre-processing: {} -> {}",
+        pre(0),
+        pre(last)
+    );
+    assert!(
+        inf(last) < inf(0) * 1.25,
+        "inference should stay ≈flat under CPU contention: {} -> {}",
+        inf(0),
+        inf(last)
+    );
+}
+
+/// Headline claim 6 (Fig. 11): in-app run-to-run deviation reaches tens
+/// of percent while the benchmark distribution stays tight.
+#[test]
+fn fig11_variability_gap() {
+    let r = experiment::fig11(ExperimentOpts {
+        iterations: 120,
+        seed: 1,
+    });
+    assert!(
+        r.benchmark_deviation < 0.05,
+        "benchmark spread should be tight, got {:.3}",
+        r.benchmark_deviation
+    );
+    assert!(
+        (0.10..0.60).contains(&r.app_deviation),
+        "app spread should reach tens of percent, got {:.3}",
+        r.app_deviation
+    );
+    assert!(r.app_deviation > r.benchmark_deviation * 4.0);
+}
+
+/// Fig. 3: the same model is consistently slower end-to-end as a real app
+/// than as a CLI benchmark (e.g. Inception v3: ≈250 → ≈350 ms).
+#[test]
+fn fig3_apps_slower_than_benchmarks() {
+    for (model, dtype) in [
+        (ModelId::MobileNetV1, DType::F32),
+        (ModelId::InceptionV3, DType::F32),
+    ] {
+        let cli = E2eConfig::new(model, dtype)
+            .run_mode(RunMode::CliBenchmark)
+            .iterations(25)
+            .run();
+        let app = E2eConfig::new(model, dtype)
+            .run_mode(RunMode::AndroidApp)
+            .iterations(25)
+            .run();
+        let c = cli.e2e_summary().mean_ms();
+        let a = app.e2e_summary().mean_ms();
+        assert!(a > c * 1.08, "{model}: app {a:.1}ms vs cli {c:.1}ms");
+    }
+}
+
+/// §IV text: Inception v3 fp32 ≈ 250 ms benchmark / ≈ 350 ms in-app (the
+/// one absolute anchor we calibrate to, within a generous band).
+#[test]
+fn inception_v3_absolute_anchor() {
+    let cli = E2eConfig::new(ModelId::InceptionV3, DType::F32)
+        .run_mode(RunMode::CliBenchmark)
+        .iterations(20)
+        .run();
+    let e2e = cli.e2e_summary().mean_ms();
+    assert!(
+        (170.0..340.0).contains(&e2e),
+        "Inception v3 benchmark ≈250ms, got {e2e:.0}ms"
+    );
+}
+
+/// §IV-B: vendor SNPE beats both the CPU and NNAPI on the DSP.
+#[test]
+fn snpe_wins_on_dsp() {
+    let inf = |engine: Engine| {
+        E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(engine)
+            .iterations(25)
+            .run()
+            .summary(Stage::Inference)
+            .mean_ms()
+    };
+    let snpe = inf(Engine::SnpeDsp);
+    let cpu = inf(Engine::tflite_cpu(4));
+    let nnapi = inf(Engine::nnapi());
+    assert!(snpe < cpu, "snpe {snpe:.1} vs cpu {cpu:.1}");
+    assert!(snpe < nnapi, "snpe {snpe:.1} vs nnapi {nnapi:.1}");
+}
+
+/// Fig. 5 corollary: the same EfficientNet INT8 APK is dramatically
+/// faster on the SD865, whose driver can place per-channel weights on
+/// the DSP.
+#[test]
+fn newer_driver_fixes_efficientnet() {
+    let on = |soc| {
+        E2eConfig::new(ModelId::EfficientNetLite0, DType::I8)
+            .engine(Engine::nnapi())
+            .soc(soc)
+            .iterations(15)
+            .run()
+            .summary(Stage::Inference)
+            .mean_ms()
+    };
+    let sd845 = on(aitax::soc::SocId::Sd845);
+    let sd865 = on(aitax::soc::SocId::Sd865);
+    assert!(
+        sd845 > sd865 * 10.0,
+        "SD845 {sd845:.0}ms should dwarf SD865 {sd865:.1}ms"
+    );
+}

@@ -1,0 +1,126 @@
+//! Coverage: every framework/dtype combination Table I marks "Y" runs
+//! end-to-end, in both benchmark and app packaging, and produces sane
+//! stage breakdowns.
+
+use aitax::core::pipeline::E2eConfig;
+use aitax::core::runmode::RunMode;
+use aitax::core::stage::Stage;
+use aitax::framework::Engine;
+use aitax::models::zoo::{ModelId, Zoo};
+use aitax::tensor::DType;
+
+fn smoke(model: ModelId, dtype: DType, engine: Engine, mode: RunMode) {
+    let r = E2eConfig::new(model, dtype)
+        .engine(engine)
+        .run_mode(mode)
+        .iterations(4)
+        .seed(3)
+        .run();
+    assert_eq!(r.tax.iterations(), 4, "{model} {dtype} {mode}");
+    let inf = r.summary(Stage::Inference).mean_ms();
+    assert!(
+        inf > 0.05,
+        "{model} {dtype} {mode}: inference {inf}ms suspiciously small"
+    );
+    let e2e = r.e2e_summary().mean_ms();
+    assert!(
+        e2e < 5_000.0,
+        "{model} {dtype} {mode}: e2e {e2e}ms suspiciously large"
+    );
+    assert!(r.ai_tax_fraction() >= 0.0 && r.ai_tax_fraction() <= 1.0);
+}
+
+#[test]
+fn every_cpu_supported_model_runs() {
+    for e in Zoo::all() {
+        for dtype in [DType::F32, DType::I8] {
+            if e.support.supports(false, dtype) {
+                smoke(e.id, dtype, Engine::tflite_cpu(4), RunMode::CliBenchmark);
+                smoke(e.id, dtype, Engine::tflite_cpu(4), RunMode::AndroidApp);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_nnapi_supported_model_runs() {
+    for e in Zoo::all() {
+        for dtype in [DType::F32, DType::I8] {
+            if e.support.supports(true, dtype) {
+                smoke(e.id, dtype, Engine::nnapi(), RunMode::AndroidApp);
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_models_run_on_hexagon_and_snpe() {
+    for e in Zoo::all() {
+        if e.support.supports(true, DType::I8) {
+            smoke(
+                e.id,
+                DType::I8,
+                Engine::TfLiteHexagon { threads: 4 },
+                RunMode::CliBenchmark,
+            );
+            smoke(e.id, DType::I8, Engine::SnpeDsp, RunMode::CliBenchmark);
+        }
+    }
+}
+
+#[test]
+fn float_models_run_on_gpu_delegate() {
+    for id in [ModelId::MobileNetV1, ModelId::DeeplabV3MobileNetV2, ModelId::PoseNet] {
+        smoke(
+            id,
+            DType::F32,
+            Engine::TfLiteGpu { threads: 4 },
+            RunMode::CliBenchmark,
+        );
+    }
+}
+
+#[test]
+fn task_specific_postprocessing_costs_show_up() {
+    // Segmentation (mask flattening over 513²×21 logits) must cost far
+    // more post-processing than classification (topK over 1001 scores).
+    let seg = E2eConfig::new(ModelId::DeeplabV3MobileNetV2, DType::F32)
+        .run_mode(RunMode::AndroidApp)
+        .iterations(6)
+        .run();
+    let cls = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .run_mode(RunMode::AndroidApp)
+        .iterations(6)
+        .run();
+    let seg_post = seg.summary(Stage::PostProcessing).mean_ms();
+    let cls_post = cls.summary(Stage::PostProcessing).mean_ms();
+    assert!(
+        seg_post > cls_post * 20.0,
+        "segmentation post {seg_post:.2}ms vs classification {cls_post:.3}ms"
+    );
+}
+
+#[test]
+fn all_chipsets_run_the_pipeline() {
+    for soc in aitax::soc::SocId::ALL {
+        let r = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+            .soc(soc)
+            .iterations(5)
+            .run();
+        assert!(r.e2e_summary().mean_ms() > 1.0, "{soc}");
+    }
+    // Newer chipsets are faster for the same workload.
+    let t835 = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .soc(aitax::soc::SocId::Sd835)
+        .iterations(10)
+        .run()
+        .e2e_summary()
+        .mean_ms();
+    let t865 = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .soc(aitax::soc::SocId::Sd865)
+        .iterations(10)
+        .run()
+        .e2e_summary()
+        .mean_ms();
+    assert!(t865 < t835, "SD865 {t865:.1}ms should beat SD835 {t835:.1}ms");
+}
