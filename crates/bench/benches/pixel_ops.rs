@@ -1,80 +1,66 @@
-//! Criterion microbenchmarks of the *real* pre-processing
-//! implementations (the §II-B algorithm inventory), across the input
-//! resolutions of Table I. These measure the host implementations that
-//! back the calibrated cost model.
+//! Microbenchmarks of the *real* pre-processing implementations (the
+//! §II-B algorithm inventory), across the input resolutions of Table I.
+//! These measure the host implementations that back the calibrated cost
+//! model. Plain `Instant`-based timing — run with `cargo bench`.
 
+use aitax_bench::bench_case;
 use aitax_pipeline::image::YuvNv21Image;
 use aitax_pipeline::preprocess;
 use aitax_tensor::QuantParams;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_nv21_to_argb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nv21_to_argb");
-    g.sample_size(20);
+fn bench_nv21_to_argb() {
     for (w, h) in [(320, 240), (640, 480), (1280, 720)] {
         let frame = YuvNv21Image::synthetic(w, h, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{w}x{h}")), &frame, |b, f| {
-            b.iter(|| preprocess::nv21_to_argb(black_box(f)));
+        bench_case(&format!("nv21_to_argb/{w}x{h}"), 20, || {
+            preprocess::nv21_to_argb(black_box(&frame))
         });
     }
-    g.finish();
 }
 
-fn bench_resize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("resize_bilinear");
-    g.sample_size(20);
+fn bench_resize() {
     let src = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(640, 480, 2));
     // Table I model input resolutions.
     for side in [224usize, 227, 299, 300, 331, 513] {
-        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &s| {
-            b.iter(|| preprocess::resize_bilinear(black_box(&src), s, s));
+        bench_case(&format!("resize_bilinear/{side}"), 20, || {
+            preprocess::resize_bilinear(black_box(&src), side, side)
         });
     }
-    g.finish();
 }
 
-fn bench_normalize_and_quantize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("type_conversion");
-    g.sample_size(20);
+fn bench_normalize_and_quantize() {
     let src = preprocess::resize_bilinear(
         &preprocess::nv21_to_argb(&YuvNv21Image::synthetic(640, 480, 3)),
         224,
         224,
     );
-    g.bench_function("normalize_fp32_224", |b| {
-        b.iter(|| preprocess::normalize_to_tensor(black_box(&src), 127.5, 127.5));
+    bench_case("type_conversion/normalize_fp32_224", 20, || {
+        preprocess::normalize_to_tensor(black_box(&src), 127.5, 127.5)
     });
     let params = QuantParams::from_range(0.0, 255.0);
-    g.bench_function("quantize_int8_224", |b| {
-        b.iter(|| preprocess::quantize_to_tensor(black_box(&src), params));
+    bench_case("type_conversion/quantize_int8_224", 20, || {
+        preprocess::quantize_to_tensor(black_box(&src), params)
     });
-    g.finish();
 }
 
-fn bench_rotate_and_crop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geometry");
-    g.sample_size(20);
+fn bench_rotate_and_crop() {
     let src = preprocess::resize_bilinear(
         &preprocess::nv21_to_argb(&YuvNv21Image::synthetic(640, 480, 4)),
         224,
         224,
     );
-    g.bench_function("rotate90_224", |b| {
-        b.iter(|| preprocess::rotate(black_box(&src), preprocess::Rotation::Cw90));
+    bench_case("geometry/rotate90_224", 20, || {
+        preprocess::rotate(black_box(&src), preprocess::Rotation::Cw90)
     });
     let big = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(640, 480, 5));
-    g.bench_function("center_crop_480_from_vga", |b| {
-        b.iter(|| preprocess::center_crop(black_box(&big), 480, 480));
+    bench_case("geometry/center_crop_480_from_vga", 20, || {
+        preprocess::center_crop(black_box(&big), 480, 480)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nv21_to_argb,
-    bench_resize,
-    bench_normalize_and_quantize,
-    bench_rotate_and_crop
-);
-criterion_main!(benches);
+fn main() {
+    bench_nv21_to_argb();
+    bench_resize();
+    bench_normalize_and_quantize();
+    bench_rotate_and_crop();
+}

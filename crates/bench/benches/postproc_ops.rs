@@ -1,13 +1,14 @@
-//! Criterion microbenchmarks of the real post-processing implementations
-//! (§II-E): topK, SSD decode + NMS, mask flattening, keypoint decoding
-//! and WordPiece tokenization.
+//! Microbenchmarks of the real post-processing implementations (§II-E):
+//! topK, SSD decode + NMS, mask flattening, keypoint decoding and
+//! WordPiece tokenization. Plain `Instant`-based timing — run with
+//! `cargo bench`.
 
+use aitax_bench::bench_case;
 use aitax_pipeline::post::detection::{anchor_grid, decode_ssd, nms};
 use aitax_pipeline::post::keypoints::decode_keypoints;
 use aitax_pipeline::post::nlp::WordPieceTokenizer;
 use aitax_pipeline::post::segmentation::flatten_mask;
 use aitax_pipeline::post::topk::top_k;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn scores(n: usize) -> Vec<f32> {
@@ -16,71 +17,54 @@ fn scores(n: usize) -> Vec<f32> {
         .collect()
 }
 
-fn bench_topk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("topk");
-    g.sample_size(30);
+fn bench_topk() {
     let s = scores(1001);
-    g.bench_function("top5_of_1001", |b| b.iter(|| top_k(black_box(&s), 5)));
-    g.finish();
+    bench_case("topk/top5_of_1001", 30, || top_k(black_box(&s), 5));
 }
 
-fn bench_detection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("detection");
-    g.sample_size(20);
+fn bench_detection() {
     let anchors = anchor_grid(19, 19, &[0.1, 0.2, 0.35, 0.5, 0.7, 0.9]);
     let raw = scores(anchors.len() * 4);
     let cls = scores(anchors.len() * 91);
-    g.bench_function("ssd_decode_2166_anchors_91_classes", |b| {
-        b.iter(|| decode_ssd(black_box(&anchors), &raw, &cls, 91, 0.6))
+    bench_case("detection/ssd_decode_2166_anchors_91_classes", 20, || {
+        decode_ssd(black_box(&anchors), &raw, &cls, 91, 0.6)
     });
     let dets = decode_ssd(&anchors, &raw, &cls, 91, 0.4);
-    g.bench_function("nms", |b| {
-        b.iter(|| nms(black_box(dets.clone()), 0.5, 100))
+    bench_case("detection/nms", 20, || {
+        nms(black_box(dets.clone()), 0.5, 100)
     });
-    g.finish();
 }
 
-fn bench_segmentation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("segmentation");
-    g.sample_size(10);
+fn bench_segmentation() {
     // The full DeepLab output: 513×513×21 logits.
     let logits = scores(513 * 513 * 21);
-    g.bench_function("flatten_mask_513x513x21", |b| {
-        b.iter(|| flatten_mask(black_box(&logits), 513, 513, 21))
+    bench_case("segmentation/flatten_mask_513x513x21", 10, || {
+        flatten_mask(black_box(&logits), 513, 513, 21)
     });
-    g.finish();
 }
 
-fn bench_keypoints(c: &mut Criterion) {
-    let mut g = c.benchmark_group("keypoints");
-    g.sample_size(30);
+fn bench_keypoints() {
     let heat = scores(14 * 14 * 17);
     let off = scores(14 * 14 * 34);
-    g.bench_function("posenet_decode_14x14x17", |b| {
-        b.iter(|| decode_keypoints(black_box(&heat), &off, 14, 14, 17, 16))
+    bench_case("keypoints/posenet_decode_14x14x17", 30, || {
+        decode_keypoints(black_box(&heat), &off, 14, 14, 17, 16)
     });
-    g.finish();
 }
 
-fn bench_tokenizer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tokenizer");
-    g.sample_size(30);
+fn bench_tokenizer() {
     let t = WordPieceTokenizer::demo();
     let text = "the quick brown fox jumps over the lazy dog while running \
                 a deep learning benchmark on a mobile phone to measure the \
                 ai tax of machine learning works";
-    g.bench_function("wordpiece_encode_pair", |b| {
-        b.iter(|| t.encode_pair(black_box("what is the ai tax"), black_box(text), 128))
+    bench_case("tokenizer/wordpiece_encode_pair", 30, || {
+        t.encode_pair(black_box("what is the ai tax"), black_box(text), 128)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_topk,
-    bench_detection,
-    bench_segmentation,
-    bench_keypoints,
-    bench_tokenizer
-);
-criterion_main!(benches);
+fn main() {
+    bench_topk();
+    bench_detection();
+    bench_segmentation();
+    bench_keypoints();
+    bench_tokenizer();
+}

@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the simulator itself: event-calendar
-//! throughput, scheduler overhead, NNAPI partitioning, and full
-//! end-to-end pipeline iterations — the cost of *running* each paper
-//! experiment.
+//! Benchmarks of the simulator itself: event-calendar throughput,
+//! scheduler overhead, NNAPI partitioning, and full end-to-end pipeline
+//! iterations — the cost of *running* each paper experiment. Plain
+//! `Instant`-based timing — run with `cargo bench`.
 
+use aitax_bench::bench_case;
 use aitax_core::pipeline::E2eConfig;
 use aitax_core::runmode::RunMode;
 use aitax_des::{Calendar, SimSpan};
@@ -11,96 +12,75 @@ use aitax_kernel::{Machine, TaskSpec, Work};
 use aitax_models::zoo::{ModelId, Zoo};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::rc::Rc;
 
-fn bench_calendar(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des");
-    g.sample_size(30);
-    g.bench_function("calendar_10k_events", |b| {
-        b.iter(|| {
-            let mut cal = Calendar::new();
-            for i in 0..10_000u64 {
-                cal.schedule_after(SimSpan::from_ns((i * 7919) % 100_000));
-            }
-            while cal.next().is_some() {}
-            black_box(cal.now())
-        })
+fn bench_calendar() {
+    bench_case("des/calendar_10k_events", 30, || {
+        let mut cal = Calendar::new();
+        for i in 0..10_000u64 {
+            cal.schedule_after(SimSpan::from_ns((i * 7919) % 100_000));
+        }
+        while cal.next().is_some() {}
+        black_box(cal.now())
     });
-    g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler");
-    g.sample_size(20);
-    g.bench_function("1000_mixed_tasks", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(SocCatalog::get(SocId::Sd845), 1);
-            for i in 0..1000 {
-                let spec = match i % 3 {
-                    0 => TaskSpec::foreground("f", Work::Fp32Flops(5e6)),
-                    1 => TaskSpec::background("b", Work::Cycles(3e5)),
-                    _ => TaskSpec::nnapi_fallback("n", Work::Int8Ops(5e6)),
-                };
-                m.submit_cpu(spec, |_| {});
-            }
-            m.run_until_idle();
-            black_box(m.now())
-        })
+fn bench_scheduler() {
+    bench_case("scheduler/1000_mixed_tasks", 20, || {
+        let mut m = Machine::new(SocCatalog::get(SocId::Sd845), 1);
+        for i in 0..1000 {
+            let spec = match i % 3 {
+                0 => TaskSpec::foreground("f", Work::Fp32Flops(5e6)),
+                1 => TaskSpec::background("b", Work::Cycles(3e5)),
+                _ => TaskSpec::nnapi_fallback("n", Work::Int8Ops(5e6)),
+            };
+            m.submit_cpu(spec, |_| {});
+        }
+        m.run_until_idle();
+        black_box(m.now())
     });
-    g.finish();
 }
 
-fn bench_compilation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nnapi_compile");
-    g.sample_size(30);
+fn bench_compilation() {
     let soc = SocCatalog::get(SocId::Sd845);
     for (name, id) in [
         ("mobilenet_v1", ModelId::MobileNetV1),
         ("inception_v4", ModelId::InceptionV4),
     ] {
         let graph = Rc::new(Zoo::entry(id).build_graph_with(DType::I8));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                Session::compile(Engine::nnapi(), black_box(graph.clone()), &soc).unwrap()
-            })
+        bench_case(&format!("nnapi_compile/{name}"), 30, || {
+            Session::compile(Engine::nnapi(), black_box(graph.clone()), &soc).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_e2e_iteration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e_simulation");
-    g.sample_size(10);
+fn bench_e2e_iteration() {
     // Host cost of simulating 10 app iterations — the building block of
     // every figure harness.
-    g.bench_function("mobilenet_app_10_iterations", |b| {
-        b.iter(|| {
-            E2eConfig::new(ModelId::MobileNetV1, DType::I8)
-                .engine(Engine::nnapi())
-                .run_mode(RunMode::AndroidApp)
-                .iterations(10)
-                .seed(1)
-                .run()
-        })
+    bench_case("e2e_simulation/mobilenet_app_10_iterations", 10, || {
+        E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .iterations(10)
+            .seed(1)
+            .run()
     });
-    g.bench_function("inception_v3_benchmark_5_iterations", |b| {
-        b.iter(|| {
+    bench_case(
+        "e2e_simulation/inception_v3_benchmark_5_iterations",
+        10,
+        || {
             E2eConfig::new(ModelId::InceptionV3, DType::F32)
                 .iterations(5)
                 .seed(1)
                 .run()
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_calendar,
-    bench_scheduler,
-    bench_compilation,
-    bench_e2e_iteration
-);
-criterion_main!(benches);
+fn main() {
+    bench_calendar();
+    bench_scheduler();
+    bench_compilation();
+    bench_e2e_iteration();
+}

@@ -5,11 +5,20 @@ use aitax_core::experiment as exp;
 
 fn main() {
     let opts = aitax_bench::opts_from_env();
-    eprintln!("running all exhibits with {} iterations/config...", opts.iterations);
+    eprintln!(
+        "running all exhibits with {} iterations/config...",
+        opts.iterations
+    );
     aitax_bench::emit("Table I — Comprehensive list of benchmarks", &exp::table1());
     aitax_bench::emit("Table II — Platforms", &exp::table2());
-    aitax_bench::emit("Figure 3 — benchmark vs app E2E latency (CPU)", &exp::fig3(opts));
-    aitax_bench::emit("Figure 4 — capture/pre-processing vs inference (NNAPI)", &exp::fig4(opts));
+    aitax_bench::emit(
+        "Figure 3 — benchmark vs app E2E latency (CPU)",
+        &exp::fig3(opts),
+    );
+    aitax_bench::emit(
+        "Figure 4 — capture/pre-processing vs inference (NNAPI)",
+        &exp::fig4(opts),
+    );
     let f5 = exp::fig5(opts);
     aitax_bench::emit("Figure 5 — EfficientNet-Lite0 int8 targets", &f5.table);
     println!("NNAPI vs cpu-1t: {:.1}x (paper ~7x)\n", f5.nnapi_vs_cpu1);
@@ -18,7 +27,10 @@ fn main() {
     aitax_bench::emit("Figure 7 — FastRPC call flow", &exp::fig7());
     aitax_bench::emit("Figure 8 — offload amortization", &exp::fig8(opts));
     aitax_bench::emit("Figure 9 — background inferences on DSP", &exp::fig9(opts));
-    aitax_bench::emit("Figure 10 — background inferences on CPU", &exp::fig10(opts));
+    aitax_bench::emit(
+        "Figure 10 — background inferences on CPU",
+        &exp::fig10(opts),
+    );
     let f11 = exp::fig11(opts);
     aitax_bench::emit("Figure 11 — run-to-run variability", &f11.table);
     println!(
@@ -26,5 +38,8 @@ fn main() {
         f11.benchmark_deviation * 100.0,
         f11.app_deviation * 100.0
     );
-    aitax_bench::emit("Extra — libc++/libstdc++ input-generation asymmetry (§IV-A)", &exp::stdlib_asymmetry(opts));
+    aitax_bench::emit(
+        "Extra — libc++/libstdc++ input-generation asymmetry (§IV-A)",
+        &exp::stdlib_asymmetry(opts),
+    );
 }

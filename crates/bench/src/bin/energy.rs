@@ -1,0 +1,159 @@
+//! The energy shootout: what latency numbers hide.
+//!
+//! Table 1 — per-backend energy per inference on the SD845 (Pixel 3) for
+//! a quantized MobileNet-class model: CPU ×1 vs CPU ×4 vs GPU vs Hexagon
+//! DSP vs NNAPI. Latency alone makes multi-threaded CPU look close to
+//! the accelerators; pricing the same runs with the per-rail power model
+//! shows the DSP winning energy per inference outright (race-to-idle on
+//! a power-gated rail), and CPU ×4 beating CPU ×1 on energy despite
+//! burning more watts — shorter wall time under the same static floor.
+//!
+//! Table 2 — the §III-C chipset sweep (SD835 → SD865): the energy tax
+//! fraction grows alongside the time tax as inference itself gets
+//! cheaper faster than the pipeline around it.
+//!
+//! Honors `AITAX_ITERS`, `AITAX_SEED` and `AITAX_TSV=1`.
+
+use aitax_bench::{emit, opts_from_env};
+use aitax_core::pipeline::{E2eConfig, E2eReport};
+use aitax_core::report::{fmt_pct, Table};
+use aitax_core::runmode::RunMode;
+use aitax_framework::Engine;
+use aitax_models::zoo::ModelId;
+use aitax_soc::SocId;
+use aitax_tensor::DType;
+
+/// One traced run of MobileNet v1 on `soc` through `engine`.
+fn run(engine: Engine, dtype: DType, soc: SocId, iters: usize, seed: u64) -> E2eReport {
+    E2eConfig::new(ModelId::MobileNetV1, dtype)
+        .engine(engine)
+        .soc(soc)
+        .run_mode(RunMode::CliBenchmark)
+        .iterations(iters)
+        .seed(seed)
+        .tracing(true)
+        .run()
+}
+
+/// The SD845 backends of the shootout, in presentation order.
+fn backends() -> Vec<(&'static str, Engine, DType)> {
+    vec![
+        ("cpu-1thread", Engine::tflite_cpu(1), DType::I8),
+        ("cpu-4threads", Engine::tflite_cpu(4), DType::I8),
+        ("gpu", Engine::TfLiteGpu { threads: 4 }, DType::F32),
+        ("hexagon", Engine::TfLiteHexagon { threads: 4 }, DType::I8),
+        ("nnapi", Engine::nnapi(), DType::I8),
+    ]
+}
+
+fn main() {
+    let opts = opts_from_env();
+    let iters = opts.iterations.clamp(10, 60);
+
+    let mut t = Table::new(vec![
+        "backend",
+        "latency_ms",
+        "energy_mj",
+        "edp_mj_ms",
+        "mean_w",
+        "energy_tax",
+    ]);
+    for (name, engine, dtype) in backends() {
+        let r = run(engine, dtype, SocId::Sd845, iters, opts.seed);
+        let e = r.energy.as_ref().expect("tracing enabled");
+        let lat_ms = r.e2e_summary().mean_ms();
+        let mj = e.energy_per_inference_j() * 1e3;
+        // EDP in mJ·ms: energy per inference × mean e2e latency.
+        let edp = mj * lat_ms;
+        t.row(vec![
+            name.into(),
+            format!("{lat_ms:.2}"),
+            format!("{mj:.2}"),
+            format!("{edp:.1}"),
+            format!("{:.2}", e.mean_power_w()),
+            fmt_pct(e.energy_tax_fraction()),
+        ]);
+    }
+    emit(
+        "Energy shootout — MobileNet v1 on SD845 (quantized where supported)",
+        &t,
+    );
+
+    let mut sweep = Table::new(vec![
+        "soc",
+        "latency_ms",
+        "energy_mj",
+        "time_tax",
+        "energy_tax",
+    ]);
+    for soc in [SocId::Sd835, SocId::Sd845, SocId::Sd855, SocId::Sd865] {
+        let r = E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .soc(soc)
+            .run_mode(RunMode::AndroidApp)
+            .iterations(iters)
+            .seed(opts.seed)
+            .tracing(true)
+            .run();
+        let e = r.energy.as_ref().expect("tracing enabled");
+        sweep.row(vec![
+            format!("{soc:?}"),
+            format!("{:.2}", r.e2e_summary().mean_ms()),
+            format!("{:.2}", e.energy_per_inference_j() * 1e3),
+            fmt_pct(r.ai_tax_fraction()),
+            fmt_pct(e.energy_tax_fraction()),
+        ]);
+    }
+    emit(
+        "Chipset sweep — NNAPI app mode, time tax vs energy tax",
+        &sweep,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitax_core::Stage;
+
+    /// The headline result the binary exists to print: for quantized
+    /// MobileNet-class work the DSP wins energy per inference, and four
+    /// CPU threads beat one (race-to-idle under a shared static floor).
+    #[test]
+    fn dsp_beats_cpu4_beats_cpu1_on_energy() {
+        let energy_mj = |engine: Engine, dtype: DType| {
+            let r = run(engine, dtype, SocId::Sd845, 12, 3);
+            r.energy.unwrap().energy_per_inference_j() * 1e3
+        };
+        let cpu1 = energy_mj(Engine::tflite_cpu(1), DType::I8);
+        let cpu4 = energy_mj(Engine::tflite_cpu(4), DType::I8);
+        let dsp = energy_mj(Engine::TfLiteHexagon { threads: 4 }, DType::I8);
+        assert!(
+            dsp < cpu4 && cpu4 < cpu1,
+            "expected dsp < cpu4 < cpu1, got dsp={dsp:.1} cpu4={cpu4:.1} cpu1={cpu1:.1} mJ"
+        );
+    }
+
+    /// The DSP can lose the latency race to 4 big cores and still win
+    /// on energy — the point latency-only comparisons miss.
+    #[test]
+    fn dsp_energy_win_does_not_require_latency_win() {
+        let r_dsp = run(
+            Engine::TfLiteHexagon { threads: 4 },
+            DType::I8,
+            SocId::Sd845,
+            12,
+            3,
+        );
+        let r_cpu = run(Engine::tflite_cpu(4), DType::I8, SocId::Sd845, 12, 3);
+        let e_dsp = r_dsp.energy.as_ref().unwrap().energy_per_inference_j();
+        let e_cpu = r_cpu.energy.as_ref().unwrap().energy_per_inference_j();
+        assert!(
+            e_dsp < e_cpu * 0.8,
+            "DSP should win energy by a clear margin"
+        );
+        // Whatever the latency outcome, the inference stage itself must
+        // be accounted in both runs.
+        assert!(r_dsp.summary(Stage::Inference).mean_ms() > 0.0);
+        assert!(r_cpu.summary(Stage::Inference).mean_ms() > 0.0);
+    }
+}

@@ -30,7 +30,9 @@ fn main() {
         "Design study — FastCV-style DSP pre-processing (conclusion)",
         &extras::preproc_offload_study(opts),
     );
-    println!("## Figure 1 taxonomy, measured
-");
+    println!(
+        "## Figure 1 taxonomy, measured
+"
+    );
     print!("{}", extras::taxonomy_trees(opts));
 }

@@ -3,5 +3,8 @@
 
 fn main() {
     let t = aitax_core::experiment::fig10(aitax_bench::opts_from_env());
-    aitax_bench::emit("Figure 10 — multi-tenancy, background inferences on the CPU", &t);
+    aitax_bench::emit(
+        "Figure 10 — multi-tenancy, background inferences on the CPU",
+        &t,
+    );
 }

@@ -3,7 +3,10 @@
 
 fn main() {
     let r = aitax_core::experiment::fig11(aitax_bench::opts_from_env());
-    aitax_bench::emit("Figure 11 — run-to-run variability (MobileNet v1, CPU)", &r.table);
+    aitax_bench::emit(
+        "Figure 11 — run-to-run variability (MobileNet v1, CPU)",
+        &r.table,
+    );
     println!(
         "max deviation from median: benchmark {:.1}%, app {:.1}% (paper: app up to ~30%)",
         r.benchmark_deviation * 100.0,

@@ -3,6 +3,12 @@
 
 fn main() {
     let r = aitax_core::experiment::fig5(aitax_bench::opts_from_env());
-    aitax_bench::emit("Figure 5 — EfficientNet-Lite0 int8 target comparison", &r.table);
-    println!("NNAPI vs single-thread CPU: {:.1}x (paper: ~7x)", r.nnapi_vs_cpu1);
+    aitax_bench::emit(
+        "Figure 5 — EfficientNet-Lite0 int8 target comparison",
+        &r.table,
+    );
+    println!(
+        "NNAPI vs single-thread CPU: {:.1}x (paper: ~7x)",
+        r.nnapi_vs_cpu1
+    );
 }

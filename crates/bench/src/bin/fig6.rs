@@ -2,5 +2,8 @@
 //! EfficientNet-Lite0 under CPU, Hexagon delegate and NNAPI.
 
 fn main() {
-    print!("{}", aitax_core::experiment::fig6(aitax_bench::opts_from_env()));
+    print!(
+        "{}",
+        aitax_core::experiment::fig6(aitax_bench::opts_from_env())
+    );
 }

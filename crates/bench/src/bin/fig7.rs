@@ -1,5 +1,8 @@
 //! Regenerates Figure 7: the FastRPC call flow with phase timestamps.
 
 fn main() {
-    aitax_bench::emit("Figure 7 — FastRPC call flow (steady-state invocation)", &aitax_core::experiment::fig7());
+    aitax_bench::emit(
+        "Figure 7 — FastRPC call flow (steady-state invocation)",
+        &aitax_core::experiment::fig7(),
+    );
 }

@@ -3,5 +3,8 @@
 
 fn main() {
     let t = aitax_core::experiment::fig8(aitax_bench::opts_from_env());
-    aitax_bench::emit("Figure 8 — offload amortization (MobileNet v1 int8, Hexagon)", &t);
+    aitax_bench::emit(
+        "Figure 8 — offload amortization (MobileNet v1 int8, Hexagon)",
+        &t,
+    );
 }

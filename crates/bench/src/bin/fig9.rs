@@ -3,5 +3,8 @@
 
 fn main() {
     let t = aitax_core::experiment::fig9(aitax_bench::opts_from_env());
-    aitax_bench::emit("Figure 9 — multi-tenancy, background inferences on the DSP", &t);
+    aitax_bench::emit(
+        "Figure 9 — multi-tenancy, background inferences on the DSP",
+        &t,
+    );
 }

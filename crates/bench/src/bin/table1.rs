@@ -1,5 +1,8 @@
 //! Regenerates Table I: the benchmark/model list.
 
 fn main() {
-    aitax_bench::emit("Table I — Comprehensive list of benchmarks", &aitax_core::experiment::table1());
+    aitax_bench::emit(
+        "Table I — Comprehensive list of benchmarks",
+        &aitax_core::experiment::table1(),
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Table II: the hardware platforms.
 
 fn main() {
-    aitax_bench::emit("Table II — Platforms used to conduct the study", &aitax_core::experiment::table2());
+    aitax_bench::emit(
+        "Table II — Platforms used to conduct the study",
+        &aitax_core::experiment::table2(),
+    );
 }

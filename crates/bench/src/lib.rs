@@ -28,7 +28,9 @@ pub fn opts_from_env() -> ExperimentOpts {
 
 /// Whether TSV output was requested.
 pub fn tsv_requested() -> bool {
-    std::env::var("AITAX_TSV").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AITAX_TSV")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a table in the requested format, with a heading.
@@ -40,6 +42,20 @@ pub fn emit(title: &str, table: &Table) {
         print!("{}", table.render_text());
         println!();
     }
+}
+
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// the mean per-iteration latency. The `cargo bench` harnesses use this
+/// instead of an external benchmarking framework so the workspace stays
+/// dependency-free.
+pub fn bench_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_us = start.elapsed().as_secs_f64() / f64::from(iters) * 1e6;
+    println!("{name:<44} {per_us:>12.1} us/iter   ({iters} iters)");
 }
 
 #[cfg(test)]

@@ -9,9 +9,8 @@
 //! real random tensors and reports a per-element cycle cost whose
 //! float-vs-int ratio flips with the standard-library flavor.
 
+use aitax_des::SimRng;
 use aitax_tensor::{QuantParams, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Which C++ standard library the (simulated) benchmark was built against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,7 +48,7 @@ impl StdlibFlavor {
 #[derive(Debug)]
 pub struct RandomTensorGen {
     flavor: StdlibFlavor,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl RandomTensorGen {
@@ -57,7 +56,7 @@ impl RandomTensorGen {
     pub fn new(flavor: StdlibFlavor, seed: u64) -> Self {
         RandomTensorGen {
             flavor,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from(seed),
         }
     }
 
@@ -70,7 +69,7 @@ impl RandomTensorGen {
     /// generation represents.
     pub fn gen_f32(&mut self, dims: &[usize]) -> (Tensor, f64) {
         let n: usize = dims.iter().product();
-        let data: Vec<f32> = (0..n).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f32> = (0..n).map(|_| self.rng.uniform(-1.0, 1.0) as f32).collect();
         let cycles = n as f64 * self.flavor.float_cycles_per_element();
         (Tensor::from_f32(dims, data), cycles)
     }
@@ -79,7 +78,9 @@ impl RandomTensorGen {
     /// cycles the generation represents.
     pub fn gen_i8(&mut self, dims: &[usize]) -> (Tensor, f64) {
         let n: usize = dims.iter().product();
-        let data: Vec<i8> = (0..n).map(|_| self.rng.gen::<i8>()).collect();
+        let data: Vec<i8> = (0..n)
+            .map(|_| self.rng.uniform_u64(0, 256) as u8 as i8)
+            .collect();
         let cycles = n as f64 * self.flavor.int_cycles_per_element();
         (
             Tensor::from_i8(dims, data, QuantParams::from_range(-1.0, 1.0)),

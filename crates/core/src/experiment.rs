@@ -237,11 +237,7 @@ pub fn fig5(opts: ExperimentOpts) -> Fig5Result {
     }
     let cpu1 = lat[2];
     for ((name, _), l) in configs.iter().zip(&lat) {
-        t.row(vec![
-            name.to_string(),
-            fmt_ms(*l),
-            fmt_ratio(l / cpu1),
-        ]);
+        t.row(vec![name.to_string(), fmt_ms(*l), fmt_ratio(l / cpu1)]);
     }
     Fig5Result {
         table: t,
@@ -314,11 +310,7 @@ pub fn fig7() -> Table {
     for ev in m.trace.events() {
         if let TraceKind::Rpc { phase } = ev.kind {
             let at = (ev.time - t0).as_ms();
-            t.row(vec![
-                phase.to_string(),
-                fmt_ms(at),
-                fmt_ms(at - last),
-            ]);
+            t.row(vec![phase.to_string(), fmt_ms(at), fmt_ms(at - last)]);
             last = at;
         }
     }

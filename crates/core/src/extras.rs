@@ -145,7 +145,11 @@ pub fn chipset_sweep(opts: ExperimentOpts) -> Table {
 /// migrations (the scheduler bouncing the fallback thread) versus the
 /// reference kernels themselves.
 pub fn migration_ablation(opts: ExperimentOpts) -> Table {
-    let mut t = Table::new(vec!["wander_probability", "nnapi_inference_ms", "migrations"]);
+    let mut t = Table::new(vec![
+        "wander_probability",
+        "nnapi_inference_ms",
+        "migrations",
+    ]);
     for p in [0.0f64, 0.15, 0.35, 0.6] {
         let r = E2eConfig::new(ModelId::EfficientNetLite0, DType::I8)
             .engine(Engine::nnapi())
@@ -202,7 +206,11 @@ pub fn taxonomy_trees(opts: ExperimentOpts) -> String {
     let soc = aitax_soc::SocCatalog::get(SocId::Sd845);
     let mut out = String::new();
     for (name, mode, engine) in [
-        ("CLI benchmark, CPU", RunMode::CliBenchmark, Engine::tflite_cpu(4)),
+        (
+            "CLI benchmark, CPU",
+            RunMode::CliBenchmark,
+            Engine::tflite_cpu(4),
+        ),
         ("Android app, NNAPI", RunMode::AndroidApp, Engine::nnapi()),
     ] {
         let r = E2eConfig::new(ModelId::MobileNetV1, DType::I8)
@@ -212,8 +220,11 @@ pub fn taxonomy_trees(opts: ExperimentOpts) -> String {
             .seed(opts.seed)
             .run();
         let tree = TaxonomyReport::from_report(&r, &soc);
-        out.push_str(&format!("=== {name} ({}) ===
-", Zoo::entry(ModelId::MobileNetV1).display_name));
+        out.push_str(&format!(
+            "=== {name} ({}) ===
+",
+            Zoo::entry(ModelId::MobileNetV1).display_name
+        ));
         out.push_str(&tree.render());
         out.push('\n');
     }
@@ -269,7 +280,10 @@ mod tests {
 
     #[test]
     fn migrations_contribute_to_the_fallback_slowdown() {
-        let t = migration_ablation(ExperimentOpts { iterations: 10, seed: 1 });
+        let t = migration_ablation(ExperimentOpts {
+            iterations: 10,
+            seed: 1,
+        });
         let inf = |i: usize| t.rows()[i][1].parse::<f64>().unwrap();
         let mig = |i: usize| t.rows()[i][2].parse::<u64>().unwrap();
         assert_eq!(mig(0), 0, "pinned fallback must not migrate");
@@ -284,7 +298,10 @@ mod tests {
 
     #[test]
     fn dsp_preprocessing_helps_cpu_models_but_contends_with_dsp_models() {
-        let t = preproc_offload_study(ExperimentOpts { iterations: 15, seed: 1 });
+        let t = preproc_offload_study(ExperimentOpts {
+            iterations: 15,
+            seed: 1,
+        });
         let get = |i: usize, c: usize| t.rows()[i][c].parse::<f64>().unwrap();
         // With a CPU model, moving preproc to the idle DSP cuts preproc
         // time substantially.
@@ -300,12 +317,18 @@ mod tests {
         let dsp_inf_offloaded = get(1, 2);
         assert!((dsp_inf_offloaded - dsp_inf_base).abs() < dsp_inf_base * 0.2);
         assert!(get(1, 3) < get(0, 3), "E2E should improve with DSP preproc");
-        assert!(get(3, 3) < get(2, 3), "E2E should improve for CPU models too");
+        assert!(
+            get(3, 3) < get(2, 3),
+            "E2E should improve for CPU models too"
+        );
     }
 
     #[test]
     fn taxonomy_trees_render() {
-        let s = taxonomy_trees(ExperimentOpts { iterations: 8, seed: 1 });
+        let s = taxonomy_trees(ExperimentOpts {
+            iterations: 8,
+            seed: 1,
+        });
         assert!(s.contains("AI Tax"));
         assert!(s.contains("CLI benchmark"));
         assert!(s.contains("Android app"));
@@ -316,9 +339,7 @@ mod tests {
         // The core claim generalizes: faster accelerators do not shrink
         // the tax stages, so the tax *fraction* grows on newer chips.
         let t = chipset_sweep(quick());
-        let tax = |i: usize| -> f64 {
-            t.rows()[i][5].trim_end_matches('%').parse().unwrap()
-        };
+        let tax = |i: usize| -> f64 { t.rows()[i][5].trim_end_matches('%').parse().unwrap() };
         assert!(tax(0) > 30.0, "sd835 tax {}", tax(0));
         assert!(
             tax(3) >= tax(0) - 5.0,

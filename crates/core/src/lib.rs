@@ -17,6 +17,9 @@
 //!   the three packagings whose divergence Fig. 3 demonstrates,
 //! * [`pipeline`] — the end-to-end runner driving a
 //!   [`Machine`](aitax_kernel::Machine) through N iterations,
+//! * [`energy`] — per-rail energy attribution of traced runs: the AI
+//!   tax mirrored onto the energy axis (joules per stage, energy per
+//!   inference, EDP),
 //! * [`experiment`] — one pre-configured experiment per table/figure of
 //!   the paper,
 //! * [`report`] — plain-text / TSV rendering.
@@ -42,6 +45,7 @@
 //! assert!(report.summary(Stage::Inference).mean_ms() > 1.0);
 //! ```
 
+pub mod energy;
 pub mod experiment;
 pub mod extras;
 pub mod pipeline;
@@ -51,6 +55,7 @@ pub mod stage;
 pub mod stats;
 pub mod taxonomy;
 
+pub use energy::EnergyReport;
 pub use pipeline::{E2eConfig, E2eReport};
 pub use runmode::RunMode;
 pub use stage::{Stage, TaxonomyCategory};

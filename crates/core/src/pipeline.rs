@@ -18,8 +18,9 @@ use aitax_pipeline::{CostModel, PixelOp};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
 
+use crate::energy::EnergyReport;
 use crate::runmode::RunMode;
-use crate::stage::{StageBreakdown, TaxReport};
+use crate::stage::{Stage, StageBreakdown, TaxReport};
 
 /// Configuration of one end-to-end run.
 #[derive(Debug, Clone)]
@@ -194,6 +195,7 @@ impl E2eConfig {
             model_init: SimSpan::ZERO,
             randgen: RandomTensorGen::new(self.stdlib, self.seed ^ 0x5eed),
             last_frame: SimTime::ZERO,
+            stage_windows: Vec::new(),
         }));
 
         let driver = Driver {
@@ -229,6 +231,16 @@ impl E2eConfig {
             let st = state.borrow();
             (st.breakdowns.clone(), st.model_init)
         };
+        let energy = trace.as_ref().map(|tr| {
+            let st = state.borrow();
+            EnergyReport::from_trace(
+                &SocCatalog::get(self.soc).power,
+                tr,
+                &st.stage_windows,
+                st.breakdowns.len(),
+                m.now(),
+            )
+        });
         E2eReport {
             dtype: self.dtype,
             tax: TaxReport::new(breakdowns),
@@ -236,6 +248,7 @@ impl E2eConfig {
             stats: m.stats().clone(),
             plan,
             trace,
+            energy,
         }
     }
 }
@@ -250,6 +263,9 @@ struct RunState {
     randgen: RandomTensorGen,
     /// Timestamp of the camera frame consumed last.
     last_frame: SimTime,
+    /// Per-stage execution windows, recorded when tracing is enabled so
+    /// the energy meter can price each stage.
+    stage_windows: Vec<(Stage, SimTime, SimTime)>,
 }
 
 #[derive(Clone)]
@@ -267,11 +283,16 @@ impl Driver {
         self.state.borrow_mut().stage_start = m.now();
     }
 
-    fn record(&self, m: &Machine, set: impl FnOnce(&mut StageBreakdown, SimSpan)) {
+    fn record(&self, m: &Machine, stage: Stage) {
         let mut st = self.state.borrow_mut();
-        let span = m.now() - st.stage_start;
-        set(&mut st.current, span);
-        st.stage_start = m.now();
+        let now = m.now();
+        let span = now - st.stage_start;
+        *st.current.stage_mut(stage) += span;
+        if self.config.tracing {
+            let start = st.stage_start;
+            st.stage_windows.push((stage, start, now));
+        }
+        st.stage_start = now;
     }
 
     // ------------------------------------------------------ data capture
@@ -336,7 +357,7 @@ impl Driver {
     }
 
     fn end_capture(&self, m: &mut Machine) {
-        self.record(m, |b, s| b.data_capture += s);
+        self.record(m, Stage::DataCapture);
         self.begin_preprocess(m);
     }
 
@@ -348,8 +369,7 @@ impl Driver {
         if let Some((h, w)) = self.entry.resolution {
             let (out_px, elems) = ((h * w) as u64, (h * w * 3) as u64);
             if self.config.run_mode.uses_camera() {
-                let cam_px =
-                    (self.config.camera.width * self.config.camera.height) as u64;
+                let cam_px = (self.config.camera.width * self.config.camera.height) as u64;
                 steps.push((PixelOp::Nv21ToArgb, cam_px));
                 for task in self.entry.preprocess {
                     match task {
@@ -405,14 +425,14 @@ impl Driver {
                 device: aitax_kernel::RpcDevice::Dsp,
             };
             m.fastrpc_invoke(invoke, move |m| {
-                d.record(m, |b, s| b.pre_processing += s);
+                d.record(m, Stage::PreProcessing);
                 d.begin_inference(m);
             });
             return;
         }
         let task = TaskSpec::foreground("pre-processing", Work::Cycles(cycles));
         m.submit_cpu(task, move |m| {
-            d.record(m, |b, s| b.pre_processing += s);
+            d.record(m, Stage::PreProcessing);
             d.begin_inference(m);
         });
     }
@@ -422,7 +442,7 @@ impl Driver {
     fn begin_inference(&self, m: &mut Machine) {
         let d = self.clone();
         self.session.invoke(m, move |m| {
-            d.record(m, |b, s| b.inference += s);
+            d.record(m, Stage::Inference);
             d.begin_postprocess(m);
         });
     }
@@ -461,7 +481,7 @@ impl Driver {
         let d = self.clone();
         let task = TaskSpec::foreground("post-processing", Work::Cycles(cycles));
         m.submit_cpu(task, move |m| {
-            d.record(m, |b, s| b.post_processing += s);
+            d.record(m, Stage::PostProcessing);
             d.begin_ui(m);
         });
     }
@@ -484,7 +504,7 @@ impl Driver {
         let d = self.clone();
         let task = TaskSpec::foreground("ui-render", Work::Cycles(cycles));
         m.submit_cpu(task, move |m| {
-            d.record(m, |b, s| b.ui_overhead += s);
+            d.record(m, Stage::UiOverhead);
             d.finish_iteration(m);
         });
     }
@@ -535,6 +555,8 @@ pub struct E2eReport {
     pub plan: Plan,
     /// The structured trace, when tracing was enabled.
     pub trace: Option<TraceBuffer>,
+    /// Per-rail energy attribution, when tracing was enabled.
+    pub energy: Option<EnergyReport>,
 }
 
 impl E2eReport {

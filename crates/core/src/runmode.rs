@@ -110,8 +110,7 @@ mod tests {
     fn ui_overhead_grows_with_packaging() {
         assert_eq!(RunMode::CliBenchmark.ui_overhead_cycles(), 0.0);
         assert!(
-            RunMode::AndroidApp.ui_overhead_cycles()
-                > RunMode::BenchmarkApp.ui_overhead_cycles()
+            RunMode::AndroidApp.ui_overhead_cycles() > RunMode::BenchmarkApp.ui_overhead_cycles()
         );
     }
 
@@ -127,8 +126,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            RunMode::ALL.iter().map(|m| m.label()).collect();
+        let labels: std::collections::HashSet<_> = RunMode::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 3);
     }
 }

@@ -182,7 +182,10 @@ impl TaxReport {
         if self.breakdowns.is_empty() {
             return 0.0;
         }
-        self.breakdowns.iter().map(|b| b.tax_fraction()).sum::<f64>()
+        self.breakdowns
+            .iter()
+            .map(|b| b.tax_fraction())
+            .sum::<f64>()
             / self.breakdowns.len() as f64
     }
 }
@@ -204,7 +207,11 @@ mod tests {
     #[test]
     fn inference_is_not_tax() {
         assert!(!Stage::Inference.is_tax());
-        for s in [Stage::DataCapture, Stage::PreProcessing, Stage::PostProcessing] {
+        for s in [
+            Stage::DataCapture,
+            Stage::PreProcessing,
+            Stage::PostProcessing,
+        ] {
             assert!(s.is_tax());
         }
     }

@@ -122,6 +122,7 @@ impl Calendar {
     ///
     /// Returns `None` when the calendar is empty. Cancelled events are
     /// silently skipped (and their cancellation records reclaimed).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, Token)> {
         while let Some(Reverse((at, seq))) = self.heap.pop() {
             if self.cancelled.remove(&seq) {

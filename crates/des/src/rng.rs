@@ -1,12 +1,10 @@
 //! Seedable randomness for workload and noise models.
 //!
-//! [`SimRng`] wraps a deterministic PRNG and adds the handful of
-//! distributions the simulator needs (normal, log-normal, exponential,
-//! bounded jitter). The same seed always reproduces the same simulation,
-//! which the integration tests rely on.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! [`SimRng`] is a self-contained deterministic PRNG (xoshiro256** seeded
+//! via SplitMix64 — no external dependencies, so builds are reproducible
+//! offline) plus the handful of distributions the simulator needs (normal,
+//! log-normal, exponential, bounded jitter). The same seed always
+//! reproduces the same simulation, which the integration tests rely on.
 
 /// Deterministic random source for the simulator.
 ///
@@ -20,22 +18,55 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — used only to expand a 64-bit seed into state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// xoshiro256** core step.
+    fn next_raw(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator (for per-subsystem streams).
     ///
     /// Mixing in `salt` keeps children with different salts decorrelated.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_raw() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
@@ -46,7 +77,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform bounds must satisfy lo < hi");
-        self.inner.gen_range(lo..hi)
+        let x = lo + (hi - lo) * self.next_f64();
+        // Guard the open upper bound against rounding.
+        if x < hi {
+            x
+        } else {
+            lo
+        }
     }
 
     /// Uniform integer sample in `[lo, hi)`.
@@ -56,19 +93,23 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform bounds must satisfy lo < hi");
-        self.inner.gen_range(lo..hi)
+        let range = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 × range,
+        // far below anything a simulation distribution can observe.
+        let wide = (self.next_raw() as u128) * (range as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.next_f64() < p
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn standard_normal(&mut self) -> f64 {
-        // Box–Muller transform; avoid u1 == 0.
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        // Box–Muller transform; map u1 into (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -92,7 +133,7 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = 1.0 - self.next_f64(); // (0, 1]
         -mean * u.ln()
     }
 
@@ -100,7 +141,10 @@ impl SimRng {
     ///
     /// `jitter(0.05)` returns a factor within ±5%. `frac == 0` returns 1.
     pub fn jitter(&mut self, frac: f64) -> f64 {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
         if frac == 0.0 {
             1.0
         } else {
@@ -115,13 +159,13 @@ impl SimRng {
     /// Panics if the slice is empty.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "cannot pick from an empty slice");
-        let i = self.inner.gen_range(0..items.len());
+        let i = self.uniform_u64(0, items.len() as u64) as usize;
         &items[i]
     }
 
     /// Raw 64-bit sample (for hashing/salting).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_raw()
     }
 }
 
@@ -154,6 +198,18 @@ mod tests {
             let x = r.uniform(2.0, 3.0);
             assert!((2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut r = SimRng::seed_from(21);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let x = r.uniform_u64(8, 16);
+            assert!((8..16).contains(&x));
+            seen[(x - 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear");
     }
 
     #[test]

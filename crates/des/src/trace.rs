@@ -125,6 +125,17 @@ pub enum TraceKind {
         /// Payload size in bytes.
         bytes: u64,
     },
+    /// The DVFS governor retargeted a core's clock.
+    ///
+    /// Emitted on the core's own resource; the frequency holds until the
+    /// next `Dvfs` event for the same core. Energy accounting assumes the
+    /// clock only changes at these boundaries.
+    Dvfs {
+        /// Core whose clock changed.
+        core: u8,
+        /// New frequency in Hz.
+        freq_hz: u64,
+    },
     /// Free-form marker (pipeline stage boundaries etc.).
     Marker {
         /// Marker label.
@@ -302,7 +313,11 @@ mod tests {
     #[test]
     fn unclosed_intervals_are_dropped() {
         let mut buf = TraceBuffer::enabled();
-        buf.record(SimTime::from_ns(5), TraceResource::Gpu, start(7, "dangling"));
+        buf.record(
+            SimTime::from_ns(5),
+            TraceResource::Gpu,
+            start(7, "dangling"),
+        );
         assert!(buf.exec_intervals().is_empty());
     }
 
@@ -356,7 +371,11 @@ mod tests {
     #[test]
     fn clear_retains_enabled_flag() {
         let mut buf = TraceBuffer::enabled();
-        buf.record(SimTime::ZERO, TraceResource::Axi, TraceKind::AxiBurst { bytes: 64 });
+        buf.record(
+            SimTime::ZERO,
+            TraceResource::Axi,
+            TraceKind::AxiBurst { bytes: 64 },
+        );
         buf.clear();
         assert!(buf.events().is_empty());
         assert!(buf.is_enabled());

@@ -1,16 +1,18 @@
 //! Property tests for the event calendar and RNG — the invariants every
-//! other crate relies on.
+//! other crate relies on. Randomized cases are driven by the crate's own
+//! deterministic [`SimRng`] (seeded per test), so the suite needs no
+//! external dependencies and every failure reproduces bit-exactly.
 
 use aitax_des::{Calendar, SimRng, SimSpan, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events always fire in non-decreasing time order regardless of
-    /// schedule order, and every scheduled event fires exactly once.
-    #[test]
-    fn calendar_is_a_priority_queue(delays in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always fire in non-decreasing time order regardless of
+/// schedule order, and every scheduled event fires exactly once.
+#[test]
+fn calendar_is_a_priority_queue() {
+    let mut rng = SimRng::seed_from(0xCA1E_0001);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 200) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
         let mut cal = Calendar::new();
         for &d in &delays {
             cal.schedule_after(SimSpan::from_ns(d));
@@ -18,72 +20,96 @@ proptest! {
         let mut fired = 0;
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = cal.next() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}: events fired out of order");
             last = t;
             fired += 1;
         }
-        prop_assert_eq!(fired, delays.len());
+        assert_eq!(fired, delays.len(), "case {case}");
         let mut sorted = delays.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(last.as_ns(), *sorted.last().unwrap());
+        assert_eq!(last.as_ns(), *sorted.last().unwrap(), "case {case}");
     }
+}
 
-    /// Cancelled events never fire; everything else does.
-    #[test]
-    fn cancellation_is_exact(
-        delays in prop::collection::vec(0u64..1_000_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never fire; everything else does.
+#[test]
+fn cancellation_is_exact() {
+    let mut rng = SimRng::seed_from(0xCA1E_0002);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
         let mut cal = Calendar::new();
         let tokens: Vec<_> = delays
             .iter()
             .map(|&d| cal.schedule_after(SimSpan::from_ns(d)))
             .collect();
         let mut cancelled = std::collections::HashSet::new();
-        for (tok, &c) in tokens.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
-            if c {
-                prop_assert!(cal.cancel(*tok));
-                cancelled.insert(*tok);
+        for &tok in &tokens {
+            if rng.chance(0.3) {
+                assert!(cal.cancel(tok), "case {case}: live event must cancel");
+                cancelled.insert(tok);
             }
         }
         let mut fired = std::collections::HashSet::new();
         while let Some((_, tok)) = cal.next() {
-            prop_assert!(!cancelled.contains(&tok), "cancelled event fired");
-            prop_assert!(fired.insert(tok), "event fired twice");
+            assert!(
+                !cancelled.contains(&tok),
+                "case {case}: cancelled event fired"
+            );
+            assert!(fired.insert(tok), "case {case}: event fired twice");
         }
-        prop_assert_eq!(fired.len(), tokens.len() - cancelled.len());
+        assert_eq!(fired.len(), tokens.len() - cancelled.len(), "case {case}");
     }
+}
 
-    /// Equal-time events preserve FIFO order (determinism backbone).
-    #[test]
-    fn fifo_tie_break(n in 1usize..64, at in 0u64..1000) {
+/// Equal-time events preserve FIFO order (determinism backbone).
+#[test]
+fn fifo_tie_break() {
+    let mut rng = SimRng::seed_from(0xCA1E_0003);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 64) as usize;
+        let at = rng.uniform_u64(0, 1000);
         let mut cal = Calendar::new();
         let toks: Vec<_> = (0..n)
             .map(|_| cal.schedule_at(SimTime::from_ns(at)))
             .collect();
         let fired: Vec<_> = std::iter::from_fn(|| cal.next().map(|(_, t)| t)).collect();
-        prop_assert_eq!(fired, toks);
+        assert_eq!(fired, toks, "case {case}: FIFO order broken");
     }
+}
 
-    /// Same-seed RNG streams are identical; jitter stays in bounds.
-    #[test]
-    fn rng_determinism_and_bounds(seed in any::<u64>(), frac in 0.0f64..0.5) {
+/// Same-seed RNG streams are identical; jitter stays in bounds.
+#[test]
+fn rng_determinism_and_bounds() {
+    let mut meta = SimRng::seed_from(0xCA1E_0004);
+    for case in 0..64 {
+        let seed = meta.next_u64();
+        let frac = meta.uniform(0.0, 0.5);
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         for _ in 0..50 {
             let ja = a.jitter(frac);
-            prop_assert_eq!(ja, b.jitter(frac));
-            prop_assert!(ja >= 1.0 - frac - 1e-12 && ja <= 1.0 + frac + 1e-12);
+            assert_eq!(ja, b.jitter(frac), "case {case}: streams diverged");
+            assert!(
+                ja >= 1.0 - frac - 1e-12 && ja <= 1.0 + frac + 1e-12,
+                "case {case}: jitter {ja} outside ±{frac}"
+            );
         }
     }
+}
 
-    /// Log-normal samples are always positive; exponential samples too.
-    #[test]
-    fn distribution_supports(seed in any::<u64>(), median in 0.001f64..100.0, sigma in 0.0f64..2.0) {
+/// Log-normal samples are always positive; exponential samples too.
+#[test]
+fn distribution_supports() {
+    let mut meta = SimRng::seed_from(0xCA1E_0005);
+    for case in 0..64 {
+        let seed = meta.next_u64();
+        let median = meta.uniform(0.001, 100.0);
+        let sigma = meta.uniform(0.0, 2.0);
         let mut r = SimRng::seed_from(seed);
         for _ in 0..20 {
-            prop_assert!(r.lognormal(median, sigma) > 0.0);
-            prop_assert!(r.exponential(median) >= 0.0);
+            assert!(r.lognormal(median, sigma) > 0.0, "case {case}");
+            assert!(r.exponential(median) >= 0.0, "case {case}");
         }
     }
 }

@@ -126,7 +126,8 @@ pub(crate) fn plan_nnapi(
     let quantized = graph.dtype().is_quantized();
 
     // Driver-level placement decision for claimed (delegated) ops.
-    let driver_rejects_dsp = quantized && graph.per_channel_quant() && !driver.per_channel_quant_on_dsp;
+    let driver_rejects_dsp =
+        quantized && graph.per_channel_quant() && !driver.per_channel_quant_on_dsp;
     let accel: ExecTarget = if quantized {
         if driver_rejects_dsp {
             ExecTarget::NnapiRefCpu
@@ -156,12 +157,10 @@ pub(crate) fn plan_nnapi(
     // TFLite CPU kernels. For quantized graphs, ops claimed by the API
     // but unsupported by the DSP still reach the driver — where they run
     // on the reference path (that is the trap: claiming ≠ accelerating).
-    let partitions = tflite::partition_by(
-        graph,
-        accel,
-        ExecTarget::TfLiteCpu { threads },
-        |kind| driver.claims(kind) && (!quantized || driver_rejects_dsp || driver.dsp_supports(kind)),
-    );
+    let partitions =
+        tflite::partition_by(graph, accel, ExecTarget::TfLiteCpu { threads }, |kind| {
+            driver.claims(kind) && (!quantized || driver_rejects_dsp || driver.dsp_supports(kind))
+        });
 
     // NNAPI compilation: delegate handshake + driver model prepare
     // (+ DSP weight upload when the DSP will be used).

@@ -265,7 +265,11 @@ impl Session {
     ///
     /// Returns [`CompileError::UnsupportedDType`] for engine/datatype
     /// mismatches (DSP runtimes need quantized models).
-    pub fn compile(engine: Engine, graph: Rc<Graph>, soc: &SocSpec) -> Result<Session, CompileError> {
+    pub fn compile(
+        engine: Engine,
+        graph: Rc<Graph>,
+        soc: &SocSpec,
+    ) -> Result<Session, CompileError> {
         let quant_only = matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp);
         if quant_only && !graph.dtype().is_quantized() {
             return Err(CompileError::UnsupportedDType {
@@ -367,8 +371,8 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 .iter()
                 .map(|n| n.op.output_elements())
                 .sum();
-            let cycles = part.macs as f64 * cost::NNAPI_REFERENCE_CYCLES_PER_MAC
-                + elements as f64 * 2.0;
+            let cycles =
+                part.macs as f64 * cost::NNAPI_REFERENCE_CYCLES_PER_MAC + elements as f64 * 2.0;
             let task = TaskSpec::nnapi_fallback(
                 format!("nnapi-ref:{}", inner.graph.name()),
                 Work::Cycles(cycles),
@@ -391,9 +395,8 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 .spec()
                 .npu
                 .expect("Npu partition compiled for a chipset without an NPU");
-            let work = aitax_des::SimSpan::from_secs(
-                2.0 * part.macs as f64 / (npu.int8_ops * efficiency),
-            );
+            let work =
+                aitax_des::SimSpan::from_secs(2.0 * part.macs as f64 / (npu.int8_ops * efficiency));
             let invoke = RpcInvoke {
                 label: format!("npu:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
                 in_bytes: part.in_bytes,
@@ -492,8 +495,12 @@ mod tests {
 
     #[test]
     fn cpu_plan_is_single_partition() {
-        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
-            .unwrap();
+        let s = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::MobileNetV1, DType::F32),
+            &soc(),
+        )
+        .unwrap();
         assert_eq!(s.plan().partitions.len(), 1);
         assert_eq!(s.plan().offloaded_mac_fraction(), 0.0);
     }
@@ -501,8 +508,12 @@ mod tests {
     #[test]
     fn mobilenet_fp32_cpu_latency_calibration() {
         // Paper ballpark: ≈30-45 ms on 4 big cores of an SD845.
-        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
-            .unwrap();
+        let s = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::MobileNetV1, DType::F32),
+            &soc(),
+        )
+        .unwrap();
         let mut m = Machine::new(soc(), 3);
         let ms = run_invoke(&s, &mut m);
         assert!((20.0..60.0).contains(&ms), "MobileNet fp32 cpu-4t = {ms}ms");
@@ -527,8 +538,12 @@ mod tests {
     #[test]
     fn inception_v3_cpu_near_250ms() {
         // §IV (Fig. 3): "the benchmark latency is ... at 250 ms".
-        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::InceptionV3, DType::F32), &soc())
-            .unwrap();
+        let s = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::InceptionV3, DType::F32),
+            &soc(),
+        )
+        .unwrap();
         let mut m = Machine::new(soc(), 3);
         let ms = run_invoke(&s, &mut m);
         assert!(
@@ -539,10 +554,18 @@ mod tests {
 
     #[test]
     fn int8_faster_than_fp32_on_cpu() {
-        let sf = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
-            .unwrap();
-        let sq = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::I8), &soc())
-            .unwrap();
+        let sf = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::MobileNetV1, DType::F32),
+            &soc(),
+        )
+        .unwrap();
+        let sq = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::MobileNetV1, DType::I8),
+            &soc(),
+        )
+        .unwrap();
         let mut mf = Machine::new(soc(), 3);
         let mut mq = Machine::new(soc(), 3);
         let tf = run_invoke(&sf, &mut mf);
@@ -563,10 +586,14 @@ mod tests {
 
     #[test]
     fn session_is_cheaply_cloneable() {
-        let s = Session::compile(Engine::tflite_cpu(4), graph(ModelId::MobileNetV1, DType::F32), &soc())
-            .unwrap();
+        let s = Session::compile(
+            Engine::tflite_cpu(4),
+            graph(ModelId::MobileNetV1, DType::F32),
+            &soc(),
+        )
+        .unwrap();
         let s2 = s.clone();
         assert_eq!(s2.plan(), s.plan());
-        assert_eq!(format!("{s2:?}").contains("mobilenet"), true);
+        assert!(format!("{s2:?}").contains("mobilenet"));
     }
 }

@@ -1,68 +1,76 @@
 //! Property tests for compilation/partitioning soundness over randomly
-//! generated operator graphs.
+//! generated operator graphs. Graphs are generated from the
+//! deterministic simulator RNG so every case reproduces exactly.
 
+use aitax_des::SimRng;
 use aitax_framework::{Engine, ExecTarget, Session};
 use aitax_models::graph::GraphBuilder;
 use aitax_models::{Graph, Op};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
-use proptest::prelude::*;
 use std::rc::Rc;
 
-/// A strategy producing arbitrary (but valid) operator sequences.
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1usize..64, 1usize..32, 1usize..32, 1usize..5, 1usize..3).prop_map(
-            |(hw, in_c, out_c, k, s)| Op::Conv2d {
-                in_h: hw,
-                in_w: hw,
-                in_c,
-                out_c,
-                k,
-                stride: s,
-            }
-        ),
-        (1usize..64, 1usize..64, 1usize..5).prop_map(|(hw, c, k)| Op::DepthwiseConv2d {
-            in_h: hw,
-            in_w: hw,
-            c,
-            k,
+/// An arbitrary (but valid) operator.
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.uniform_u64(0, 10) {
+        0 => Op::Conv2d {
+            in_h: rng.uniform_u64(1, 64) as usize,
+            in_w: rng.uniform_u64(1, 64) as usize,
+            in_c: rng.uniform_u64(1, 32) as usize,
+            out_c: rng.uniform_u64(1, 32) as usize,
+            k: rng.uniform_u64(1, 5) as usize,
+            stride: rng.uniform_u64(1, 3) as usize,
+        },
+        1 => Op::DepthwiseConv2d {
+            in_h: rng.uniform_u64(1, 64) as usize,
+            in_w: rng.uniform_u64(1, 64) as usize,
+            c: rng.uniform_u64(1, 64) as usize,
+            k: rng.uniform_u64(1, 5) as usize,
             stride: 1,
-        }),
-        (1usize..2048, 1usize..2048).prop_map(|(i, o)| Op::FullyConnected {
-            in_features: i,
-            out_features: o,
-        }),
-        (1usize..10_000).prop_map(|n| Op::Add { elements: n }),
-        (1usize..10_000).prop_map(|n| Op::Softmax { n }),
-        (1usize..10_000).prop_map(|n| Op::Reshape { elements: n }),
-        (1usize..512, 1usize..512, 1usize..512).prop_map(|(m, k, n)| Op::MatMul {
-            m,
-            k,
-            n,
+        },
+        2 => Op::FullyConnected {
+            in_features: rng.uniform_u64(1, 2048) as usize,
+            out_features: rng.uniform_u64(1, 2048) as usize,
+        },
+        3 => Op::Add {
+            elements: rng.uniform_u64(1, 10_000) as usize,
+        },
+        4 => Op::Softmax {
+            n: rng.uniform_u64(1, 10_000) as usize,
+        },
+        5 => Op::Reshape {
+            elements: rng.uniform_u64(1, 10_000) as usize,
+        },
+        6 => Op::MatMul {
+            m: rng.uniform_u64(1, 512) as usize,
+            k: rng.uniform_u64(1, 512) as usize,
+            n: rng.uniform_u64(1, 512) as usize,
             weights: true,
-        }),
-        (1usize..100, 1usize..50).prop_map(|(a, c)| Op::DetectionPostProcess {
-            anchors: a,
-            classes: c,
-        }),
-        (1usize..64, 1usize..64, 1usize..32).prop_map(|(h, w, c)| Op::ResizeBilinear {
-            out_h: h,
-            out_w: w,
-            c,
-        }),
-        (1usize..100_000).prop_map(|n| Op::Mean { elements: n }),
-    ]
+        },
+        7 => Op::DetectionPostProcess {
+            anchors: rng.uniform_u64(1, 100) as usize,
+            classes: rng.uniform_u64(1, 50) as usize,
+        },
+        8 => Op::ResizeBilinear {
+            out_h: rng.uniform_u64(1, 64) as usize,
+            out_w: rng.uniform_u64(1, 64) as usize,
+            c: rng.uniform_u64(1, 32) as usize,
+        },
+        _ => Op::Mean {
+            elements: rng.uniform_u64(1, 100_000) as usize,
+        },
+    }
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (prop::collection::vec(arb_op(), 1..60), prop::bool::ANY).prop_map(|(ops, per_channel)| {
-        GraphBuilder::new("random", DType::I8, 1000)
-            .extend(ops)
-            .finish()
-            .expect("non-empty")
-            .with_per_channel_quant(per_channel)
-    })
+fn arb_graph(rng: &mut SimRng) -> Graph {
+    let n = rng.uniform_u64(1, 60) as usize;
+    let ops: Vec<Op> = (0..n).map(|_| arb_op(rng)).collect();
+    let per_channel = rng.chance(0.5);
+    GraphBuilder::new("random", DType::I8, 1000)
+        .extend(ops)
+        .finish()
+        .expect("non-empty")
+        .with_per_channel_quant(per_channel)
 }
 
 fn assert_plan_sound(graph: &Graph, engine: Engine) {
@@ -101,43 +109,59 @@ fn assert_plan_sound(graph: &Graph, engine: Engine) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn nnapi_plans_are_sound(graph in arb_graph()) {
-        assert_plan_sound(&graph, Engine::nnapi());
+#[test]
+fn nnapi_plans_are_sound() {
+    let mut rng = SimRng::seed_from(0xF4A7_0001);
+    for _ in 0..48 {
+        assert_plan_sound(&arb_graph(&mut rng), Engine::nnapi());
     }
+}
 
-    #[test]
-    fn hexagon_plans_are_sound(graph in arb_graph()) {
-        assert_plan_sound(&graph, Engine::TfLiteHexagon { threads: 4 });
+#[test]
+fn hexagon_plans_are_sound() {
+    let mut rng = SimRng::seed_from(0xF4A7_0002);
+    for _ in 0..48 {
+        assert_plan_sound(&arb_graph(&mut rng), Engine::TfLiteHexagon { threads: 4 });
     }
+}
 
-    #[test]
-    fn gpu_plans_are_sound(graph in arb_graph()) {
-        let g = graph.with_dtype(DType::F32);
+#[test]
+fn gpu_plans_are_sound() {
+    let mut rng = SimRng::seed_from(0xF4A7_0003);
+    for _ in 0..48 {
+        let g = arb_graph(&mut rng).with_dtype(DType::F32);
         assert_plan_sound(&g, Engine::TfLiteGpu { threads: 4 });
     }
+}
 
-    /// Per-channel quantized graphs on SD845 NNAPI never reach the DSP.
-    #[test]
-    fn per_channel_never_reaches_dsp_on_sd845(graph in arb_graph()) {
-        let g = graph.with_per_channel_quant(true);
+/// Per-channel quantized graphs on SD845 NNAPI never reach the DSP.
+#[test]
+fn per_channel_never_reaches_dsp_on_sd845() {
+    let mut rng = SimRng::seed_from(0xF4A7_0004);
+    for case in 0..48 {
+        let g = arb_graph(&mut rng).with_per_channel_quant(true);
         let soc = SocCatalog::get(SocId::Sd845);
         let session = Session::compile(Engine::nnapi(), Rc::new(g), &soc).unwrap();
         for p in &session.plan().partitions {
             let on_dsp = matches!(p.target, ExecTarget::Dsp { .. });
-            prop_assert!(!on_dsp, "per-channel partition reached the DSP");
+            assert!(
+                !on_dsp,
+                "case {case}: per-channel partition reached the DSP"
+            );
         }
     }
+}
 
-    /// Every plan executes to completion on a machine (no deadlocks, no
-    /// lost callbacks), and takes strictly positive simulated time.
-    #[test]
-    fn plans_execute_to_completion(graph in arb_graph(), seed in any::<u64>()) {
-        use aitax_kernel::Machine;
-        use std::cell::Cell;
+/// Every plan executes to completion on a machine (no deadlocks, no
+/// lost callbacks), and takes strictly positive simulated time.
+#[test]
+fn plans_execute_to_completion() {
+    use aitax_kernel::Machine;
+    use std::cell::Cell;
+    let mut rng = SimRng::seed_from(0xF4A7_0005);
+    for case in 0..48 {
+        let graph = arb_graph(&mut rng);
+        let seed = rng.next_u64();
         let soc = SocCatalog::get(SocId::Sd845);
         let session = Session::compile(Engine::nnapi(), Rc::new(graph), &soc).unwrap();
         let mut m = Machine::new(SocCatalog::get(SocId::Sd845), seed);
@@ -145,8 +169,8 @@ proptest! {
         let d = done.clone();
         session.invoke(&mut m, move |_| d.set(true));
         m.run_until_idle();
-        prop_assert!(done.get(), "invoke never completed");
-        prop_assert!(m.now().as_ns() > 0);
-        prop_assert_eq!(m.cpu_load(), 0);
+        assert!(done.get(), "case {case}: invoke never completed");
+        assert!(m.now().as_ns() > 0, "case {case}");
+        assert_eq!(m.cpu_load(), 0, "case {case}");
     }
 }

@@ -100,7 +100,11 @@ impl Machine {
         self.stats_mut().rpc_calls += 1;
         if !self.dsp_session_mapped() {
             let setup = self.spec().dsp.session_setup;
-            self.submit_dsp_raw("fastrpc-session-setup", setup, Machine::set_dsp_session_mapped);
+            self.submit_dsp_raw(
+                "fastrpc-session-setup",
+                setup,
+                Machine::set_dsp_session_mapped,
+            );
         }
         self.rpc_phase(RpcPhase::IoctlEntry);
         let entry = TaskSpec::kernel(
@@ -137,11 +141,12 @@ impl Machine {
         let mem = self.spec().memory;
         let overhead = match invoke.device {
             RpcDevice::Dsp => self.spec().dsp.invoke_overhead,
-            RpcDevice::Npu => self
-                .spec()
-                .npu
-                .expect("NPU invoke on a chipset without an NPU")
-                .invoke_overhead,
+            RpcDevice::Npu => {
+                self.spec()
+                    .npu
+                    .expect("NPU invoke on a chipset without an NPU")
+                    .invoke_overhead
+            }
         };
         let exec = overhead
             + mem.transfer_span(invoke.in_bytes)
@@ -178,10 +183,7 @@ impl Machine {
         // Return path: invalidate output buffer caches + unmarshal.
         let invalidate = self.spec().memory.cache_flush_span(invoke.out_bytes);
         let cycles = self.rpc_costs.ioctl_return_cycles;
-        let task = TaskSpec::kernel(
-            format!("ioctl-ret:{}", invoke.label),
-            Work::Cycles(cycles),
-        );
+        let task = TaskSpec::kernel(format!("ioctl-ret:{}", invoke.label), Work::Cycles(cycles));
         self.submit_cpu(task, move |m| {
             let t = TaskSpec::kernel("cache-invalidate", Work::Span(invalidate));
             m.submit_cpu(t, on_done);

@@ -14,8 +14,9 @@
 //! * interrupt jitter and [`noise`] generators that model the Android
 //!   background activity responsible for in-app run-to-run variability
 //!   (Figure 11),
-//! * thermal coupling: core busy time heats the chip, which throttles
-//!   frequency (paper §III-D).
+//! * power/thermal coupling: a schedutil-style [`dvfs`] governor picks
+//!   per-core clocks, the per-rail power model turns execution into watts,
+//!   watts heat the chip, and heat throttles frequency (paper §III-D).
 //!
 //! Work is submitted as [`TaskSpec`]s and sequenced with completion
 //! callbacks; `aitax-framework` and `aitax-core` build the ML execution
@@ -40,12 +41,14 @@
 //! assert!(done.get());
 //! ```
 
+pub mod dvfs;
 pub mod fastrpc;
 pub mod machine;
 pub mod noise;
 pub mod sched;
 pub mod task;
 
+pub use dvfs::DvfsPolicy;
 pub use fastrpc::{FastRpcCosts, RpcDevice, RpcInvoke};
 pub use machine::{GpuJob, Machine, MachineStats};
 pub use noise::NoiseConfig;

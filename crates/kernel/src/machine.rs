@@ -6,6 +6,7 @@ use aitax_des::trace::{TraceKind, TraceResource};
 use aitax_des::{Calendar, SimRng, SimSpan, SimTime, Token, TraceBuffer};
 use aitax_soc::{SocSpec, ThermalState};
 
+use crate::dvfs::{CoreGov, DvfsPolicy};
 use crate::fastrpc::FastRpcCosts;
 use crate::task::{CoreMask, TaskClass, TaskId, Work};
 
@@ -127,7 +128,8 @@ pub struct Machine {
     pub(crate) gpu: AccelState,
     pub(crate) npu: AccelState,
     pub(crate) thermal: ThermalState,
-    pub(crate) busy_cores: usize,
+    pub(crate) governor: Vec<CoreGov>,
+    pub(crate) dvfs: DvfsPolicy,
     pub(crate) rpc_costs: FastRpcCosts,
     pub(crate) noise_generation: u64,
     pub(crate) next_obj_id: u64,
@@ -137,14 +139,33 @@ pub struct Machine {
 
 impl Machine {
     /// Boots a machine from an SoC spec with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's power description does not have one core rail
+    /// per CPU core.
     pub fn new(spec: SocSpec, seed: u64) -> Self {
         let core_specs = spec.cores();
+        assert_eq!(
+            spec.power.core_rails.len(),
+            core_specs.len(),
+            "{}: power spec needs one core rail per CPU core",
+            spec.name
+        );
         let cores = core_specs.iter().map(|_| CoreState::default()).collect();
+        let governor = spec
+            .power
+            .core_rails
+            .iter()
+            .map(|r| CoreGov::new(r.nominal().freq_hz))
+            .collect();
         let thermal = ThermalState::new(spec.thermal);
         Machine {
             core_specs,
             cores,
             thermal,
+            governor,
+            dvfs: DvfsPolicy::default(),
             cal: Calendar::new(),
             rng: SimRng::seed_from(seed),
             trace: TraceBuffer::disabled(),
@@ -154,7 +175,6 @@ impl Machine {
             dsp_session_mapped: false,
             gpu: AccelState::default(),
             npu: AccelState::default(),
-            busy_cores: 0,
             rpc_costs: FastRpcCosts::default(),
             noise_generation: 0,
             next_obj_id: 1,
@@ -313,13 +333,48 @@ impl Machine {
         }
     }
 
-    // ------------------------------------------------------------- thermal
+    // ------------------------------------------------- thermal and power
 
-    /// Advances the thermal state to now using the current busy fraction.
+    /// Instantaneous package power in watts: every core rail at its
+    /// governor-chosen operating point (active) or leakage floor (idle),
+    /// accelerator rails busy or collapsed, plus the uncore floor.
+    pub fn current_power_w(&self) -> f64 {
+        let p = &self.spec.power;
+        let mut w = p.interconnect.uncore_w;
+        for (i, rail) in p.core_rails.iter().enumerate() {
+            w += if self.cores[i].running.is_some() {
+                rail.active_power_w(self.governor[i].freq_hz)
+            } else {
+                rail.idle_power_w()
+            };
+        }
+        w += if self.dsp.running.is_some() {
+            p.dsp.busy_w
+        } else {
+            p.dsp.idle_power_w()
+        };
+        w += if self.gpu.running.is_some() {
+            p.gpu.busy_w
+        } else {
+            p.gpu.idle_power_w()
+        };
+        if let Some(npu) = &p.npu {
+            w += if self.npu.running.is_some() {
+                npu.busy_w
+            } else {
+                npu.idle_power_w()
+            };
+        }
+        w
+    }
+
+    /// Advances the thermal state to now, heating from the power drawn
+    /// since the last update. Call *before* changing busy state so the
+    /// elapsed stretch is priced at the state it actually ran in.
     pub(crate) fn touch_thermal(&mut self) {
-        let frac = self.busy_cores as f64 / self.cores.len() as f64;
+        let watts = self.current_power_w();
         let now = self.cal.now();
-        self.thermal.advance(now, frac.min(1.0));
+        self.thermal.advance(now, watts);
     }
 
     /// Current frequency multiplier (thermal throttling).
@@ -385,7 +440,11 @@ impl Machine {
         exec: SimSpan,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
-        assert!(self.spec.npu.is_some(), "{} has no NPU block", self.spec.name);
+        assert!(
+            self.spec.npu.is_some(),
+            "{} has no NPU block",
+            self.spec.name
+        );
         let trace_id = self.fresh_obj_id();
         self.npu.queue.push_back(AccelJob {
             label: label.into(),
@@ -405,6 +464,17 @@ impl Machine {
         if state.running.is_some() {
             return;
         }
+        if state.queue.is_empty() {
+            return;
+        }
+        // The accelerator flips to busy: integrate heat up to this instant
+        // at the old power level first.
+        self.touch_thermal();
+        let state = match kind {
+            AccelKind::Dsp => &mut self.dsp,
+            AccelKind::Gpu => &mut self.gpu,
+            AccelKind::Npu => &mut self.npu,
+        };
         let Some(job) = state.queue.pop_front() else {
             return;
         };
@@ -433,6 +503,8 @@ impl Machine {
     }
 
     fn on_accel_done(&mut self, kind: AccelKind) {
+        // Price the elapsed busy stretch before the block goes idle.
+        self.touch_thermal();
         let state = match kind {
             AccelKind::Dsp => &mut self.dsp,
             AccelKind::Gpu => &mut self.gpu,

@@ -92,9 +92,7 @@ impl Machine {
 }
 
 fn schedule_burst(m: &mut Machine, config: NoiseConfig, generation: u64) {
-    let gap_us = m
-        .rng_mut()
-        .exponential(config.mean_interarrival.as_us());
+    let gap_us = m.rng_mut().exponential(config.mean_interarrival.as_us());
     m.after(SimSpan::from_us(gap_us), move |m| {
         if m.noise_generation != generation {
             return;

@@ -43,7 +43,9 @@ impl Machine {
         spec: TaskSpec,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) -> TaskId {
-        let affinity = spec.affinity.unwrap_or_else(|| self.default_affinity(spec.class));
+        let affinity = spec
+            .affinity
+            .unwrap_or_else(|| self.default_affinity(spec.class));
         let id = TaskId(self.fresh_obj_id());
         let idx = self.task_slot(id);
         self.tasks[idx] = Some(Task {
@@ -73,7 +75,10 @@ impl Machine {
         specs: Vec<TaskSpec>,
         on_all_done: impl FnOnce(&mut Machine) + 'static,
     ) -> Vec<TaskId> {
-        assert!(!specs.is_empty(), "parallel submission needs at least one task");
+        assert!(
+            !specs.is_empty(),
+            "parallel submission needs at least one task"
+        );
         type JoinSlot = Rc<RefCell<(usize, Option<Box<dyn FnOnce(&mut Machine)>>)>>;
         let join: JoinSlot = Rc::new(RefCell::new((specs.len(), Some(Box::new(on_all_done)))));
         specs
@@ -160,6 +165,16 @@ impl Machine {
         };
         let now = self.cal.now();
         self.touch_thermal();
+        let class = self.tasks[id.0 as usize]
+            .as_ref()
+            .expect("dispatching a completed task")
+            .class;
+        // The core flips busy: fold the elapsed idle stretch into its
+        // utilization estimate, then let the governor pick the clock this
+        // slice will run (and be energy-priced) at.
+        self.gov_observe(core, true);
+        self.gov_retarget(core, class);
+        let speed = self.cpu_speed(core);
 
         // Costs before useful work resumes.
         let mut overhead = SimSpan::ZERO;
@@ -167,8 +182,11 @@ impl Machine {
         if switching {
             overhead += CONTEXT_SWITCH_COST;
             self.stats_mut().context_switches += 1;
-            self.trace
-                .record(now, TraceResource::CpuCore(core as u8), TraceKind::ContextSwitch);
+            self.trace.record(
+                now,
+                TraceResource::CpuCore(core as u8),
+                TraceKind::ContextSwitch,
+            );
         }
 
         let (rate, slice, label, penalty) = {
@@ -180,9 +198,7 @@ impl Machine {
             // Small per-slice rate jitter: DVFS settling, cache state,
             // memory interference — the residual variability even quiet
             // benchmarks exhibit (Fig. 11's tight-but-nonzero spread).
-            let rate = task.work_kind.rate_on(spec)
-                * self.thermal.freq_multiplier()
-                * self.rng.jitter(0.01);
+            let rate = task.work_kind.rate_on(spec) * speed * self.rng.jitter(0.01);
             let quantum = BASE_QUANTUM * task.class.weight();
             let run_secs = (task.remaining / rate).max(0.0);
             let slice = SimSpan::from_secs(run_secs).min(quantum).max(MIN_SLICE);
@@ -200,7 +216,6 @@ impl Machine {
             rate,
         });
         self.cores[core].last_task = Some(id);
-        self.busy_cores += 1;
         self.trace.record(
             now,
             TraceResource::CpuCore(core as u8),
@@ -212,13 +227,15 @@ impl Machine {
     }
 
     pub(crate) fn on_slice_end(&mut self, core: usize) {
+        // Price the elapsed busy slice (heat + utilization) before the
+        // core's state flips to idle.
+        self.touch_thermal();
+        self.gov_observe(core, false);
         let running = self.cores[core]
             .running
             .take()
             .expect("slice end on an idle core");
         let now = self.cal.now();
-        self.touch_thermal();
-        self.busy_cores -= 1;
         let id = running.task;
         self.trace.record(
             now,
@@ -340,7 +357,10 @@ impl Machine {
             }
         }
         if let Some((vc, pos)) = victim {
-            let id = self.cores[vc].runq.remove(pos).expect("victim position valid");
+            let id = self.cores[vc]
+                .runq
+                .remove(pos)
+                .expect("victim position valid");
             self.migrate(id, vc, core);
         }
     }

@@ -186,8 +186,8 @@ impl TaskSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aitax_soc::{ClusterKind, CpuCoreSpec};
     use aitax_des::SimSpan;
+    use aitax_soc::{ClusterKind, CpuCoreSpec};
 
     fn core() -> CpuCoreSpec {
         CpuCoreSpec {

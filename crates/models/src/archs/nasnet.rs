@@ -35,7 +35,9 @@ fn cell(mut b: GraphBuilder, h: usize, in_c: usize, c: usize) -> GraphBuilder {
     for k in [5, 3] {
         let (ops, _, _) = separable(h, h, c, c, k, 1);
         b = b.extend(ops);
-        b = b.push(Op::Add { elements: h * h * c });
+        b = b.push(Op::Add {
+            elements: h * h * c,
+        });
     }
     b.push(Op::Concat {
         elements: h * h * c * 2,

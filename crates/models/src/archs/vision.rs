@@ -248,15 +248,14 @@ pub fn alexnet(dtype: DType) -> Graph {
 /// and, crucially for Fig. 5, their INT8 variants use operator
 /// configurations with patchy NNAPI driver support on SD845-era phones.
 pub fn efficientnet_lite0(dtype: DType) -> Graph {
-    let mut b =
-        GraphBuilder::new("efficientnet_lite0", dtype, 224 * 224 * 3).push(Op::Conv2d {
-            in_h: 224,
-            in_w: 224,
-            in_c: 3,
-            out_c: 32,
-            k: 3,
-            stride: 2,
-        });
+    let mut b = GraphBuilder::new("efficientnet_lite0", dtype, 224 * 224 * 3).push(Op::Conv2d {
+        in_h: 224,
+        in_w: 224,
+        in_c: 3,
+        out_c: 32,
+        k: 3,
+        stride: 2,
+    });
     // (expand, k, out_c, repeats, first_stride)
     let stages = [
         (1, 3, 16, 1, 1),

@@ -270,21 +270,20 @@ impl Op {
     /// Trained parameter count (weights + biases).
     pub fn params(&self) -> u64 {
         match *self {
-            Op::Conv2d {
-                in_c, out_c, k, ..
-            } => (in_c as u64) * (out_c as u64) * (k as u64) * (k as u64) + out_c as u64,
+            Op::Conv2d { in_c, out_c, k, .. } => {
+                (in_c as u64) * (out_c as u64) * (k as u64) * (k as u64) + out_c as u64
+            }
             Op::DepthwiseConv2d { c, k, .. } => (c as u64) * (k as u64) * (k as u64) + c as u64,
             Op::FullyConnected {
                 in_features,
                 out_features,
             } => (in_features as u64) * (out_features as u64) + out_features as u64,
-            Op::MatMul { k, n, weights, .. } => {
-                if weights {
-                    (k as u64) * (n as u64)
-                } else {
-                    0
-                }
-            }
+            Op::MatMul {
+                k,
+                n,
+                weights: true,
+                ..
+            } => (k as u64) * (n as u64),
             Op::LayerNorm { elements } => 2 * (elements as u64).min(4096),
             Op::Embedding { dim, vocab, .. } => (vocab as u64) * (dim as u64),
             _ => 0,
@@ -428,7 +427,9 @@ mod tests {
             Op::Add { elements: 100 },
             Op::Softmax { n: 10 },
             Op::Activation { elements: 50 },
-            Op::Mean { elements: 49 * 1024 },
+            Op::Mean {
+                elements: 49 * 1024,
+            },
         ] {
             assert_eq!(op.params(), 0, "{:?}", op.kind());
         }

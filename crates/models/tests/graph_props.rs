@@ -1,22 +1,21 @@
-//! Property tests over the model zoo and operator accounting.
+//! Property tests over the model zoo and operator accounting. Randomized
+//! cases are driven by the deterministic simulator RNG.
 
+use aitax_des::SimRng;
 use aitax_models::zoo::{ModelId, Zoo};
 use aitax_models::Op;
 use aitax_tensor::DType;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Conv MAC counts factor exactly as out_spatial × kernel × channels.
-    #[test]
-    fn conv_macs_factorization(
-        in_hw in 1usize..128,
-        in_c in 1usize..64,
-        out_c in 1usize..64,
-        k in 1usize..7,
-        stride in 1usize..4,
-    ) {
+/// Conv MAC counts factor exactly as out_spatial × kernel × channels.
+#[test]
+fn conv_macs_factorization() {
+    let mut rng = SimRng::seed_from(0x90DE_0001);
+    for case in 0..48 {
+        let in_hw = rng.uniform_u64(1, 128) as usize;
+        let in_c = rng.uniform_u64(1, 64) as usize;
+        let out_c = rng.uniform_u64(1, 64) as usize;
+        let k = rng.uniform_u64(1, 7) as usize;
+        let stride = rng.uniform_u64(1, 4) as usize;
         let op = Op::Conv2d {
             in_h: in_hw,
             in_w: in_hw,
@@ -26,9 +25,10 @@ proptest! {
             stride,
         };
         let o = in_hw.div_ceil(stride) as u64;
-        prop_assert_eq!(
+        assert_eq!(
             op.macs(),
-            o * o * (out_c as u64) * (in_c as u64) * (k * k) as u64
+            o * o * (out_c as u64) * (in_c as u64) * (k * k) as u64,
+            "case {case}"
         );
         // A full conv is exactly `out_c` stacked depthwise passes over
         // the input channels: conv.macs = dw.macs × out_c.
@@ -39,16 +39,42 @@ proptest! {
             k,
             stride,
         };
-        prop_assert_eq!(dw.macs() * out_c as u64, op.macs());
+        assert_eq!(dw.macs() * out_c as u64, op.macs(), "case {case}");
     }
+}
 
-    /// Doubling stride never increases output size or MACs.
-    #[test]
-    fn stride_monotonicity(hw in 2usize..256, c in 1usize..32, k in 1usize..6) {
-        let m = |stride| Op::Conv2d { in_h: hw, in_w: hw, in_c: c, out_c: c, k, stride }.macs();
-        prop_assert!(m(2) <= m(1));
-        let e = |stride| Op::Conv2d { in_h: hw, in_w: hw, in_c: c, out_c: c, k, stride }.output_elements();
-        prop_assert!(e(2) <= e(1));
+/// Doubling stride never increases output size or MACs.
+#[test]
+fn stride_monotonicity() {
+    let mut rng = SimRng::seed_from(0x90DE_0002);
+    for case in 0..48 {
+        let hw = rng.uniform_u64(2, 256) as usize;
+        let c = rng.uniform_u64(1, 32) as usize;
+        let k = rng.uniform_u64(1, 6) as usize;
+        let m = |stride| {
+            Op::Conv2d {
+                in_h: hw,
+                in_w: hw,
+                in_c: c,
+                out_c: c,
+                k,
+                stride,
+            }
+            .macs()
+        };
+        assert!(m(2) <= m(1), "case {case}");
+        let e = |stride| {
+            Op::Conv2d {
+                in_h: hw,
+                in_w: hw,
+                in_c: c,
+                out_c: c,
+                k,
+                stride,
+            }
+            .output_elements()
+        };
+        assert!(e(2) <= e(1), "case {case}");
     }
 }
 

@@ -159,10 +159,7 @@ mod tests {
     #[test]
     fn chain_sums_steps() {
         let m = CostModel::new(RuntimeKind::Native);
-        let chain = m.chain_cycles(&[
-            (PixelOp::Nv21ToArgb, 100),
-            (PixelOp::ResizeBilinear, 50),
-        ]);
+        let chain = m.chain_cycles(&[(PixelOp::Nv21ToArgb, 100), (PixelOp::ResizeBilinear, 50)]);
         assert_eq!(
             chain,
             m.cycles(PixelOp::Nv21ToArgb, 100) + m.cycles(PixelOp::ResizeBilinear, 50)

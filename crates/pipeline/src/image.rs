@@ -24,7 +24,7 @@ impl YuvNv21Image {
     pub fn new(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
         assert!(
-            width % 2 == 0 && height % 2 == 0,
+            width.is_multiple_of(2) && height.is_multiple_of(2),
             "NV21 requires even dimensions, got {width}x{height}"
         );
         let expected = width * height + 2 * (width / 2) * (height / 2);
@@ -44,7 +44,10 @@ impl YuvNv21Image {
     /// with a seed-positioned bright blob and mild chroma variation, so
     /// pre-processing exercises non-trivial pixel values.
     pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
-        assert!(width % 2 == 0 && height % 2 == 0, "NV21 requires even dims");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "NV21 requires even dims"
+        );
         let mut data = vec![0u8; width * height + 2 * (width / 2) * (height / 2)];
         let bx = (seed as usize * 37) % width;
         let by = (seed as usize * 61) % height;

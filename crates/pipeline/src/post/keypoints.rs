@@ -102,7 +102,7 @@ mod tests {
     fn decodes_argmax_cell_with_offset() {
         let (mut heat, mut off) = grid(4, 4, 1);
         // Peak at cell (2, 3).
-        heat[(2 * 4 + 3) * 1] = 5.0;
+        heat[2 * 4 + 3] = 5.0; // channels = 1
         let base = (2 * 4 + 3) * 2;
         off[base] = 3.5; // dy
         off[base + 1] = -1.25; // dx
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn each_keypoint_decodes_independently() {
         let (mut heat, off) = grid(3, 3, 2);
-        heat[(0 * 3 + 0) * 2] = 9.0; // kp 0 peak at (0,0)
+        heat[0] = 9.0; // kp 0 peak at cell (0,0)
         heat[(2 * 3 + 2) * 2 + 1] = 9.0; // kp 1 peak at (2,2)
         let kps = decode_keypoints(&heat, &off, 3, 3, 2, 8);
         assert_eq!(kps[0].y, 0.0);

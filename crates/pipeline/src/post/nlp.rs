@@ -45,10 +45,10 @@ impl WordPieceTokenizer {
             "[PAD]", "[UNK]", "[CLS]", "[SEP]", "the", "a", "an", "of", "to", "and", "in", "is",
             "it", "on", "what", "who", "when", "where", "how", "why", "do", "does", "did", "can",
             "could", "phone", "time", "run", "runs", "model", "neural", "network", "net", "work",
-            "works", "mobile", "learn", "learning", "machine", "deep", "fast", "slow", "ai",
-            "tax", "late", "latency", "##s", "##ing", "##ed", "##er", "##est", "##ly", "##ness",
-            "##work", "##net", "##phone", "per", "form", "##form", "##ance", "bench", "##mark",
-            "quick", "brown", "fox", "jump", "##ump", "lazy", "dog", "over",
+            "works", "mobile", "learn", "learning", "machine", "deep", "fast", "slow", "ai", "tax",
+            "late", "latency", "##s", "##ing", "##ed", "##er", "##est", "##ly", "##ness", "##work",
+            "##net", "##phone", "per", "form", "##form", "##ance", "bench", "##mark", "quick",
+            "brown", "fox", "jump", "##ump", "lazy", "dog", "over",
         ];
         let mut vocab: Vec<(String, u32)> = words
             .iter()
@@ -154,16 +154,24 @@ impl WordPieceTokenizer {
 /// # Panics
 ///
 /// Panics if the slices differ in length or are empty.
-pub fn best_answer_span(start_logits: &[f32], end_logits: &[f32], max_span: usize) -> (usize, usize, f32) {
-    assert_eq!(start_logits.len(), end_logits.len(), "logit length mismatch");
+pub fn best_answer_span(
+    start_logits: &[f32],
+    end_logits: &[f32],
+    max_span: usize,
+) -> (usize, usize, f32) {
+    assert_eq!(
+        start_logits.len(),
+        end_logits.len(),
+        "logit length mismatch"
+    );
     assert!(!start_logits.is_empty(), "logits cannot be empty");
     let mut best = (0usize, 0usize, f32::NEG_INFINITY);
-    for s in 0..start_logits.len() {
+    for (s, &s_logit) in start_logits.iter().enumerate() {
         let e_hi = (s + max_span).min(end_logits.len() - 1);
-        for e in s..=e_hi {
-            let score = start_logits[s] + end_logits[e];
+        for (off, &e_logit) in end_logits[s..=e_hi].iter().enumerate() {
+            let score = s_logit + e_logit;
             if score > best.2 {
-                best = (s, e, score);
+                best = (s, s + off, score);
             }
         }
     }

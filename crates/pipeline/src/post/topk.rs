@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn quantized_top_k_matches_float_path() {
         let params = QuantParams::from_range(0.0, 1.0);
-        let float_scores = vec![0.02f32, 0.9, 0.3, 0.6];
+        let float_scores = [0.02f32, 0.9, 0.3, 0.6];
         let q: Vec<i8> = float_scores.iter().map(|&s| params.quantize(s)).collect();
         let t = Tensor::from_i8(&[4], q, params);
         let top = top_k_quantized(&t, 2).unwrap();

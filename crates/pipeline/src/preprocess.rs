@@ -265,7 +265,10 @@ mod tests {
         let src = ArgbImage::from_pixels(
             2,
             1,
-            vec![ArgbImage::pack(0xFF, 0, 0, 0), ArgbImage::pack(0xFF, 255, 255, 255)],
+            vec![
+                ArgbImage::pack(0xFF, 0, 0, 0),
+                ArgbImage::pack(0xFF, 255, 255, 255),
+            ],
         );
         let out = resize_bilinear(&src, 5, 1);
         let mid = ArgbImage::unpack(out.get(2, 0)).1;

@@ -1,0 +1,545 @@
+//! Trace-driven energy metering.
+//!
+//! [`EnergyMeter`] replays a [`TraceBuffer`] against a [`PowerSpec`],
+//! integrating per-rail power over time. CPU execution intervals are
+//! priced at the frequency the DVFS governor had set at interval start
+//! (`TraceKind::Dvfs` events; the governor only retargets clocks at
+//! dispatch boundaries, so the frequency is constant within an interval).
+//! Accelerator intervals are priced at their two-state busy power, AXI
+//! bursts at energy-per-byte, and every rail pays its idle/uncore floor
+//! for the full window.
+
+use std::collections::BTreeMap;
+
+use aitax_des::trace::{ExecInterval, TraceKind, TraceResource};
+use aitax_des::{SimSpan, SimTime, TraceBuffer};
+
+use crate::spec::{PowerSpec, Rail};
+
+/// Energy attributed per rail, in joules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RailEnergy {
+    cells: BTreeMap<Rail, f64>,
+}
+
+impl RailEnergy {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        RailEnergy::default()
+    }
+
+    /// Adds joules to a rail.
+    pub fn add(&mut self, rail: Rail, joules: f64) {
+        if joules != 0.0 {
+            *self.cells.entry(rail).or_insert(0.0) += joules;
+        }
+    }
+
+    /// Joules attributed to one rail (zero if absent).
+    pub fn joules(&self, rail: Rail) -> f64 {
+        self.cells.get(&rail).copied().unwrap_or(0.0)
+    }
+
+    /// Total joules across all rails.
+    pub fn total_j(&self) -> f64 {
+        self.cells.values().sum()
+    }
+
+    /// Joules across all CPU core rails.
+    pub fn cpu_j(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|(r, _)| matches!(r, Rail::Cpu(_)))
+            .map(|(_, j)| j)
+            .sum()
+    }
+
+    /// Iterates rails in deterministic (ordinal) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rail, f64)> + '_ {
+        self.cells.iter().map(|(&r, &j)| (r, j))
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &RailEnergy) {
+        for (rail, j) in other.iter() {
+            self.add(rail, j);
+        }
+    }
+}
+
+/// Per-rail average power over fixed-width bins, for timeline plots.
+#[derive(Debug, Clone)]
+pub struct PowerTimeline {
+    /// Nominal bin width.
+    pub bin_width: SimSpan,
+    /// End of the metered range (the last bin may be shorter).
+    pub end: SimTime,
+    /// Joules per bin, per rail, rails in ordinal order.
+    pub rails: Vec<(Rail, Vec<f64>)>,
+}
+
+impl PowerTimeline {
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.rails.first().map_or(0, |(_, v)| v.len())
+    }
+
+    /// Actual length of a bin in seconds (the final bin may be partial).
+    pub fn bin_secs(&self, bin: usize) -> f64 {
+        let w = self.bin_width.as_ns();
+        let start = bin as u64 * w;
+        let end = ((bin as u64 + 1) * w).min(self.end.as_ns());
+        (end.saturating_sub(start)) as f64 * 1e-9
+    }
+
+    /// Average total watts in a bin.
+    pub fn total_watts(&self, bin: usize) -> f64 {
+        let secs = self.bin_secs(bin);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.rails.iter().map(|(_, v)| v[bin]).sum::<f64>() / secs
+    }
+
+    /// Average watts on one rail in a bin.
+    pub fn rail_watts(&self, rail: Rail, bin: usize) -> f64 {
+        let secs = self.bin_secs(bin);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.rails
+            .iter()
+            .find(|(r, _)| *r == rail)
+            .map_or(0.0, |(_, v)| v[bin])
+            / secs
+    }
+
+    /// Peak of the binned total power, in watts.
+    pub fn peak_total_watts(&self) -> f64 {
+        (0..self.bins())
+            .map(|b| self.total_watts(b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total energy in the timeline, in joules. Equals the integral of the
+    /// binned power — and, by construction, the energy the meter would
+    /// attribute to the same range in one window.
+    pub fn energy_j(&self) -> f64 {
+        self.rails.iter().map(|(_, v)| v.iter().sum::<f64>()).sum()
+    }
+}
+
+/// Integrates a trace into per-rail energy.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyMeter<'a> {
+    spec: &'a PowerSpec,
+}
+
+/// Per-core DVFS frequency steps extracted from the trace: `(time, freq)`
+/// changepoints in ascending time order, per core index.
+struct FreqTimeline {
+    steps: Vec<Vec<(SimTime, f64)>>,
+}
+
+impl FreqTimeline {
+    fn build(spec: &PowerSpec, trace: &TraceBuffer) -> Self {
+        let mut steps: Vec<Vec<(SimTime, f64)>> = spec
+            .core_rails
+            .iter()
+            .map(|r| vec![(SimTime::ZERO, r.nominal().freq_hz)])
+            .collect();
+        for ev in trace.events() {
+            if let TraceKind::Dvfs { core, freq_hz } = ev.kind {
+                if let Some(track) = steps.get_mut(core as usize) {
+                    track.push((ev.time, freq_hz as f64));
+                }
+            }
+        }
+        FreqTimeline { steps }
+    }
+
+    /// Frequency of `core` at time `t` (last change at or before `t`).
+    fn freq_at(&self, core: usize, t: SimTime) -> f64 {
+        let track = &self.steps[core];
+        match track.partition_point(|&(when, _)| when <= t) {
+            0 => track[0].1,
+            i => track[i - 1].1,
+        }
+    }
+}
+
+/// Overlap of `[s, e)` with `[a, b)` in seconds.
+fn overlap_secs(s: SimTime, e: SimTime, a: SimTime, b: SimTime) -> f64 {
+    let lo = s.max(a);
+    let hi = e.min(b);
+    if hi > lo {
+        (hi - lo).as_secs()
+    } else {
+        0.0
+    }
+}
+
+impl<'a> EnergyMeter<'a> {
+    /// Creates a meter over a power spec.
+    pub fn new(spec: &'a PowerSpec) -> Self {
+        EnergyMeter { spec }
+    }
+
+    /// The spec this meter prices against.
+    pub fn spec(&self) -> &PowerSpec {
+        self.spec
+    }
+
+    /// Attributes trace energy to each half-open window `[from, to)`.
+    ///
+    /// Windows may overlap or leave gaps; each is metered independently.
+    /// Every window pays the idle/uncore floor for its full length plus
+    /// the busy increment of each execution interval overlapping it.
+    pub fn attribute(
+        &self,
+        trace: &TraceBuffer,
+        windows: &[(SimTime, SimTime)],
+    ) -> Vec<RailEnergy> {
+        let intervals = trace.exec_intervals();
+        let freqs = FreqTimeline::build(self.spec, trace);
+        windows
+            .iter()
+            .map(|&(from, to)| self.meter_window(trace, &intervals, &freqs, from, to))
+            .collect()
+    }
+
+    /// Energy per rail over one window `[from, to)`.
+    pub fn energy_between(&self, trace: &TraceBuffer, from: SimTime, to: SimTime) -> RailEnergy {
+        self.attribute(trace, &[(from, to)])
+            .pop()
+            .expect("one window in, one ledger out")
+    }
+
+    fn meter_window(
+        &self,
+        trace: &TraceBuffer,
+        intervals: &[ExecInterval],
+        freqs: &FreqTimeline,
+        from: SimTime,
+        to: SimTime,
+    ) -> RailEnergy {
+        let mut out = RailEnergy::new();
+        if to <= from {
+            return out;
+        }
+        let window_secs = (to - from).as_secs();
+
+        // Idle/uncore floor for the whole window.
+        for (i, rail) in self.spec.core_rails.iter().enumerate() {
+            out.add(Rail::Cpu(i as u8), rail.idle_power_w() * window_secs);
+        }
+        out.add(Rail::Gpu, self.spec.gpu.idle_power_w() * window_secs);
+        out.add(Rail::Dsp, self.spec.dsp.idle_power_w() * window_secs);
+        if let Some(npu) = &self.spec.npu {
+            out.add(Rail::Npu, npu.idle_power_w() * window_secs);
+        }
+        out.add(Rail::Uncore, self.spec.interconnect.uncore_w * window_secs);
+
+        // Busy increments (active minus idle, so floor isn't double-paid).
+        for iv in intervals {
+            let secs = overlap_secs(iv.start, iv.end, from, to);
+            if secs == 0.0 {
+                continue;
+            }
+            match iv.resource {
+                TraceResource::CpuCore(c) => {
+                    if let Some(rail) = self.spec.core_rails.get(c as usize) {
+                        let f = freqs.freq_at(c as usize, iv.start);
+                        let inc = rail.active_power_w(f) - rail.idle_power_w();
+                        out.add(Rail::Cpu(c), inc * secs);
+                    }
+                }
+                TraceResource::Gpu => {
+                    let inc = self.spec.gpu.busy_w - self.spec.gpu.idle_power_w();
+                    out.add(Rail::Gpu, inc * secs);
+                }
+                TraceResource::Dsp => {
+                    let inc = self.spec.dsp.busy_w - self.spec.dsp.idle_power_w();
+                    out.add(Rail::Dsp, inc * secs);
+                }
+                TraceResource::Npu => {
+                    if let Some(npu) = &self.spec.npu {
+                        out.add(Rail::Npu, (npu.busy_w - npu.idle_power_w()) * secs);
+                    }
+                }
+                // AXI busy time carries no rate term; bursts are priced
+                // per byte below.
+                TraceResource::Axi => {}
+            }
+        }
+
+        // Data movement: every AXI burst inside the window.
+        let epb = self.spec.interconnect.energy_per_byte_j;
+        for ev in trace.events() {
+            if let TraceKind::AxiBurst { bytes } = ev.kind {
+                if ev.time >= from && ev.time < to {
+                    out.add(Rail::Axi, bytes as f64 * epb);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bins the trace range `[0, end)` into a per-rail power timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn power_timeline(
+        &self,
+        trace: &TraceBuffer,
+        bin_width: SimSpan,
+        end: SimTime,
+    ) -> PowerTimeline {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        let w = bin_width.as_ns();
+        let n = (end.as_ns().div_ceil(w)) as usize;
+        let mut timeline = PowerTimeline {
+            bin_width,
+            end,
+            rails: Vec::new(),
+        };
+        if n == 0 {
+            return timeline;
+        }
+
+        let bin_bounds = |b: usize| {
+            let a = SimTime::from_ns(b as u64 * w);
+            let z = SimTime::from_ns(((b as u64 + 1) * w).min(end.as_ns()));
+            (a, z)
+        };
+
+        let mut rails: BTreeMap<Rail, Vec<f64>> = BTreeMap::new();
+        let mut deposit = |rail: Rail, bin: usize, joules: f64| {
+            if joules != 0.0 {
+                rails.entry(rail).or_insert_with(|| vec![0.0; n])[bin] += joules;
+            }
+        };
+
+        // Idle/uncore floor per bin.
+        for b in 0..n {
+            let (a, z) = bin_bounds(b);
+            let secs = (z - a).as_secs();
+            for (i, rail) in self.spec.core_rails.iter().enumerate() {
+                deposit(Rail::Cpu(i as u8), b, rail.idle_power_w() * secs);
+            }
+            deposit(Rail::Gpu, b, self.spec.gpu.idle_power_w() * secs);
+            deposit(Rail::Dsp, b, self.spec.dsp.idle_power_w() * secs);
+            if let Some(npu) = &self.spec.npu {
+                deposit(Rail::Npu, b, npu.idle_power_w() * secs);
+            }
+            deposit(Rail::Uncore, b, self.spec.interconnect.uncore_w * secs);
+        }
+
+        // Busy increments, spread over the bins each interval touches.
+        let freqs = FreqTimeline::build(self.spec, trace);
+        for iv in trace.exec_intervals() {
+            let (inc_w, rail) = match iv.resource {
+                TraceResource::CpuCore(c) => match self.spec.core_rails.get(c as usize) {
+                    Some(r) => {
+                        let f = freqs.freq_at(c as usize, iv.start);
+                        (r.active_power_w(f) - r.idle_power_w(), Rail::Cpu(c))
+                    }
+                    None => continue,
+                },
+                TraceResource::Gpu => (
+                    self.spec.gpu.busy_w - self.spec.gpu.idle_power_w(),
+                    Rail::Gpu,
+                ),
+                TraceResource::Dsp => (
+                    self.spec.dsp.busy_w - self.spec.dsp.idle_power_w(),
+                    Rail::Dsp,
+                ),
+                TraceResource::Npu => match &self.spec.npu {
+                    Some(npu) => (npu.busy_w - npu.idle_power_w(), Rail::Npu),
+                    None => continue,
+                },
+                TraceResource::Axi => continue,
+            };
+            if iv.start >= end {
+                continue;
+            }
+            let first = (iv.start.as_ns() / w) as usize;
+            let last = ((iv.end.as_ns().saturating_sub(1)) / w).min(n as u64 - 1) as usize;
+            for b in first..=last {
+                let (a, z) = bin_bounds(b);
+                deposit(rail, b, inc_w * overlap_secs(iv.start, iv.end, a, z));
+            }
+        }
+
+        // AXI bursts land in the bin containing their timestamp.
+        let epb = self.spec.interconnect.energy_per_byte_j;
+        for ev in trace.events() {
+            if let TraceKind::AxiBurst { bytes } = ev.kind {
+                if ev.time < end {
+                    deposit(
+                        Rail::Axi,
+                        (ev.time.as_ns() / w) as usize,
+                        bytes as f64 * epb,
+                    );
+                }
+            }
+        }
+
+        timeline.rails = rails.into_iter().collect();
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccelRailSpec, CoreRailSpec, InterconnectPowerSpec};
+    use aitax_des::trace::TraceResource;
+
+    fn spec() -> PowerSpec {
+        PowerSpec {
+            core_rails: vec![
+                CoreRailSpec::scaled("big", 2.0e9, 2.0, 0.1, false),
+                CoreRailSpec::scaled("big", 2.0e9, 2.0, 0.1, false),
+            ],
+            gpu: AccelRailSpec::new("gpu", 2.5, 0.1, true),
+            dsp: AccelRailSpec::new("dsp", 0.8, 0.05, true),
+            npu: None,
+            interconnect: InterconnectPowerSpec {
+                energy_per_byte_j: 100e-12,
+                uncore_w: 1.0,
+            },
+        }
+    }
+
+    fn exec(buf: &mut TraceBuffer, r: TraceResource, task: u64, s_ms: u64, e_ms: u64) {
+        buf.record(
+            SimTime::from_ns(s_ms * 1_000_000),
+            r,
+            TraceKind::ExecStart {
+                task,
+                label: "t".into(),
+            },
+        );
+        buf.record(
+            SimTime::from_ns(e_ms * 1_000_000),
+            r,
+            TraceKind::ExecEnd { task },
+        );
+    }
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_ns(ms * 1_000_000)
+    }
+
+    #[test]
+    fn idle_window_pays_exactly_the_floor() {
+        let s = spec();
+        let trace = TraceBuffer::enabled();
+        let e = EnergyMeter::new(&s).energy_between(&trace, SimTime::ZERO, at_ms(1000));
+        // 1 s × (uncore 1.0 + 2 × leak 0.1); gated accels are free.
+        assert!(
+            (e.total_j() - 1.2).abs() < 1e-9,
+            "idle joules {}",
+            e.total_j()
+        );
+        assert_eq!(e.joules(Rail::Gpu), 0.0);
+    }
+
+    #[test]
+    fn busy_core_adds_active_minus_idle() {
+        let s = spec();
+        let mut trace = TraceBuffer::enabled();
+        exec(&mut trace, TraceResource::CpuCore(0), 1, 0, 100);
+        let e = EnergyMeter::new(&s).energy_between(&trace, SimTime::ZERO, at_ms(100));
+        let rail = &s.core_rails[0];
+        let expect = rail.active_power_w(rail.nominal().freq_hz) * 0.1;
+        assert!((e.joules(Rail::Cpu(0)) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_event_reprices_following_intervals() {
+        let s = spec();
+        let mut trace = TraceBuffer::enabled();
+        exec(&mut trace, TraceResource::CpuCore(0), 1, 0, 100);
+        let half = s.core_rails[0].opps[0].freq_hz as u64;
+        trace.record(
+            at_ms(100),
+            TraceResource::CpuCore(0),
+            TraceKind::Dvfs {
+                core: 0,
+                freq_hz: half,
+            },
+        );
+        exec(&mut trace, TraceResource::CpuCore(0), 2, 100, 200);
+        let m = EnergyMeter::new(&s);
+        let fast = m.energy_between(&trace, SimTime::ZERO, at_ms(100));
+        let slow = m.energy_between(&trace, at_ms(100), at_ms(200));
+        assert!(
+            slow.joules(Rail::Cpu(0)) < 0.5 * fast.joules(Rail::Cpu(0)),
+            "downclocked interval should be far cheaper: {} vs {}",
+            slow.joules(Rail::Cpu(0)),
+            fast.joules(Rail::Cpu(0))
+        );
+    }
+
+    #[test]
+    fn accel_and_axi_are_attributed() {
+        let s = spec();
+        let mut trace = TraceBuffer::enabled();
+        exec(&mut trace, TraceResource::Dsp, 5, 10, 60);
+        trace.record(
+            at_ms(5),
+            TraceResource::Axi,
+            TraceKind::AxiBurst { bytes: 1_000_000 },
+        );
+        let e = EnergyMeter::new(&s).energy_between(&trace, SimTime::ZERO, at_ms(100));
+        assert!((e.joules(Rail::Dsp) - 0.8 * 0.05).abs() < 1e-9);
+        assert!((e.joules(Rail::Axi) - 1e6 * 100e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn windows_partition_energy() {
+        // Two adjacent windows sum to one covering window.
+        let s = spec();
+        let mut trace = TraceBuffer::enabled();
+        exec(&mut trace, TraceResource::CpuCore(0), 1, 20, 180);
+        exec(&mut trace, TraceResource::Gpu, 2, 50, 150);
+        let m = EnergyMeter::new(&s);
+        let parts = m.attribute(
+            &trace,
+            &[(SimTime::ZERO, at_ms(100)), (at_ms(100), at_ms(200))],
+        );
+        let whole = m.energy_between(&trace, SimTime::ZERO, at_ms(200));
+        let sum: f64 = parts.iter().map(RailEnergy::total_j).sum();
+        assert!((sum - whole.total_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_or_inverted_window_is_zero() {
+        let s = spec();
+        let trace = TraceBuffer::enabled();
+        let m = EnergyMeter::new(&s);
+        assert_eq!(m.energy_between(&trace, at_ms(5), at_ms(5)).total_j(), 0.0);
+        assert_eq!(m.energy_between(&trace, at_ms(9), at_ms(5)).total_j(), 0.0);
+    }
+
+    #[test]
+    fn timeline_integrates_to_window_energy() {
+        let s = spec();
+        let mut trace = TraceBuffer::enabled();
+        exec(&mut trace, TraceResource::CpuCore(1), 1, 3, 47);
+        exec(&mut trace, TraceResource::Dsp, 2, 10, 35);
+        trace.record(
+            at_ms(7),
+            TraceResource::Axi,
+            TraceKind::AxiBurst { bytes: 4096 },
+        );
+        let m = EnergyMeter::new(&s);
+        let tl = m.power_timeline(&trace, SimSpan::from_ms(7.0), at_ms(50));
+        let whole = m.energy_between(&trace, SimTime::ZERO, at_ms(50));
+        assert!((tl.energy_j() - whole.total_j()).abs() < 1e-9);
+        assert!(tl.peak_total_watts() > tl.total_watts(0));
+    }
+}

@@ -107,9 +107,7 @@ impl ProfileReport {
 
         let mut busy: BTreeMap<TraceResource, Vec<f64>> = BTreeMap::new();
         for iv in trace.exec_intervals() {
-            let bins = busy
-                .entry(iv.resource)
-                .or_insert_with(|| vec![0.0; nbins]);
+            let bins = busy.entry(iv.resource).or_insert_with(|| vec![0.0; nbins]);
             let (s, e) = (iv.start.as_ns(), iv.end.as_ns());
             let bw = bin_width.as_ns();
             let first = (s / bw) as usize;
@@ -207,7 +205,10 @@ impl ProfileReport {
         }
         if self.axi_bytes > 0 {
             let peak = self.axi_per_bin.iter().copied().max().unwrap_or(1).max(1);
-            const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+            const LEVELS: [char; 9] = [
+                ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+                '\u{2587}', '\u{2588}',
+            ];
             let strip: String = self
                 .axi_per_bin
                 .iter()

@@ -8,6 +8,7 @@
 //! int8 DSP inference ≈ 10 ms, FastRPC session setup amortizing per Fig. 8).
 
 use aitax_des::SimSpan;
+use aitax_power::{AccelRailSpec, CoreRailSpec, InterconnectPowerSpec, PowerSpec};
 
 use crate::cpu::{big_cluster, little_cluster};
 use crate::devices::{DspSpec, GpuSpec, NpuSpec};
@@ -67,6 +68,23 @@ impl SocCatalog {
     }
 }
 
+/// Builds flattened per-core rails from `(name, count, GHz, peak dynamic W,
+/// leakage W)` cluster tuples, big clusters first — mirroring how
+/// [`SocSpec::cores`] flattens [`CpuClusterSpec`](crate::CpuClusterSpec)s.
+///
+/// CPU rails are not power-gated: cluster rails stay up between scheduler
+/// ticks, so idle cores pay their leakage floor. That static term (plus
+/// the uncore floor) is what makes race-to-idle win — the same dynamic
+/// work done on more cores finishes sooner and pays less leakage.
+fn cpu_rails(clusters: &[(&'static str, usize, f64, f64, f64)]) -> Vec<CoreRailSpec> {
+    clusters
+        .iter()
+        .flat_map(|&(name, count, ghz, peak_w, leak_w)| {
+            (0..count).map(move |_| CoreRailSpec::scaled(name, ghz * 1e9, peak_w, leak_w, false))
+        })
+        .collect()
+}
+
 fn common_memory() -> MemorySpec {
     MemorySpec {
         axi_bytes_per_sec: 12.0e9,
@@ -80,7 +98,10 @@ fn sd835() -> SocSpec {
     SocSpec {
         name: "Snapdragon 835",
         host_system: "Open-Q 835 \u{00b5}SOM",
-        clusters: vec![big_cluster(4, 2.45, 60.0, 6.0), little_cluster(4, 1.90, 80.0)],
+        clusters: vec![
+            big_cluster(4, 2.45, 60.0, 6.0),
+            little_cluster(4, 1.90, 80.0),
+        ],
         gpu: GpuSpec {
             name: "Adreno 540",
             fp16_flops: 1.13e12,
@@ -100,6 +121,16 @@ fn sd835() -> SocSpec {
             ..common_memory()
         },
         thermal: default_phone_thermals(),
+        power: PowerSpec {
+            core_rails: cpu_rails(&[("big", 4, 2.45, 1.6, 0.06), ("little", 4, 1.90, 0.40, 0.02)]),
+            gpu: AccelRailSpec::new("adreno-540", 2.2, 0.10, true),
+            dsp: AccelRailSpec::new("hexagon-682", 0.9, 0.05, true),
+            npu: None,
+            interconnect: InterconnectPowerSpec {
+                energy_per_byte_j: 90e-12,
+                uncore_w: 0.85,
+            },
+        },
     }
 }
 
@@ -107,7 +138,10 @@ fn sd845() -> SocSpec {
     SocSpec {
         name: "Snapdragon 845",
         host_system: "Google Pixel 3",
-        clusters: vec![big_cluster(4, 2.80, 60.0, 8.0), little_cluster(4, 1.77, 80.0)],
+        clusters: vec![
+            big_cluster(4, 2.80, 60.0, 8.0),
+            little_cluster(4, 1.77, 80.0),
+        ],
         gpu: GpuSpec {
             name: "Adreno 630",
             fp16_flops: 1.45e12,
@@ -124,6 +158,16 @@ fn sd845() -> SocSpec {
         npu: None,
         memory: common_memory(),
         thermal: default_phone_thermals(),
+        power: PowerSpec {
+            core_rails: cpu_rails(&[("big", 4, 2.80, 1.9, 0.07), ("little", 4, 1.77, 0.45, 0.02)]),
+            gpu: AccelRailSpec::new("adreno-630", 2.5, 0.10, true),
+            dsp: AccelRailSpec::new("hexagon-685", 0.8, 0.05, true),
+            npu: None,
+            interconnect: InterconnectPowerSpec {
+                energy_per_byte_j: 80e-12,
+                uncore_w: 0.90,
+            },
+        },
     }
 }
 
@@ -155,6 +199,20 @@ fn sd855() -> SocSpec {
             ..common_memory()
         },
         thermal: default_phone_thermals(),
+        power: PowerSpec {
+            core_rails: cpu_rails(&[
+                ("prime", 1, 2.84, 2.1, 0.08),
+                ("big", 3, 2.42, 1.5, 0.07),
+                ("little", 4, 1.78, 0.40, 0.02),
+            ]),
+            gpu: AccelRailSpec::new("adreno-640", 2.8, 0.12, true),
+            dsp: AccelRailSpec::new("hexagon-690", 0.9, 0.05, true),
+            npu: None,
+            interconnect: InterconnectPowerSpec {
+                energy_per_byte_j: 70e-12,
+                uncore_w: 0.95,
+            },
+        },
     }
 }
 
@@ -190,6 +248,20 @@ fn sd865() -> SocSpec {
             ..common_memory()
         },
         thermal: default_phone_thermals(),
+        power: PowerSpec {
+            core_rails: cpu_rails(&[
+                ("prime", 1, 2.84, 2.2, 0.08),
+                ("big", 3, 2.42, 1.5, 0.07),
+                ("little", 4, 1.80, 0.40, 0.02),
+            ]),
+            gpu: AccelRailSpec::new("adreno-650", 3.2, 0.12, true),
+            dsp: AccelRailSpec::new("hexagon-698", 1.0, 0.05, true),
+            npu: Some(AccelRailSpec::new("hta", 1.3, 0.04, true)),
+            interconnect: InterconnectPowerSpec {
+                energy_per_byte_j: 60e-12,
+                uncore_w: 1.00,
+            },
+        },
     }
 }
 
@@ -275,5 +347,32 @@ mod tests {
     fn display_names() {
         assert_eq!(SocId::Sd845.to_string(), "SD845");
         assert_eq!(SocId::ALL.len(), 4);
+    }
+
+    #[test]
+    fn power_rails_align_with_cores() {
+        for soc in SocCatalog::all() {
+            assert_eq!(soc.power.core_rails.len(), soc.core_count(), "{}", soc.name);
+            // Phones idle cool: the ungated floor stays well under 1.5 W.
+            assert!(soc.power.idle_floor_w() < 1.5, "{}", soc.name);
+        }
+        assert!(SocCatalog::get(SocId::Sd865).power.npu.is_some());
+        assert!(SocCatalog::get(SocId::Sd845).power.npu.is_none());
+    }
+
+    #[test]
+    fn dsp_energy_per_op_improves_across_generations() {
+        // §III-C: newer chipsets spend fewer picojoules per int8 op on the
+        // DSP, which is what makes offload the energy winner over time.
+        let specs = SocCatalog::all();
+        for pair in specs.windows(2) {
+            let pj = |s: &SocSpec| s.power.dsp.busy_w / s.dsp.int8_ops;
+            assert!(
+                pj(&pair[1]) < pj(&pair[0]),
+                "{} should be more efficient than {}",
+                pair[1].name,
+                pair[0].name
+            );
+        }
     }
 }

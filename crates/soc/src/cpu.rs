@@ -47,7 +47,10 @@ impl CpuCoreSpec {
     ///
     /// Panics if `freq_multiplier` is not positive.
     pub fn span_for_cycles(&self, cycles: f64, freq_multiplier: f64) -> SimSpan {
-        assert!(freq_multiplier > 0.0, "frequency multiplier must be positive");
+        assert!(
+            freq_multiplier > 0.0,
+            "frequency multiplier must be positive"
+        );
         let secs = cycles / (self.freq_hz * freq_multiplier);
         SimSpan::from_secs(secs.max(0.0))
     }

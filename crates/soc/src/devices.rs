@@ -31,7 +31,11 @@ impl GpuSpec {
             efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1]"
         );
-        let peak = if fp16 { self.fp16_flops } else { self.fp32_flops };
+        let peak = if fp16 {
+            self.fp16_flops
+        } else {
+            self.fp32_flops
+        };
         SimSpan::from_secs(flops / (peak * efficiency))
     }
 }

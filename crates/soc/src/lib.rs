@@ -27,6 +27,7 @@ pub mod devices;
 pub mod memory;
 pub mod thermal;
 
+pub use aitax_power::PowerSpec;
 pub use catalog::{SocCatalog, SocId};
 pub use cpu::{ClusterKind, CpuClusterSpec, CpuCoreSpec};
 pub use devices::{DspSpec, GpuSpec, NpuSpec};
@@ -52,6 +53,10 @@ pub struct SocSpec {
     pub memory: MemorySpec,
     /// Thermal behaviour.
     pub thermal: ThermalModel,
+    /// Per-rail power description (one core rail per entry of [`cores`]).
+    ///
+    /// [`cores`]: SocSpec::cores
+    pub power: PowerSpec,
 }
 
 impl SocSpec {

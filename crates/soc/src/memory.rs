@@ -29,7 +29,8 @@ impl MemorySpec {
     /// Time to clean/invalidate `bytes` of cached data before handing a
     /// buffer to a loosely-coupled accelerator.
     pub fn cache_flush_span(&self, bytes: u64) -> SimSpan {
-        self.cache_flush_fixed + SimSpan::from_ns((bytes as f64 * self.cache_flush_ns_per_byte) as u64)
+        self.cache_flush_fixed
+            + SimSpan::from_ns((bytes as f64 * self.cache_flush_ns_per_byte) as u64)
     }
 }
 

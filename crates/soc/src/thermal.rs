@@ -3,8 +3,10 @@
 //! Mobile SoCs are "particularly susceptible to thermal throttling"
 //! (paper §III-D); the authors only start runs once the CPU has cooled to
 //! its ~33 °C idle temperature. We model chip temperature as a first-order
-//! system: heating proportional to how many cores are busy, exponential
-//! cooling toward ambient, and a piecewise frequency-multiplier curve.
+//! system: heating proportional to dissipated power (watts metered from
+//! the per-rail power model), exponential cooling toward ambient, and a
+//! piecewise frequency-multiplier curve — closing the power → heat →
+//! throttle → performance loop.
 
 use aitax_des::{SimSpan, SimTime};
 
@@ -13,8 +15,10 @@ use aitax_des::{SimSpan, SimTime};
 pub struct ThermalModel {
     /// Idle / ambient-coupled temperature in °C (paper: ≈33 °C).
     pub idle_temp_c: f64,
-    /// Steady-state temperature rise in °C with all cores busy.
-    pub max_rise_c: f64,
+    /// Steady-state temperature rise per watt of sustained dissipation,
+    /// in °C/W — the junction-to-ambient thermal resistance of a
+    /// passively cooled handset.
+    pub rise_c_per_watt: f64,
     /// Thermal time constant (how fast the chip heats/cools).
     pub time_constant: SimSpan,
     /// Temperature at which light throttling begins.
@@ -36,6 +40,11 @@ impl ThermalModel {
         } else {
             0.7
         }
+    }
+
+    /// Equilibrium temperature under a sustained power draw.
+    pub fn equilibrium_c(&self, watts: f64) -> f64 {
+        self.idle_temp_c + watts * self.rise_c_per_watt
     }
 }
 
@@ -76,26 +85,26 @@ impl ThermalState {
         self.model.freq_multiplier(self.temp_c)
     }
 
-    /// Advances the thermal state to `now` given the average busy fraction
-    /// (0–1: fraction of cores active) since the last update.
+    /// Advances the thermal state to `now` given the average power
+    /// dissipated (in watts) since the last update.
     ///
-    /// Uses the exact first-order step toward the utilization-dependent
-    /// equilibrium `idle + busy_fraction × max_rise`.
+    /// Uses the exact first-order step toward the power-dependent
+    /// equilibrium `idle + watts × rise_per_watt`.
     ///
     /// # Panics
     ///
-    /// Panics if `busy_fraction` is outside `[0, 1]`.
-    pub fn advance(&mut self, now: SimTime, busy_fraction: f64) {
+    /// Panics if `watts` is negative or not finite.
+    pub fn advance(&mut self, now: SimTime, watts: f64) {
         assert!(
-            (0.0..=1.0).contains(&busy_fraction),
-            "busy fraction must be in [0,1], got {busy_fraction}"
+            watts.is_finite() && watts >= 0.0,
+            "power must be finite and non-negative, got {watts} W"
         );
         let dt = now.since(self.last_update);
         self.last_update = now;
         if dt.is_zero() {
             return;
         }
-        let target = self.model.idle_temp_c + busy_fraction * self.model.max_rise_c;
+        let target = self.model.equilibrium_c(watts);
         let tau = self.model.time_constant.as_secs();
         let alpha = if tau > 0.0 {
             1.0 - (-dt.as_secs() / tau).exp()
@@ -107,10 +116,15 @@ impl ThermalState {
 }
 
 /// A representative phone thermal envelope.
+///
+/// `rise_c_per_watt` is calibrated so a sustained four-big-core inference
+/// loop on the SD845 (≈9 W package power) settles in the mid-50s °C —
+/// warm but unthrottled — while adding GPU or full-chip load pushes past
+/// the 65 °C soft limit, reproducing the §III-D throttling regime.
 pub fn default_phone_thermals() -> ThermalModel {
     ThermalModel {
         idle_temp_c: 33.0,
-        max_rise_c: 45.0,
+        rise_c_per_watt: 2.5,
         time_constant: SimSpan::from_secs(20.0),
         soft_limit_c: 65.0,
         hard_limit_c: 78.0,
@@ -129,13 +143,22 @@ mod tests {
     }
 
     #[test]
-    fn heats_toward_equilibrium_under_load() {
+    fn heats_toward_power_equilibrium() {
         let mut st = ThermalState::new(default_phone_thermals());
-        st.advance(SimTime::from_ns(0), 1.0);
-        st.advance(SimTime::ZERO + SimSpan::from_secs(200.0), 1.0);
-        // After 10 time constants, essentially at equilibrium 33 + 45 = 78.
-        assert!((st.temp_c() - 78.0).abs() < 0.1, "temp {}", st.temp_c());
+        st.advance(SimTime::from_ns(0), 14.0);
+        st.advance(SimTime::ZERO + SimSpan::from_secs(200.0), 14.0);
+        // After 10 time constants, essentially at equilibrium 33 + 14 × 2.5 = 68.
+        assert!((st.temp_c() - 68.0).abs() < 0.1, "temp {}", st.temp_c());
         assert!(st.freq_multiplier() < 1.0);
+    }
+
+    #[test]
+    fn moderate_cpu_load_stays_unthrottled() {
+        // A 4-big-core inference loop (~9 W) must not throttle: the paper's
+        // benchmark-mode figures are measured unthrottled after cool-down.
+        let m = default_phone_thermals();
+        assert!(m.equilibrium_c(9.0) < m.soft_limit_c);
+        assert!(m.equilibrium_c(14.0) > m.soft_limit_c);
     }
 
     #[test]
@@ -158,14 +181,14 @@ mod tests {
     fn zero_dt_is_noop() {
         let mut st = ThermalState::new(default_phone_thermals());
         let before = st.temp_c();
-        st.advance(SimTime::ZERO, 1.0);
+        st.advance(SimTime::ZERO, 5.0);
         assert_eq!(st.temp_c(), before);
     }
 
     #[test]
-    #[should_panic(expected = "busy fraction")]
-    fn invalid_busy_fraction_panics() {
+    #[should_panic(expected = "power must be finite")]
+    fn negative_power_panics() {
         let mut st = ThermalState::new(default_phone_thermals());
-        st.advance(SimTime::from_ns(1), 1.5);
+        st.advance(SimTime::from_ns(1), -1.0);
     }
 }

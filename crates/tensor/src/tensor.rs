@@ -32,7 +32,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer has {actual} elements but shape implies {expected}")
+                write!(
+                    f,
+                    "buffer has {actual} elements but shape implies {expected}"
+                )
             }
             TensorError::DTypeMismatch { expected, actual } => {
                 write!(f, "operation requires {expected} tensor but found {actual}")

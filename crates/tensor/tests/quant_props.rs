@@ -1,64 +1,105 @@
-//! Property tests for quantization and shape arithmetic.
+//! Property tests for quantization and shape arithmetic, driven by the
+//! deterministic simulator RNG so the randomized cases reproduce exactly.
 
+use aitax_des::SimRng;
 use aitax_tensor::{DType, QuantParams, Shape, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Quantization is monotone: larger reals never map to smaller
-    /// quantized codes.
-    #[test]
-    fn quantization_is_monotone(scale in 0.001f32..10.0, zp in -100i32..100, a in -500f32..500.0, b in -500f32..500.0) {
+/// Quantization is monotone: larger reals never map to smaller
+/// quantized codes.
+#[test]
+fn quantization_is_monotone() {
+    let mut rng = SimRng::seed_from(0x7E50_0001);
+    for case in 0..64 {
+        let scale = rng.uniform(0.001, 10.0) as f32;
+        let zp = rng.uniform(-100.0, 100.0) as i32;
+        let a = rng.uniform(-500.0, 500.0) as f32;
+        let b = rng.uniform(-500.0, 500.0) as f32;
         let q = QuantParams::new(scale, zp);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        assert!(q.quantize(lo) <= q.quantize(hi), "case {case}");
     }
+}
 
-    /// Dequantize(quantize(x)) is within half a step for values inside
-    /// the representable range.
-    #[test]
-    fn round_trip_error_bound(scale in 0.01f32..2.0, zp in -50i32..50, x in -100f32..100.0) {
+/// Dequantize(quantize(x)) is within half a step for values inside
+/// the representable range.
+#[test]
+fn round_trip_error_bound() {
+    let mut rng = SimRng::seed_from(0x7E50_0002);
+    for case in 0..64 {
+        let scale = rng.uniform(0.01, 2.0) as f32;
+        let zp = rng.uniform(-50.0, 50.0) as i32;
+        let x = rng.uniform(-100.0, 100.0) as f32;
         let q = QuantParams::new(scale, zp);
         let lo = q.dequantize(i8::MIN);
         let hi = q.dequantize(i8::MAX);
-        prop_assume!(x >= lo && x <= hi);
+        if x < lo || x > hi {
+            continue; // saturated values are out of contract
+        }
         let rt = q.dequantize(q.quantize(x));
-        prop_assert!((rt - x).abs() <= q.max_round_trip_error() + 1e-4);
+        assert!(
+            (rt - x).abs() <= q.max_round_trip_error() + 1e-4,
+            "case {case}: |{rt} - {x}| > max_round_trip_error"
+        );
     }
+}
 
-    /// from_range always covers the requested range ends within one step.
-    #[test]
-    fn from_range_covers(lo in -100f32..0.0, width in 0.1f32..200.0) {
-        let hi = lo + width;
+/// from_range always covers the requested range ends within one step.
+#[test]
+fn from_range_covers() {
+    let mut rng = SimRng::seed_from(0x7E50_0003);
+    for case in 0..64 {
+        let lo = rng.uniform(-100.0, 0.0) as f32;
+        let hi = lo + rng.uniform(0.1, 200.0) as f32;
         let q = QuantParams::from_range(lo, hi);
-        prop_assert!((q.dequantize(q.quantize(lo)) - lo).abs() <= q.scale() * 1.5);
-        prop_assert!((q.dequantize(q.quantize(hi)) - hi).abs() <= q.scale() * 1.5);
+        assert!(
+            (q.dequantize(q.quantize(lo)) - lo).abs() <= q.scale() * 1.5,
+            "case {case}: low end uncovered"
+        );
+        assert!(
+            (q.dequantize(q.quantize(hi)) - hi).abs() <= q.scale() * 1.5,
+            "case {case}: high end uncovered"
+        );
     }
+}
 
-    /// Shape element counts multiply; byte length respects dtype width.
-    #[test]
-    fn shape_and_bytes(dims in prop::collection::vec(1usize..20, 1..5)) {
+/// Shape element counts multiply; byte length respects dtype width.
+#[test]
+fn shape_and_bytes() {
+    let mut rng = SimRng::seed_from(0x7E50_0004);
+    for case in 0..64 {
+        let ndims = rng.uniform_u64(1, 5) as usize;
+        let dims: Vec<usize> = (0..ndims)
+            .map(|_| rng.uniform_u64(1, 20) as usize)
+            .collect();
         let shape = Shape::new(&dims);
         let expect: usize = dims.iter().product();
-        prop_assert_eq!(shape.elements(), expect);
+        assert_eq!(shape.elements(), expect, "case {case}");
         for dtype in DType::ALL {
             let t = Tensor::zeros(&dims, dtype);
-            prop_assert_eq!(t.byte_len(), expect * dtype.size_bytes());
+            assert_eq!(
+                t.byte_len(),
+                expect * dtype.size_bytes(),
+                "case {case} {dtype:?}"
+            );
         }
     }
+}
 
-    /// Tensor quantize→dequantize preserves shape and dtype transitions.
-    #[test]
-    fn tensor_quantization_shape_safety(n in 1usize..256, scale in 0.01f32..1.0) {
+/// Tensor quantize→dequantize preserves shape and dtype transitions.
+#[test]
+fn tensor_quantization_shape_safety() {
+    let mut rng = SimRng::seed_from(0x7E50_0005);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 256) as usize;
+        let scale = rng.uniform(0.01, 1.0) as f32;
         let data: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 20.0).collect();
         let t = Tensor::from_f32(&[n], data);
         let q = t.quantize(QuantParams::new(scale, 0)).unwrap();
-        prop_assert_eq!(q.dtype(), DType::I8);
-        prop_assert_eq!(q.elements(), n);
-        prop_assert_eq!(q.byte_len() * 4, t.byte_len());
+        assert_eq!(q.dtype(), DType::I8, "case {case}");
+        assert_eq!(q.elements(), n, "case {case}");
+        assert_eq!(q.byte_len() * 4, t.byte_len(), "case {case}");
         let back = q.dequantize().unwrap();
-        prop_assert_eq!(back.dtype(), DType::F32);
-        prop_assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.dtype(), DType::F32, "case {case}");
+        assert_eq!(back.shape(), t.shape(), "case {case}");
     }
 }

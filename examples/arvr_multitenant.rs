@@ -51,12 +51,7 @@ fn main() {
         let mut t = Table::new(vec!["companions", "preproc_ms", "inference_ms", "e2e_ms"]);
         for &n in &[0usize, 1, 2, 4] {
             let (pre, inf, e2e) = run_with_background(n, on_dsp);
-            t.row(vec![
-                n.to_string(),
-                fmt_ms(pre),
-                fmt_ms(inf),
-                fmt_ms(e2e),
-            ]);
+            t.row(vec![n.to_string(), fmt_ms(pre), fmt_ms(inf), fmt_ms(e2e)]);
         }
         println!("== {title} ==");
         print!("{}", t.render_text());

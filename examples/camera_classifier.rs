@@ -16,8 +16,16 @@ fn main() {
     let engines: [(&str, Engine, DType); 5] = [
         ("tflite cpu x4 (fp32)", Engine::tflite_cpu(4), DType::F32),
         ("tflite cpu x4 (int8)", Engine::tflite_cpu(4), DType::I8),
-        ("gpu delegate (fp32)", Engine::TfLiteGpu { threads: 4 }, DType::F32),
-        ("hexagon delegate (int8)", Engine::TfLiteHexagon { threads: 4 }, DType::I8),
+        (
+            "gpu delegate (fp32)",
+            Engine::TfLiteGpu { threads: 4 },
+            DType::F32,
+        ),
+        (
+            "hexagon delegate (int8)",
+            Engine::TfLiteHexagon { threads: 4 },
+            DType::I8,
+        ),
         ("nnapi (int8)", Engine::nnapi(), DType::I8),
     ];
 

@@ -44,7 +44,10 @@ fn explore(name: &str, engine: Engine) {
 
 fn main() {
     explore("TFLite CPU x4", Engine::tflite_cpu(4));
-    explore("TFLite Hexagon delegate", Engine::TfLiteHexagon { threads: 4 });
+    explore(
+        "TFLite Hexagon delegate",
+        Engine::TfLiteHexagon { threads: 4 },
+    );
     explore("NNAPI (driver fallback on SD845)", Engine::nnapi());
     println!("The NNAPI plan shows the trap directly: every partition reads");
     println!("`nnapi-reference-cpu (!)` — the driver accepted the model but");

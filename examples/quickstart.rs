@@ -41,7 +41,10 @@ fn main() {
         .map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 / 1000.0)
         .collect();
     let top = topk::top_k(&scores, 3);
-    println!("top-3 classes: {:?}", top.iter().map(|c| c.class).collect::<Vec<_>>());
+    println!(
+        "top-3 classes: {:?}",
+        top.iter().map(|c| c.class).collect::<Vec<_>>()
+    );
 
     // --- Part 2: the same pipeline on the simulated phone --------------
     let report = E2eConfig::new(ModelId::MobileNetV1, DType::I8)

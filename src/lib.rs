@@ -22,6 +22,7 @@
 //! | [`framework`] | `aitax-framework` | TFLite/NNAPI/SNPE-like runtimes |
 //! | [`core`] | `aitax-core` | AI-tax taxonomy, E2E runner, experiments |
 //! | [`profiler`] | `aitax-profiler` | utilization timelines, Fig. 6 profiles |
+//! | [`power`] | `aitax-power` | per-rail power specs, energy metering, battery |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use aitax_framework as framework;
 pub use aitax_kernel as kernel;
 pub use aitax_models as models;
 pub use aitax_pipeline as pipeline;
+pub use aitax_power as power;
 pub use aitax_profiler as profiler;
 pub use aitax_soc as soc;
 pub use aitax_tensor as tensor;

@@ -21,7 +21,11 @@ fn run_twice(cfg: impl Fn() -> E2eConfig) {
 
 #[test]
 fn cli_benchmark_is_reproducible() {
-    run_twice(|| E2eConfig::new(ModelId::MobileNetV1, DType::F32).iterations(20).seed(9));
+    run_twice(|| {
+        E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+            .iterations(20)
+            .seed(9)
+    });
 }
 
 #[test]

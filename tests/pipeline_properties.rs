@@ -1,7 +1,9 @@
 //! Property-based tests over the public API: image-processing
 //! invariants, quantization bounds, scheduler conservation and
-//! statistics laws.
+//! statistics laws. Randomized cases are driven by the deterministic
+//! simulator RNG, so every failure reproduces bit-exactly.
 
+use aitax::des::SimRng;
 use aitax::kernel::{Machine, TaskSpec, Work};
 use aitax::pipeline::image::{ArgbImage, YuvNv21Image};
 use aitax::pipeline::post::detection::{nms, BBox, Detection};
@@ -10,23 +12,20 @@ use aitax::pipeline::post::topk::top_k;
 use aitax::pipeline::preprocess;
 use aitax::soc::{SocCatalog, SocId};
 use aitax::tensor::{QuantParams, Tensor};
-use proptest::prelude::*;
 
 use std::cell::Cell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Resizing never invents pixel values outside the source range.
-    #[test]
-    fn resize_respects_value_range(
-        w in 2usize..40, h in 2usize..40,
-        ow in 1usize..50, oh in 1usize..50,
-        seed in 0u64..1000,
-    ) {
-        let w = w * 2;
-        let h = h * 2;
+/// Resizing never invents pixel values outside the source range.
+#[test]
+fn resize_respects_value_range() {
+    let mut rng = SimRng::seed_from(0xE2E_0001);
+    for case in 0..48 {
+        let w = rng.uniform_u64(2, 40) as usize * 2;
+        let h = rng.uniform_u64(2, 40) as usize * 2;
+        let ow = rng.uniform_u64(1, 50) as usize;
+        let oh = rng.uniform_u64(1, 50) as usize;
+        let seed = rng.uniform_u64(0, 1000);
         let src = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(w, h, seed));
         let (mut lo, mut hi) = (255u8, 0u8);
         for &px in src.pixels() {
@@ -40,48 +39,62 @@ proptest! {
         for &px in out.pixels() {
             let (_, r, g, b) = ArgbImage::unpack(px);
             for c in [r, g, b] {
-                prop_assert!(c >= lo && c <= hi, "interpolated {c} outside [{lo},{hi}]");
+                assert!(
+                    c >= lo && c <= hi,
+                    "case {case}: interpolated {c} outside [{lo},{hi}]"
+                );
             }
         }
     }
+}
 
-    /// Rotating four times by 90° is the identity.
-    #[test]
-    fn four_quarter_turns_are_identity(w in 1usize..24, h in 1usize..24, seed in 0u64..500) {
-        let w = w * 2;
-        let h = h * 2;
+/// Rotating four times by 90° is the identity.
+#[test]
+fn four_quarter_turns_are_identity() {
+    let mut rng = SimRng::seed_from(0xE2E_0002);
+    for case in 0..48 {
+        let w = rng.uniform_u64(1, 24) as usize * 2;
+        let h = rng.uniform_u64(1, 24) as usize * 2;
+        let seed = rng.uniform_u64(0, 500);
         let src = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(w, h, seed));
         let mut img = src.clone();
         for _ in 0..4 {
             img = preprocess::rotate(&img, preprocess::Rotation::Cw90);
         }
-        prop_assert_eq!(img.pixels(), src.pixels());
+        assert_eq!(img.pixels(), src.pixels(), "case {case}");
     }
+}
 
-    /// Center crop output pixels all exist in the source.
-    #[test]
-    fn crop_is_a_subset(w in 4usize..40, h in 4usize..40, cw in 1usize..40, ch in 1usize..40) {
-        let w = w * 2;
-        let h = h * 2;
-        prop_assume!(cw <= w && ch <= h);
+/// Center crop output pixels all exist in the source.
+#[test]
+fn crop_is_a_subset() {
+    let mut rng = SimRng::seed_from(0xE2E_0003);
+    for case in 0..48 {
+        let w = rng.uniform_u64(4, 40) as usize * 2;
+        let h = rng.uniform_u64(4, 40) as usize * 2;
+        let cw = rng.uniform_u64(1, w as u64 + 1) as usize;
+        let ch = rng.uniform_u64(1, h as u64 + 1) as usize;
         let src = preprocess::nv21_to_argb(&YuvNv21Image::synthetic(w, h, 3));
         let out = preprocess::center_crop(&src, cw, ch);
-        prop_assert_eq!(out.width(), cw);
-        prop_assert_eq!(out.height(), ch);
+        assert_eq!(out.width(), cw, "case {case}");
+        assert_eq!(out.height(), ch, "case {case}");
         let set: std::collections::HashSet<u32> = src.pixels().iter().copied().collect();
         for &px in out.pixels() {
-            prop_assert!(set.contains(&px));
+            assert!(set.contains(&px), "case {case}");
         }
     }
+}
 
-    /// Quantize→dequantize error is bounded by half a step for in-range
-    /// values.
-    #[test]
-    fn quantization_round_trip_bound(
-        scale in 0.001f32..1.0,
-        zp in -64i32..64,
-        vals in prop::collection::vec(-50.0f32..50.0, 1..64),
-    ) {
+/// Quantize→dequantize error is bounded by half a step for in-range
+/// values.
+#[test]
+fn quantization_round_trip_bound() {
+    let mut rng = SimRng::seed_from(0xE2E_0004);
+    for case in 0..48 {
+        let scale = rng.uniform(0.001, 1.0) as f32;
+        let zp = rng.uniform(-64.0, 64.0) as i32;
+        let n = rng.uniform_u64(1, 64) as usize;
+        let vals: Vec<f32> = (0..n).map(|_| rng.uniform(-50.0, 50.0) as f32).collect();
         let q = QuantParams::new(scale, zp);
         let t = Tensor::from_f32(&[vals.len()], vals.clone());
         let rt = t.quantize(q).unwrap().dequantize().unwrap();
@@ -90,81 +103,113 @@ proptest! {
             let lo = q.dequantize(i8::MIN);
             let hi = q.dequantize(i8::MAX);
             if *orig >= lo && *orig <= hi {
-                prop_assert!((orig - back).abs() <= q.scale() / 2.0 + 1e-5);
+                assert!(
+                    (orig - back).abs() <= q.scale() / 2.0 + 1e-5,
+                    "case {case}: |{orig} - {back}|"
+                );
             }
         }
     }
+}
 
-    /// top_k returns a sorted prefix of the requested length.
-    #[test]
-    fn top_k_sorted_and_sized(scores in prop::collection::vec(0.0f32..1.0, 0..200), k in 0usize..30) {
+/// top_k returns a sorted prefix of the requested length.
+#[test]
+fn top_k_sorted_and_sized() {
+    let mut rng = SimRng::seed_from(0xE2E_0005);
+    for case in 0..48 {
+        let n = rng.uniform_u64(0, 200) as usize;
+        let scores: Vec<f32> = (0..n).map(|_| rng.uniform(0.0, 1.0) as f32).collect();
+        let k = rng.uniform_u64(0, 30) as usize;
         let top = top_k(&scores, k);
-        prop_assert_eq!(top.len(), k.min(scores.len()));
+        assert_eq!(top.len(), k.min(scores.len()), "case {case}");
         for pair in top.windows(2) {
-            prop_assert!(pair[0].score >= pair[1].score);
+            assert!(pair[0].score >= pair[1].score, "case {case}");
         }
         // Nothing outside the result beats the last kept element.
         if let Some(last) = top.last() {
             let kept: std::collections::HashSet<usize> = top.iter().map(|c| c.class).collect();
             for (i, &s) in scores.iter().enumerate() {
                 if !kept.contains(&i) {
-                    prop_assert!(s <= last.score + 1e-6);
+                    assert!(s <= last.score + 1e-6, "case {case}");
                 }
             }
         }
     }
+}
 
-    /// NMS output has no same-class pair above the IoU threshold.
-    #[test]
-    fn nms_output_is_conflict_free(
-        boxes in prop::collection::vec((0.0f32..0.8, 0.0f32..0.8, 0.05f32..0.2, 0.05f32..0.2, 0.0f32..1.0), 0..40),
-        iou in 0.2f32..0.8,
-    ) {
-        let dets: Vec<Detection> = boxes
-            .iter()
-            .enumerate()
-            .map(|(i, &(y, x, h, w, s))| Detection {
-                bbox: BBox { ymin: y, xmin: x, ymax: y + h, xmax: x + w },
-                class: i % 3,
-                score: s,
+/// NMS output has no same-class pair above the IoU threshold.
+#[test]
+fn nms_output_is_conflict_free() {
+    let mut rng = SimRng::seed_from(0xE2E_0006);
+    for case in 0..48 {
+        let n = rng.uniform_u64(0, 40) as usize;
+        let iou = rng.uniform(0.2, 0.8) as f32;
+        let dets: Vec<Detection> = (0..n)
+            .map(|i| {
+                let y = rng.uniform(0.0, 0.8) as f32;
+                let x = rng.uniform(0.0, 0.8) as f32;
+                let h = rng.uniform(0.05, 0.2) as f32;
+                let w = rng.uniform(0.05, 0.2) as f32;
+                let s = rng.uniform(0.0, 1.0) as f32;
+                Detection {
+                    bbox: BBox {
+                        ymin: y,
+                        xmin: x,
+                        ymax: y + h,
+                        xmax: x + w,
+                    },
+                    class: i % 3,
+                    score: s,
+                }
             })
             .collect();
         let kept = nms(dets, iou, 100);
         for i in 0..kept.len() {
             for j in (i + 1)..kept.len() {
                 if kept[i].class == kept[j].class {
-                    prop_assert!(kept[i].bbox.iou(&kept[j].bbox) <= iou + 1e-6);
+                    assert!(kept[i].bbox.iou(&kept[j].bbox) <= iou + 1e-6, "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Mask flattening picks classes that actually maximize the logits.
-    #[test]
-    fn flatten_mask_is_argmax(h in 1usize..12, w in 1usize..12, c in 1usize..8, seed in 0u64..100) {
-        let mut rng = seed;
+/// Mask flattening picks classes that actually maximize the logits.
+#[test]
+fn flatten_mask_is_argmax() {
+    let mut rng = SimRng::seed_from(0xE2E_0007);
+    for case in 0..48 {
+        let h = rng.uniform_u64(1, 12) as usize;
+        let w = rng.uniform_u64(1, 12) as usize;
+        let c = rng.uniform_u64(1, 8) as usize;
+        let mut lcg = rng.uniform_u64(0, 100);
         let mut logits = Vec::with_capacity(h * w * c);
         for _ in 0..h * w * c {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            logits.push((rng >> 33) as f32 / 4e9);
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            logits.push((lcg >> 33) as f32 / 4e9);
         }
         let mask = flatten_mask(&logits, h, w, c);
         for px in 0..h * w {
             let chosen = mask.classes()[px] as usize;
             let base = px * c;
             for k in 0..c {
-                prop_assert!(logits[base + chosen] >= logits[base + k]);
+                assert!(logits[base + chosen] >= logits[base + k], "case {case}");
             }
         }
     }
+}
 
-    /// Scheduler conservation: all submitted work completes exactly once,
-    /// and total busy time is at least the serial work at peak speed.
-    #[test]
-    fn scheduler_conserves_work(
-        tasks in prop::collection::vec((1u64..60, 0usize..3), 1..25),
-        seed in 0u64..1000,
-    ) {
+/// Scheduler conservation: all submitted work completes exactly once,
+/// and total busy time is at least the serial work at peak speed.
+#[test]
+fn scheduler_conserves_work() {
+    let mut rng = SimRng::seed_from(0xE2E_0008);
+    for case in 0..48 {
+        let ntasks = rng.uniform_u64(1, 25) as usize;
+        let tasks: Vec<(u64, usize)> = (0..ntasks)
+            .map(|_| (rng.uniform_u64(1, 60), rng.uniform_u64(0, 3) as usize))
+            .collect();
+        let seed = rng.uniform_u64(0, 1000);
         let mut m = Machine::new(SocCatalog::get(SocId::Sd845), seed);
         let done = Rc::new(Cell::new(0usize));
         let mut total_mflops = 0.0;
@@ -180,10 +225,10 @@ proptest! {
             m.submit_cpu(spec, move |_| d.set(d.get() + 1));
         }
         m.run_until_idle();
-        prop_assert_eq!(done.get(), tasks.len());
-        prop_assert_eq!(m.stats().tasks_completed, tasks.len() as u64);
+        assert_eq!(done.get(), tasks.len(), "case {case}");
+        assert_eq!(m.stats().tasks_completed, tasks.len() as u64, "case {case}");
         // Wall-clock lower bound: all-big-core peak on 4 cores.
         let peak_ms = total_mflops / (4.0 * 22_400.0) * 1e3 / 1e3;
-        prop_assert!(m.now().as_ms() + 1e-6 >= peak_ms * 0.9);
+        assert!(m.now().as_ms() + 1e-6 >= peak_ms * 0.9, "case {case}");
     }
 }

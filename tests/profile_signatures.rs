@@ -19,7 +19,10 @@ fn profile(engine: Engine) -> (ProfileReport, u64) {
         .run();
     let migrations = r.stats.migrations;
     let trace = r.trace.expect("tracing enabled");
-    (ProfileReport::from_trace(&trace, SimSpan::from_ms(10.0)), migrations)
+    (
+        ProfileReport::from_trace(&trace, SimSpan::from_ms(10.0)),
+        migrations,
+    )
 }
 
 /// Annotation 1: "cores 4-7 are at 100% utilization for the benchmark" —
@@ -56,7 +59,11 @@ fn hexagon_path_lights_up_cdsp_and_axi() {
         "cDSP should be busy: {:.2}",
         p.mean_utilization(TraceResource::Dsp)
     );
-    assert!(p.axi_bytes > 1_000_000, "AXI traffic expected, got {}", p.axi_bytes);
+    assert!(
+        p.axi_bytes > 1_000_000,
+        "AXI traffic expected, got {}",
+        p.axi_bytes
+    );
     // CPU involvement drops to RPC shepherding.
     let big_mean: f64 = (0..4)
         .map(|c| p.mean_utilization(TraceResource::CpuCore(c)))
@@ -111,8 +118,14 @@ fn profiles_are_distinguishable() {
     let (hex, hex_mig) = profile(Engine::TfLiteHexagon { threads: 4 });
     let (nnapi, nnapi_mig) = profile(Engine::nnapi());
     // DSP utilization separates hexagon from both others.
-    assert!(hex.mean_utilization(TraceResource::Dsp) > 10.0 * cpu.mean_utilization(TraceResource::Dsp).max(1e-9));
-    assert!(hex.mean_utilization(TraceResource::Dsp) > 10.0 * nnapi.mean_utilization(TraceResource::Dsp).max(1e-4));
+    assert!(
+        hex.mean_utilization(TraceResource::Dsp)
+            > 10.0 * cpu.mean_utilization(TraceResource::Dsp).max(1e-9)
+    );
+    assert!(
+        hex.mean_utilization(TraceResource::Dsp)
+            > 10.0 * nnapi.mean_utilization(TraceResource::Dsp).max(1e-4)
+    );
     // Migration counts separate NNAPI from both others.
     assert!(nnapi_mig > 10 * (cpu_mig + hex_mig + 1));
 }

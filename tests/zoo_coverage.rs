@@ -70,7 +70,11 @@ fn quantized_models_run_on_hexagon_and_snpe() {
 
 #[test]
 fn float_models_run_on_gpu_delegate() {
-    for id in [ModelId::MobileNetV1, ModelId::DeeplabV3MobileNetV2, ModelId::PoseNet] {
+    for id in [
+        ModelId::MobileNetV1,
+        ModelId::DeeplabV3MobileNetV2,
+        ModelId::PoseNet,
+    ] {
         smoke(
             id,
             DType::F32,
@@ -122,5 +126,8 @@ fn all_chipsets_run_the_pipeline() {
         .run()
         .e2e_summary()
         .mean_ms();
-    assert!(t865 < t835, "SD865 {t865:.1}ms should beat SD835 {t835:.1}ms");
+    assert!(
+        t865 < t835,
+        "SD865 {t865:.1}ms should beat SD835 {t835:.1}ms"
+    );
 }
