@@ -45,6 +45,7 @@
 //! assert!(report.summary(Stage::Inference).mean_ms() > 1.0);
 //! ```
 
+pub mod degradation;
 pub mod energy;
 pub mod experiment;
 pub mod extras;
@@ -55,6 +56,7 @@ pub mod stage;
 pub mod stats;
 pub mod taxonomy;
 
+pub use degradation::DegradationReport;
 pub use energy::EnergyReport;
 pub use pipeline::{E2eConfig, E2eReport};
 pub use runmode::RunMode;

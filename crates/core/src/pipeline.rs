@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use aitax_capture::{CameraConfig, RandomTensorGen, StdlibFlavor};
-use aitax_des::{SimSpan, SimTime, TraceBuffer};
+use aitax_des::{FaultPlan, SimSpan, SimTime, TraceBuffer};
 use aitax_framework::{Engine, Plan, Session};
 use aitax_kernel::{Machine, MachineStats, NoiseConfig, TaskSpec, Work};
 use aitax_models::zoo::{MlTask, ModelId, PostTask, PreTask, Zoo, ZooEntry};
@@ -18,6 +18,7 @@ use aitax_pipeline::{CostModel, PixelOp};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
 
+use crate::degradation::DegradationReport;
 use crate::energy::EnergyReport;
 use crate::runmode::RunMode;
 use crate::stage::{Stage, StageBreakdown, TaxReport};
@@ -40,6 +41,7 @@ pub struct E2eConfig {
     initial_temp_c: Option<f64>,
     wander_probability: Option<f64>,
     preproc_on_dsp: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl E2eConfig {
@@ -62,6 +64,7 @@ impl E2eConfig {
             initial_temp_c: None,
             wander_probability: None,
             preproc_on_dsp: false,
+            fault_plan: None,
         }
     }
 
@@ -136,6 +139,14 @@ impl E2eConfig {
         self
     }
 
+    /// Installs a seeded fault plan for the run. An empty plan is
+    /// guaranteed to leave results byte-identical to no plan at all;
+    /// `tests/fault_tolerance.rs` pins this.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Routes pre-processing through the DSP (a FastCV-style image
     /// pipeline) instead of CPU code — the design direction the paper's
     /// conclusion floats: "consider dropping an expensive tensor
@@ -169,6 +180,11 @@ impl E2eConfig {
         }
         if self.tracing {
             m.set_tracing(true);
+        }
+        if let Some(plan) = &self.fault_plan {
+            if !plan.is_empty() {
+                m.install_fault_plan(plan.clone());
+            }
         }
         let noise = self.run_mode.noise();
         m.start_noise(noise);
@@ -241,6 +257,10 @@ impl E2eConfig {
                 m.now(),
             )
         });
+        let degradation = DegradationReport::new(
+            m.degradation().clone(),
+            energy.as_ref().map(|e| e.mean_power_w()),
+        );
         E2eReport {
             dtype: self.dtype,
             tax: TaxReport::new(breakdowns),
@@ -249,6 +269,7 @@ impl E2eConfig {
             plan,
             trace,
             energy,
+            degradation,
         }
     }
 }
@@ -424,9 +445,20 @@ impl Driver {
                 dsp_work: span,
                 device: aitax_kernel::RpcDevice::Dsp,
             };
-            m.fastrpc_invoke(invoke, move |m| {
-                d.record(m, Stage::PreProcessing);
-                d.begin_inference(m);
+            m.fastrpc_invoke_result(invoke, move |m, outcome| {
+                if outcome.is_ok() {
+                    d.record(m, Stage::PreProcessing);
+                    d.begin_inference(m);
+                } else {
+                    // DSP unusable: redo the frame on the CPU path.
+                    m.degradation_mut().cpu_fallbacks += 1;
+                    let task = TaskSpec::foreground("pre-processing", Work::Cycles(cycles));
+                    let d2 = d.clone();
+                    m.submit_cpu(task, move |m| {
+                        d2.record(m, Stage::PreProcessing);
+                        d2.begin_inference(m);
+                    });
+                }
             });
             return;
         }
@@ -557,6 +589,8 @@ pub struct E2eReport {
     pub trace: Option<TraceBuffer>,
     /// Per-rail energy attribution, when tracing was enabled.
     pub energy: Option<EnergyReport>,
+    /// Fault/retry/fallback accounting (all-clean without a fault plan).
+    pub degradation: DegradationReport,
 }
 
 impl E2eReport {

@@ -254,6 +254,52 @@ impl TraceBuffer {
         out.sort_by_key(|iv| (iv.start, iv.resource));
         out
     }
+
+    /// Like [`TraceBuffer::exec_intervals`], but treats tasks still
+    /// running at `end` as busy up to `end` instead of dropping them —
+    /// the accounting a profiler window needs (an `ExecStart` with no
+    /// `ExecEnd` is real utilization, not noise).
+    ///
+    /// Open intervals that start after `end` are clamped to zero length
+    /// at their own start.
+    pub fn exec_intervals_until(&self, end: SimTime) -> Vec<ExecInterval> {
+        let mut open: Vec<(TraceResource, u64, SimTime, Box<str>)> = Vec::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                TraceKind::ExecStart { task, label } => {
+                    open.push((ev.resource, *task, ev.time, label.clone()));
+                }
+                TraceKind::ExecEnd { task } => {
+                    if let Some(pos) = open
+                        .iter()
+                        .rposition(|(r, t, _, _)| *r == ev.resource && *t == *task)
+                    {
+                        let (resource, task, start, label) = open.swap_remove(pos);
+                        out.push(ExecInterval {
+                            resource,
+                            task,
+                            label,
+                            start,
+                            end: ev.time,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (resource, task, start, label) in open {
+            out.push(ExecInterval {
+                resource,
+                task,
+                label,
+                start,
+                end: end.max(start),
+            });
+        }
+        out.sort_by_key(|iv| (iv.start, iv.resource));
+        out
+    }
 }
 
 /// A closed execution interval extracted from a trace.
@@ -319,6 +365,23 @@ mod tests {
             start(7, "dangling"),
         );
         assert!(buf.exec_intervals().is_empty());
+    }
+
+    #[test]
+    fn intervals_until_closes_dangling_starts() {
+        let mut buf = TraceBuffer::enabled();
+        let r = TraceResource::CpuCore(1);
+        buf.record(SimTime::from_ns(10), r, start(1, "closed"));
+        buf.record(SimTime::from_ns(20), r, TraceKind::ExecEnd { task: 1 });
+        buf.record(SimTime::from_ns(40), TraceResource::Gpu, start(2, "open"));
+        let ivs = buf.exec_intervals_until(SimTime::from_ns(100));
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].span(), SimSpan::from_ns(10));
+        assert_eq!(ivs[1].start, SimTime::from_ns(40));
+        assert_eq!(ivs[1].end, SimTime::from_ns(100), "busy to window end");
+        // A start after the window clamps to zero length, never negative.
+        let clamped = buf.exec_intervals_until(SimTime::from_ns(30));
+        assert_eq!(clamped[1].start, clamped[1].end);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use aitax_des::SimSpan;
-use aitax_kernel::{GpuJob, Machine, RpcDevice, RpcInvoke, TaskSpec, Work};
+use aitax_kernel::{GpuJob, Machine, RpcDevice, RpcInvoke, RpcOutcome, TaskSpec, Work};
 use aitax_models::Graph;
 use aitax_soc::SocSpec;
 use aitax_tensor::DType;
@@ -236,6 +236,11 @@ struct Inner {
     graph: Rc<Graph>,
     plan: Plan,
     dsp_probe_done: Cell<bool>,
+    /// Set once a FastRPC invocation exhausts its retries: the runtime
+    /// marks the accelerator unusable and routes every later accelerator
+    /// partition straight to the CPU reference path (the real NNAPI
+    /// behavior behind Fig. 6's fallback profile).
+    accel_broken: Cell<bool>,
 }
 
 /// A model compiled for a specific engine and SoC, ready to invoke.
@@ -293,6 +298,7 @@ impl Session {
                 graph,
                 plan,
                 dsp_probe_done: Cell::new(false),
+                accel_broken: Cell::new(false),
             }),
             engine,
         })
@@ -381,6 +387,10 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
         }
         ExecTarget::Dsp { efficiency } => {
             let work = cost::dsp_exec_span(&m.spec().dsp, part.macs, efficiency);
+            if inner.accel_broken.get() {
+                run_cpu_fallback(inner, part.macs, work, m, next);
+                return;
+            }
             let invoke = RpcInvoke {
                 label: format!("dsp:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
                 in_bytes: part.in_bytes,
@@ -388,7 +398,14 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 dsp_work: work,
                 device: RpcDevice::Dsp,
             };
-            m.fastrpc_invoke(invoke, next);
+            let macs = part.macs;
+            m.fastrpc_invoke_result(invoke, move |m, outcome| match outcome {
+                RpcOutcome::Ok => next(m),
+                RpcOutcome::Failed(_) => {
+                    inner.accel_broken.set(true);
+                    run_cpu_fallback(inner, macs, work, m, next);
+                }
+            });
         }
         ExecTarget::Npu { efficiency } => {
             let npu = m
@@ -397,6 +414,10 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 .expect("Npu partition compiled for a chipset without an NPU");
             let work =
                 aitax_des::SimSpan::from_secs(2.0 * part.macs as f64 / (npu.int8_ops * efficiency));
+            if inner.accel_broken.get() {
+                run_cpu_fallback(inner, part.macs, work, m, next);
+                return;
+            }
             let invoke = RpcInvoke {
                 label: format!("npu:{}[{}..{}]", inner.graph.name(), part.ops.0, part.ops.1),
                 in_bytes: part.in_bytes,
@@ -404,7 +425,14 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 dsp_work: work,
                 device: RpcDevice::Npu,
             };
-            m.fastrpc_invoke(invoke, next);
+            let macs = part.macs;
+            m.fastrpc_invoke_result(invoke, move |m, outcome| match outcome {
+                RpcOutcome::Ok => next(m),
+                RpcOutcome::Failed(_) => {
+                    inner.accel_broken.set(true);
+                    run_cpu_fallback(inner, macs, work, m, next);
+                }
+            });
         }
         ExecTarget::Gpu { efficiency } => {
             let exec = cost::gpu_exec_span(&m.spec().gpu, part.macs, efficiency)
@@ -417,6 +445,27 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
             m.submit_gpu(job, next);
         }
     }
+}
+
+/// Re-runs an accelerator partition on the vendor driver's CPU
+/// *reference* kernels after the FastRPC path failed — the paper's
+/// graceful-degradation behavior (Fig. 6): single-threaded, unpinned,
+/// wandering across cores. The extra wall time over the planned
+/// accelerator span is charged to
+/// [`DegradationStats::fallback_added`](aitax_kernel::DegradationStats).
+fn run_cpu_fallback(inner: Rc<Inner>, macs: u64, planned: SimSpan, m: &mut Machine, next: DoneCb) {
+    m.degradation_mut().cpu_fallbacks += 1;
+    let cycles = macs as f64 * cost::NNAPI_REFERENCE_CYCLES_PER_MAC;
+    let task = TaskSpec::nnapi_fallback(
+        format!("fallback:{}", inner.graph.name()),
+        Work::Cycles(cycles),
+    );
+    let start = m.now();
+    m.submit_cpu(task, move |m| {
+        let actual = m.now() - start;
+        m.degradation_mut().fallback_added += actual.saturating_sub(planned);
+        next(m);
+    });
 }
 
 /// Executes ops `[op..end)` on the TFLite CPU backend, one fork-join gang
@@ -582,6 +631,36 @@ mod tests {
         assert!(text.contains("dsp"));
         assert!(text.contains("tflite-cpu"));
         assert!(text.lines().count() > 2);
+    }
+
+    #[test]
+    fn broken_dsp_falls_back_to_cpu_and_completes() {
+        use aitax_des::{FaultKind, FaultPlan, SimTime};
+        let g = graph(ModelId::MobileNetV1, DType::I8);
+        let s = Session::compile(Engine::SnpeDsp, g.clone(), &soc()).unwrap();
+
+        let mut healthy = Machine::new(soc(), 11);
+        let t_healthy = run_invoke(&s, &mut healthy);
+        assert!(healthy.degradation().is_clean());
+
+        let s2 = Session::compile(Engine::SnpeDsp, g, &soc()).unwrap();
+        let mut broken = Machine::new(soc(), 11);
+        broken.install_fault_plan(
+            FaultPlan::new(2).sustained(FaultKind::DspSignalTimeout, SimTime::ZERO),
+        );
+        let t_broken = run_invoke(&s2, &mut broken);
+        let d = broken.degradation();
+        assert_eq!(d.cpu_fallbacks, 1, "{d:?}");
+        assert!(d.rpc_giveups >= 1);
+        assert!(
+            t_broken > t_healthy * 2.0,
+            "fallback {t_broken:.1}ms should dwarf healthy {t_healthy:.1}ms"
+        );
+        // Later invokes skip the dead accelerator without re-timing-out.
+        let giveups_before = d.rpc_giveups;
+        let _ = run_invoke(&s2, &mut broken);
+        assert_eq!(broken.degradation().rpc_giveups, giveups_before);
+        assert_eq!(broken.degradation().cpu_fallbacks, 2);
     }
 
     #[test]

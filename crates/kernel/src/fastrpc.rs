@@ -16,10 +16,14 @@
 //! inferences using the same setup" — the amortization curve of Figure 8.
 
 use aitax_des::trace::{RpcPhase, TraceKind, TraceResource};
-use aitax_des::{SimSpan, SimTime};
+use aitax_des::{FaultKind, SimSpan, SimTime};
 
 use crate::machine::Machine;
 use crate::task::{TaskSpec, Work};
+
+/// How much a memory-pressure storm multiplies the cache-maintenance
+/// cost of an RPC while [`FaultKind::CacheFlushStorm`] is active.
+const CACHE_STORM_MULTIPLIER: f64 = 8.0;
 
 /// CPU-side costs of one FastRPC round trip.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +36,16 @@ pub struct FastRpcCosts {
     pub doorbell: SimSpan,
     /// Latency of the DSP-side completion signal reaching the kernel.
     pub completion_signal: SimSpan,
+    /// How long the caller waits on the DSP completion signal before
+    /// declaring the invocation lost.
+    pub rpc_timeout: SimSpan,
+    /// How many times a failed invocation is re-issued before the error
+    /// is surfaced to the caller.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt up to `backoff_cap`.
+    pub backoff_base: SimSpan,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: SimSpan,
 }
 
 impl Default for FastRpcCosts {
@@ -43,9 +57,41 @@ impl Default for FastRpcCosts {
             ioctl_return_cycles: 250_000.0,
             doorbell: SimSpan::from_us(15.0),
             completion_signal: SimSpan::from_us(30.0),
+            rpc_timeout: SimSpan::from_ms(50.0),
+            max_retries: 3,
+            backoff_base: SimSpan::from_ms(1.0),
+            backoff_cap: SimSpan::from_ms(16.0),
         }
     }
 }
+
+/// Why a FastRPC invocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The kernel driver rejected the `ioctl` before reaching the DSP.
+    IoctlError,
+    /// The DSP completion signal never arrived within the timeout.
+    SignalTimeout,
+}
+
+/// Result of a FastRPC invocation, delivered to the completion callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcOutcome {
+    /// The call returned to user space with results.
+    Ok,
+    /// The call failed after exhausting its retry budget.
+    Failed(RpcError),
+}
+
+impl RpcOutcome {
+    /// True for [`RpcOutcome::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == RpcOutcome::Ok
+    }
+}
+
+/// Completion callback carrying the invocation outcome.
+type RpcCallback = Box<dyn FnOnce(&mut Machine, RpcOutcome)>;
 
 /// Which compute block behind the FastRPC interface executes the call.
 ///
@@ -97,6 +143,22 @@ impl Machine {
         invoke: RpcInvoke,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
+        self.fastrpc_invoke_result(invoke, move |m, _outcome| on_done(m));
+    }
+
+    /// Like [`Machine::fastrpc_invoke`], but delivers the [`RpcOutcome`]
+    /// so callers can react to failure — the hook `aitax-framework` uses
+    /// to fall back to the CPU when an installed
+    /// [`FaultPlan`](aitax_des::FaultPlan) breaks the accelerator path.
+    ///
+    /// Failed attempts are retried with exponential backoff up to
+    /// [`FastRpcCosts::max_retries`] times before
+    /// [`RpcOutcome::Failed`] is surfaced.
+    pub fn fastrpc_invoke_result(
+        &mut self,
+        invoke: RpcInvoke,
+        on_done: impl FnOnce(&mut Machine, RpcOutcome) + 'static,
+    ) {
         self.stats_mut().rpc_calls += 1;
         if !self.dsp_session_mapped() {
             let setup = self.spec().dsp.session_setup;
@@ -106,15 +168,30 @@ impl Machine {
                 Machine::set_dsp_session_mapped,
             );
         }
+        self.rpc_attempt(invoke, 0, Box::new(on_done));
+    }
+
+    fn rpc_attempt(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
         self.rpc_phase(RpcPhase::IoctlEntry);
         let entry = TaskSpec::kernel(
             format!("ioctl:{}", invoke.label),
             Work::Cycles(self.rpc_costs.ioctl_entry_cycles),
         );
-        self.submit_cpu(entry, move |m| m.rpc_cache_flush(invoke, Box::new(on_done)));
+        self.submit_cpu(entry, move |m| {
+            // Decision point: the driver can reject the call right at the
+            // user→kernel boundary.
+            if m.fault_active(FaultKind::RpcIoctlError) {
+                let d = m.degradation_mut();
+                d.rpc_io_errors += 1;
+                d.faults_injected += 1;
+                m.rpc_fail(invoke, attempt, RpcError::IoctlError, on_done);
+            } else {
+                m.rpc_cache_flush(invoke, attempt, on_done);
+            }
+        });
     }
 
-    fn rpc_cache_flush(&mut self, invoke: RpcInvoke, on_done: Box<dyn FnOnce(&mut Machine)>) {
+    fn rpc_cache_flush(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
         self.rpc_phase(RpcPhase::CacheFlush);
         let now = self.now();
         self.trace.record(
@@ -125,19 +202,33 @@ impl Machine {
             },
         );
         self.stats_mut().axi_bytes += invoke.in_bytes;
-        let flush = self.spec().memory.cache_flush_span(invoke.in_bytes);
+        let mut flush = self.spec().memory.cache_flush_span(invoke.in_bytes);
+        if self.fault_active(FaultKind::CacheFlushStorm) {
+            flush = flush * CACHE_STORM_MULTIPLIER;
+            let d = self.degradation_mut();
+            d.cache_storm_flushes += 1;
+            d.faults_injected += 1;
+        }
         let task = TaskSpec::kernel(format!("cacheflush:{}", invoke.label), Work::Span(flush));
-        self.submit_cpu(task, move |m| m.rpc_doorbell(invoke, on_done));
+        self.submit_cpu(task, move |m| m.rpc_doorbell(invoke, attempt, on_done));
     }
 
-    fn rpc_doorbell(&mut self, invoke: RpcInvoke, on_done: Box<dyn FnOnce(&mut Machine)>) {
+    fn rpc_doorbell(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
         self.rpc_phase(RpcPhase::DoorbellRing);
         let delay = self.rpc_costs.doorbell;
-        self.after(delay, move |m| m.rpc_execute(invoke, on_done));
+        self.after(delay, move |m| m.rpc_execute(invoke, attempt, on_done));
     }
 
-    fn rpc_execute(&mut self, invoke: RpcInvoke, on_done: Box<dyn FnOnce(&mut Machine)>) {
+    fn rpc_execute(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
         self.rpc_phase(RpcPhase::DspExecute);
+        // Decision point: does the DSP-side signal path work right now?
+        if self.fault_active(FaultKind::DspSignalTimeout) {
+            // The doorbell rings into silence: nothing executes and the
+            // caller blocks until its timeout expires.
+            self.rpc_timeout_then_fail(invoke, attempt, on_done);
+            return;
+        }
+        let dropped = self.fault_active(FaultKind::DspResponseDropped);
         let mem = self.spec().memory;
         let overhead = match invoke.device {
             RpcDevice::Dsp => self.spec().dsp.invoke_overhead,
@@ -153,23 +244,65 @@ impl Machine {
             + invoke.dsp_work
             + mem.transfer_span(invoke.out_bytes);
         let label = invoke.label.clone();
+        if dropped {
+            // The job runs (and is visible in the trace) but its
+            // completion response is lost: the caller still times out.
+            match invoke.device {
+                RpcDevice::Dsp => self.submit_dsp_raw(label, exec, |_| {}),
+                RpcDevice::Npu => self.submit_npu_raw(label, exec, |_| {}),
+            }
+            self.rpc_timeout_then_fail(invoke, attempt, on_done);
+            return;
+        }
         match invoke.device {
-            RpcDevice::Dsp => {
-                self.submit_dsp_raw(label, exec, move |m| m.rpc_complete(invoke, on_done))
-            }
-            RpcDevice::Npu => {
-                self.submit_npu_raw(label, exec, move |m| m.rpc_complete(invoke, on_done))
-            }
+            RpcDevice::Dsp => self.submit_dsp_raw(label, exec, move |m| {
+                m.rpc_complete(invoke, attempt, on_done)
+            }),
+            RpcDevice::Npu => self.submit_npu_raw(label, exec, move |m| {
+                m.rpc_complete(invoke, attempt, on_done)
+            }),
         }
     }
 
-    fn rpc_complete(&mut self, invoke: RpcInvoke, on_done: Box<dyn FnOnce(&mut Machine)>) {
-        self.rpc_phase(RpcPhase::CompletionSignal);
-        let delay = self.rpc_costs.completion_signal;
-        self.after(delay, move |m| m.rpc_return(invoke, on_done));
+    /// The caller's watchdog: wait out the RPC timeout, then treat the
+    /// invocation as lost.
+    fn rpc_timeout_then_fail(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
+        let timeout = self.rpc_costs.rpc_timeout;
+        self.after(timeout, move |m| {
+            let d = m.degradation_mut();
+            d.rpc_timeouts += 1;
+            d.faults_injected += 1;
+            d.rpc_stall += timeout;
+            m.rpc_fail(invoke, attempt, RpcError::SignalTimeout, on_done);
+        });
     }
 
-    fn rpc_return(&mut self, invoke: RpcInvoke, on_done: Box<dyn FnOnce(&mut Machine)>) {
+    /// Retry with exponential backoff, or surface the error once the
+    /// retry budget is spent.
+    fn rpc_fail(&mut self, invoke: RpcInvoke, attempt: u32, err: RpcError, on_done: RpcCallback) {
+        let costs = self.rpc_costs;
+        if attempt < costs.max_retries {
+            let backoff =
+                (costs.backoff_base * f64::from(1u32 << attempt.min(16))).min(costs.backoff_cap);
+            let d = self.degradation_mut();
+            d.rpc_retries += 1;
+            d.rpc_stall += backoff;
+            self.after(backoff, move |m| {
+                m.rpc_attempt(invoke, attempt + 1, on_done)
+            });
+        } else {
+            self.degradation_mut().rpc_giveups += 1;
+            on_done(self, RpcOutcome::Failed(err));
+        }
+    }
+
+    fn rpc_complete(&mut self, invoke: RpcInvoke, attempt: u32, on_done: RpcCallback) {
+        self.rpc_phase(RpcPhase::CompletionSignal);
+        let delay = self.rpc_costs.completion_signal;
+        self.after(delay, move |m| m.rpc_return(invoke, attempt, on_done));
+    }
+
+    fn rpc_return(&mut self, invoke: RpcInvoke, _attempt: u32, on_done: RpcCallback) {
         self.rpc_phase(RpcPhase::IoctlReturn);
         let now = self.now();
         self.trace.record(
@@ -186,7 +319,7 @@ impl Machine {
         let task = TaskSpec::kernel(format!("ioctl-ret:{}", invoke.label), Work::Cycles(cycles));
         self.submit_cpu(task, move |m| {
             let t = TaskSpec::kernel("cache-invalidate", Work::Span(invalidate));
-            m.submit_cpu(t, on_done);
+            m.submit_cpu(t, move |m| on_done(m, RpcOutcome::Ok));
         });
     }
 
@@ -295,6 +428,122 @@ mod tests {
         run_one(&mut m, invoke("t", 1.0));
         assert_eq!(m.stats().axi_bytes, 150_528 + 4_004);
         assert_eq!(m.stats().rpc_calls, 1);
+    }
+
+    #[test]
+    fn sustained_dsp_timeout_fails_after_retries() {
+        use aitax_des::FaultPlan;
+        let mut m = machine();
+        m.install_fault_plan(
+            FaultPlan::new(1).sustained(FaultKind::DspSignalTimeout, SimTime::ZERO),
+        );
+        let outcome = Rc::new(Cell::new(None));
+        let o = outcome.clone();
+        m.fastrpc_invoke_result(invoke("doomed", 5.0), move |_, out| o.set(Some(out)));
+        m.run_until_idle();
+        assert_eq!(
+            outcome.get(),
+            Some(RpcOutcome::Failed(RpcError::SignalTimeout))
+        );
+        let costs = FastRpcCosts::default();
+        let d = m.degradation().clone();
+        // One initial attempt plus max_retries re-issues, all timing out.
+        assert_eq!(d.rpc_timeouts, u64::from(costs.max_retries) + 1);
+        assert_eq!(d.rpc_retries, u64::from(costs.max_retries));
+        assert_eq!(d.rpc_giveups, 1);
+        // Stall = every timeout plus every backoff interval.
+        let backoffs: SimSpan = (0..costs.max_retries)
+            .map(|a| (costs.backoff_base * f64::from(1u32 << a)).min(costs.backoff_cap))
+            .fold(SimSpan::ZERO, |acc, b| acc + b);
+        let expected = costs.rpc_timeout * f64::from(costs.max_retries + 1) + backoffs;
+        assert_eq!(d.rpc_stall, expected);
+        // The logical invocation counts once despite the retries.
+        assert_eq!(m.stats().rpc_calls, 1);
+    }
+
+    #[test]
+    fn transient_ioctl_error_recovers_via_retry() {
+        use aitax_des::FaultPlan;
+        let mut m = machine();
+        // The driver rejects calls only during the first 200 µs; the
+        // first backoff retry lands after the window clears.
+        m.install_fault_plan(FaultPlan::new(1).window(
+            FaultKind::RpcIoctlError,
+            SimTime::ZERO,
+            SimTime::ZERO + SimSpan::from_us(200.0),
+        ));
+        let outcome = Rc::new(Cell::new(None));
+        let o = outcome.clone();
+        m.fastrpc_invoke_result(invoke("flaky", 2.0), move |_, out| o.set(Some(out)));
+        m.run_until_idle();
+        assert_eq!(outcome.get(), Some(RpcOutcome::Ok));
+        let d = m.degradation();
+        assert!(d.rpc_io_errors >= 1, "at least one rejection: {d:?}");
+        assert!(d.rpc_retries >= 1);
+        assert_eq!(d.rpc_giveups, 0);
+    }
+
+    #[test]
+    fn dropped_response_still_occupies_dsp() {
+        use aitax_des::FaultPlan;
+        let mut m = machine();
+        m.set_tracing(true);
+        m.install_fault_plan(
+            FaultPlan::new(1).sustained(FaultKind::DspResponseDropped, SimTime::ZERO),
+        );
+        let outcome = Rc::new(Cell::new(None));
+        let o = outcome.clone();
+        m.fastrpc_invoke_result(invoke("lost", 5.0), move |_, out| o.set(Some(out)));
+        m.run_until_idle();
+        assert_eq!(
+            outcome.get(),
+            Some(RpcOutcome::Failed(RpcError::SignalTimeout))
+        );
+        // The work itself ran on the DSP every attempt (visible busy time),
+        // even though every response was lost.
+        let dsp_execs = m
+            .trace
+            .exec_intervals()
+            .iter()
+            .filter(|iv| iv.resource == TraceResource::Dsp && &*iv.label == "lost")
+            .count();
+        assert_eq!(dsp_execs as u64, m.degradation().rpc_timeouts);
+    }
+
+    #[test]
+    fn cache_storm_inflates_flush_cost() {
+        use aitax_des::FaultPlan;
+        let mut healthy = machine();
+        run_one(&mut healthy, invoke("w", 0.1));
+        let clean = run_one(&mut healthy, invoke("probe", 1.0));
+
+        let mut stormy = machine();
+        run_one(&mut stormy, invoke("w", 0.1));
+        stormy.install_fault_plan(
+            FaultPlan::new(1).sustained(FaultKind::CacheFlushStorm, SimTime::ZERO),
+        );
+        let slow = run_one(&mut stormy, invoke("probe", 1.0));
+        assert!(slow > clean, "storm {slow}ms vs clean {clean}ms");
+        assert!(stormy.degradation().cache_storm_flushes >= 1);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use aitax_des::FaultPlan;
+        let run = || {
+            let mut m = machine();
+            m.install_fault_plan(FaultPlan::new(9).window(
+                FaultKind::DspSignalTimeout,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::from_ms(80.0),
+            ));
+            let outcome = Rc::new(Cell::new(None));
+            let o = outcome.clone();
+            m.fastrpc_invoke_result(invoke("det", 3.0), move |_, out| o.set(Some(out)));
+            m.run_until_idle();
+            (outcome.get(), m.degradation().clone(), m.now())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

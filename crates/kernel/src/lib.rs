@@ -49,7 +49,7 @@ pub mod sched;
 pub mod task;
 
 pub use dvfs::DvfsPolicy;
-pub use fastrpc::{FastRpcCosts, RpcDevice, RpcInvoke};
-pub use machine::{GpuJob, Machine, MachineStats};
+pub use fastrpc::{FastRpcCosts, RpcDevice, RpcError, RpcInvoke, RpcOutcome};
+pub use machine::{DegradationStats, GpuJob, Machine, MachineStats};
 pub use noise::NoiseConfig;
 pub use task::{CoreMask, TaskClass, TaskId, TaskSpec, Work};

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use aitax_des::trace::{TraceKind, TraceResource};
-use aitax_des::{Calendar, SimRng, SimSpan, SimTime, Token, TraceBuffer};
+use aitax_des::{Calendar, FaultKind, FaultPlan, SimRng, SimSpan, SimTime, Token, TraceBuffer};
 use aitax_soc::{SocSpec, ThermalState};
 
 use crate::dvfs::{CoreGov, DvfsPolicy};
@@ -38,6 +38,45 @@ pub struct MachineStats {
     pub axi_bytes: u64,
     /// FastRPC invocations issued.
     pub rpc_calls: u64,
+}
+
+/// Counters describing how a run degraded under an installed
+/// [`FaultPlan`]: every fault the machine realized, every retry and
+/// fallback the stack took in response, and the simulated time those
+/// responses cost. All-zero (see [`DegradationStats::is_clean`]) when no
+/// plan is installed or the plan never fired.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Faults realized at an injection point (any kind).
+    pub faults_injected: u64,
+    /// FastRPC attempts re-issued after a failure (bounded backoff).
+    pub rpc_retries: u64,
+    /// FastRPC attempts that timed out waiting on the DSP signal.
+    pub rpc_timeouts: u64,
+    /// FastRPC attempts rejected at the ioctl boundary.
+    pub rpc_io_errors: u64,
+    /// FastRPC invocations abandoned after exhausting retries.
+    pub rpc_giveups: u64,
+    /// Simulated time spent stalled in timeouts and retry backoff.
+    pub rpc_stall: SimSpan,
+    /// Accelerator partitions re-run on the CPU after RPC give-up.
+    pub cpu_fallbacks: u64,
+    /// Extra wall time the CPU fallbacks cost over the planned
+    /// accelerator execution.
+    pub fallback_added: SimSpan,
+    /// Thermal emergencies injected.
+    pub thermal_emergencies: u64,
+    /// Cache flushes amplified by a memory-pressure storm.
+    pub cache_storm_flushes: u64,
+    /// Background task bursts injected.
+    pub background_bursts: u64,
+}
+
+impl DegradationStats {
+    /// True when the run saw no faults and took no degradation action.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationStats::default()
+    }
 }
 
 pub(crate) struct Task {
@@ -134,7 +173,9 @@ pub struct Machine {
     pub(crate) noise_generation: u64,
     pub(crate) next_obj_id: u64,
     pub(crate) wander_probability: f64,
+    pub(crate) fault_plan: Option<FaultPlan>,
     stats: MachineStats,
+    degradation: DegradationStats,
 }
 
 impl Machine {
@@ -179,7 +220,9 @@ impl Machine {
             noise_generation: 0,
             next_obj_id: 1,
             wander_probability: crate::sched::DEFAULT_WANDER_PROBABILITY,
+            fault_plan: None,
             stats: MachineStats::default(),
+            degradation: DegradationStats::default(),
             spec,
         }
     }
@@ -210,6 +253,86 @@ impl Machine {
 
     pub(crate) fn stats_mut(&mut self) -> &mut MachineStats {
         &mut self.stats
+    }
+
+    /// Degradation counters accumulated under the installed fault plan.
+    pub fn degradation(&self) -> &DegradationStats {
+        &self.degradation
+    }
+
+    /// Mutable access for the layers above the kernel (framework
+    /// fallback accounting happens outside this crate).
+    pub fn degradation_mut(&mut self) -> &mut DegradationStats {
+        &mut self.degradation
+    }
+
+    /// Installs a fault plan. Point-in-time faults (thermal emergencies,
+    /// background bursts) are realized as timers at their window starts;
+    /// window faults (RPC errors, DSP timeouts, cache storms) are pure
+    /// queries evaluated at the affected subsystem's decision points, so
+    /// an empty plan leaves the event sequence byte-identical to no plan
+    /// at all.
+    ///
+    /// Burst sizes come from a dedicated stream seeded by the plan — not
+    /// the machine's RNG — so installing a plan never perturbs workload
+    /// randomness.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let mut fault_rng = SimRng::seed_from(plan.seed() ^ 0x5fa1_7b1a_57ed_c0de);
+        let now = self.now();
+        for w in plan.windows() {
+            if w.start == SimTime::MAX {
+                continue;
+            }
+            let delay = if w.start > now {
+                w.start - now
+            } else {
+                SimSpan::ZERO
+            };
+            match w.kind {
+                FaultKind::ThermalEmergency => {
+                    self.after(delay, Machine::inject_thermal_emergency);
+                }
+                FaultKind::BackgroundBurst => {
+                    let count = fault_rng.uniform_u64(3, 8) as usize;
+                    let cycles: Vec<f64> = (0..count)
+                        .map(|_| fault_rng.uniform(20.0e6, 120.0e6))
+                        .collect();
+                    self.after(delay, move |m| m.inject_background_burst(&cycles));
+                }
+                _ => {}
+            }
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Whether `kind` is active at the current instant under the
+    /// installed plan (always false with no plan).
+    pub fn fault_active(&self, kind: FaultKind) -> bool {
+        self.fault_plan
+            .as_ref()
+            .is_some_and(|p| p.active(kind, self.cal.now()))
+    }
+
+    /// Realizes a thermal emergency: the skin sensor jumps past the hard
+    /// limit and the throttle curve clamps frequency until the chip
+    /// cools back down.
+    pub fn inject_thermal_emergency(&mut self) {
+        self.touch_thermal();
+        let now = self.cal.now();
+        let emergency_c = self.spec.thermal.hard_limit_c + 7.0;
+        self.thermal.force_temp(now, emergency_c);
+        self.degradation.thermal_emergencies += 1;
+        self.degradation.faults_injected += 1;
+    }
+
+    fn inject_background_burst(&mut self, cycles: &[f64]) {
+        use crate::task::TaskSpec;
+        for (i, &c) in cycles.iter().enumerate() {
+            let spec = TaskSpec::background(format!("fault-burst-{i}"), Work::Cycles(c));
+            self.submit_cpu(spec, |_| {});
+        }
+        self.degradation.background_bursts += 1;
+        self.degradation.faults_injected += 1;
     }
 
     /// Current chip temperature in °C.

@@ -89,26 +89,44 @@ pub struct ProfileReport {
 }
 
 impl ProfileReport {
-    /// Builds a report from a trace with the given bin width.
+    /// Builds a report from a trace with the given bin width. The window
+    /// ends at the trace's last event.
     ///
     /// # Panics
     ///
     /// Panics if `bin_width` is zero.
     pub fn from_trace(trace: &TraceBuffer, bin_width: SimSpan) -> Self {
-        assert!(!bin_width.is_zero(), "bin width must be positive");
         let end = trace
             .events()
             .iter()
             .map(|e| e.time)
             .max()
             .unwrap_or(SimTime::ZERO);
+        Self::from_trace_until(trace, bin_width, end)
+    }
+
+    /// Builds a report over the explicit window `[0, end]`.
+    ///
+    /// Two edge cases are handled deliberately:
+    ///
+    /// * a task with an `ExecStart` but no `ExecEnd` counts as busy up to
+    ///   `end` (a hung or still-running task is real utilization), and
+    /// * events landing exactly on the window end (or beyond it, if the
+    ///   caller chose an `end` before the last event) are clamped into
+    ///   the final bin instead of indexing past the timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn from_trace_until(trace: &TraceBuffer, bin_width: SimSpan, end: SimTime) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
         let nbins = (end.as_ns() as f64 / bin_width.as_ns() as f64).ceil() as usize;
         let nbins = nbins.max(1);
 
         let mut busy: BTreeMap<TraceResource, Vec<f64>> = BTreeMap::new();
-        for iv in trace.exec_intervals() {
+        for iv in trace.exec_intervals_until(end) {
             let bins = busy.entry(iv.resource).or_insert_with(|| vec![0.0; nbins]);
-            let (s, e) = (iv.start.as_ns(), iv.end.as_ns());
+            let (s, e) = (iv.start.as_ns(), iv.end.as_ns().min(end.as_ns()));
             let bw = bin_width.as_ns();
             let first = (s / bw) as usize;
             let last = ((e.saturating_sub(1)) / bw) as usize;
@@ -131,6 +149,9 @@ impl ProfileReport {
         let mut axi_bytes = 0;
         let mut axi_per_bin = vec![0u64; nbins];
         for ev in trace.events() {
+            if ev.time > end {
+                continue;
+            }
             match &ev.kind {
                 TraceKind::ContextSwitch => context_switches += 1,
                 TraceKind::Migration { .. } => migrations += 1,
@@ -370,5 +391,74 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_panics() {
         ProfileReport::from_trace(&TraceBuffer::enabled(), SimSpan::ZERO);
+    }
+
+    // ------------------------------------------------- edge-case fixes
+    // Regression tests for two historical `from_trace` bugs: events on
+    // the exact window boundary indexing past `axi_per_bin`, and
+    // dangling ExecStarts silently vanishing from busy accounting.
+
+    #[test]
+    fn axi_burst_exactly_at_window_end_lands_in_last_bin() {
+        let mut buf = TraceBuffer::enabled();
+        // The burst is the last event, at an exact bin-boundary multiple:
+        // end = 2000, nbins = 2, naive bin index = 2 → out of bounds.
+        buf.record(
+            SimTime::from_ns(0),
+            TraceResource::CpuCore(0),
+            TraceKind::ContextSwitch,
+        );
+        buf.record(
+            SimTime::from_ns(2000),
+            TraceResource::Axi,
+            TraceKind::AxiBurst { bytes: 64 },
+        );
+        let rep = ProfileReport::from_trace(&buf, SimSpan::from_ns(1000));
+        assert_eq!(rep.axi_per_bin.len(), 2);
+        assert_eq!(rep.axi_per_bin[1], 64);
+        assert_eq!(rep.axi_bytes, 64);
+
+        // Same trace through an explicit window that ends *before* the
+        // burst: the event is outside the window and must not count.
+        let windowed =
+            ProfileReport::from_trace_until(&buf, SimSpan::from_ns(1000), SimTime::from_ns(1000));
+        assert_eq!(windowed.axi_bytes, 0);
+        assert_eq!(windowed.axi_per_bin.len(), 1);
+    }
+
+    #[test]
+    fn dangling_exec_start_counts_busy_to_window_end() {
+        let mut buf = TraceBuffer::enabled();
+        let r = TraceResource::CpuCore(3);
+        // A closed interval fixes the trace end at 4000 ns; the dangling
+        // task starts at 1000 ns and never ends.
+        record_interval(&mut buf, TraceResource::Dsp, 9, 3800, 4000);
+        buf.record(
+            SimTime::from_ns(1000),
+            r,
+            TraceKind::ExecStart {
+                task: 1,
+                label: "hung".into(),
+            },
+        );
+        let rep = ProfileReport::from_trace(&buf, SimSpan::from_ns(1000));
+        // Busy from 1000 to 4000 of a 4000 ns window: bins 1..3 full.
+        assert_eq!(rep.utilization_of(r, 0), 0.0);
+        assert_eq!(rep.utilization_of(r, 1), 1.0);
+        assert_eq!(rep.utilization_of(r, 3), 1.0);
+        assert!((rep.mean_utilization(r) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_window_clamps_closed_intervals() {
+        let mut buf = TraceBuffer::enabled();
+        let r = TraceResource::Gpu;
+        record_interval(&mut buf, r, 1, 0, 4000);
+        // Profile only the first half: utilization is full over the
+        // truncated window, not smeared or out of range.
+        let rep =
+            ProfileReport::from_trace_until(&buf, SimSpan::from_ns(1000), SimTime::from_ns(2000));
+        assert_eq!(rep.axi_per_bin.len(), 2);
+        assert_eq!(rep.mean_utilization(r), 1.0);
     }
 }

@@ -80,6 +80,17 @@ impl ThermalState {
         self.temp_c
     }
 
+    /// Forces the temperature to `temp_c` at instant `now`, e.g. to model
+    /// a skin-temperature emergency injected mid-run. Unlike
+    /// [`ThermalState::with_temp`] this keeps the integration clock
+    /// consistent, so the next [`ThermalState::advance`] relaxes from the
+    /// forced temperature rather than replaying the whole elapsed run.
+    pub fn force_temp(&mut self, now: SimTime, temp_c: f64) {
+        assert!(temp_c.is_finite(), "temperature must be finite");
+        self.temp_c = temp_c;
+        self.last_update = now;
+    }
+
     /// Current frequency multiplier.
     pub fn freq_multiplier(&self) -> f64 {
         self.model.freq_multiplier(self.temp_c)
@@ -183,6 +194,21 @@ mod tests {
         let before = st.temp_c();
         st.advance(SimTime::ZERO, 5.0);
         assert_eq!(st.temp_c(), before);
+    }
+
+    #[test]
+    fn force_temp_keeps_integration_clock() {
+        let mut st = ThermalState::new(default_phone_thermals());
+        st.advance(SimTime::ZERO + SimSpan::from_secs(10.0), 0.0);
+        st.force_temp(SimTime::ZERO + SimSpan::from_secs(10.0), 85.0);
+        assert_eq!(st.temp_c(), 85.0);
+        assert_eq!(st.freq_multiplier(), 0.7);
+        // A zero-length advance must not relax the forced temperature.
+        st.advance(SimTime::ZERO + SimSpan::from_secs(10.0), 0.0);
+        assert_eq!(st.temp_c(), 85.0);
+        // But cooling proceeds normally from the forced point.
+        st.advance(SimTime::ZERO + SimSpan::from_secs(210.0), 0.0);
+        assert!((st.temp_c() - 33.0).abs() < 0.1);
     }
 
     #[test]

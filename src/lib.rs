@@ -23,6 +23,7 @@
 //! | [`core`] | `aitax-core` | AI-tax taxonomy, E2E runner, experiments |
 //! | [`profiler`] | `aitax-profiler` | utilization timelines, Fig. 6 profiles |
 //! | [`power`] | `aitax-power` | per-rail power specs, energy metering, battery |
+//! | [`testkit`] | `aitax-testkit` | trace invariants, shape asserts, golden snapshots |
 //!
 //! # Quickstart
 //!
@@ -59,3 +60,4 @@ pub use aitax_power as power;
 pub use aitax_profiler as profiler;
 pub use aitax_soc as soc;
 pub use aitax_tensor as tensor;
+pub use aitax_testkit as testkit;

@@ -6,6 +6,7 @@ use aitax::core::runmode::RunMode;
 use aitax::framework::Engine;
 use aitax::models::zoo::ModelId;
 use aitax::tensor::DType;
+use aitax::testkit::assert_report_ok;
 
 fn run_twice(cfg: impl Fn() -> E2eConfig) {
     let a = cfg().run();
@@ -59,6 +60,30 @@ fn nnapi_fallback_run_is_reproducible() {
             .iterations(6)
             .seed(2)
     });
+}
+
+/// Determinism extends to the event stream itself: two traced runs are
+/// event-for-event identical, and the (identical) trace passes every
+/// structural invariant.
+#[test]
+fn traced_runs_are_event_for_event_identical() {
+    let run = || {
+        E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+            .engine(Engine::nnapi())
+            .run_mode(RunMode::AndroidApp)
+            .iterations(10)
+            .seed(77)
+            .tracing(true)
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.trace.as_ref().unwrap().events(),
+        b.trace.as_ref().unwrap().events(),
+        "traced event streams must be identical per seed"
+    );
+    assert_report_ok(&a);
 }
 
 #[test]

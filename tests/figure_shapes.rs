@@ -9,6 +9,7 @@ use aitax::core::stage::Stage;
 use aitax::framework::Engine;
 use aitax::models::zoo::ModelId;
 use aitax::tensor::DType;
+use aitax::testkit::{assert_monotone, assert_ratio_within, assert_within, Direction};
 
 fn opts() -> ExperimentOpts {
     ExperimentOpts {
@@ -30,16 +31,8 @@ fn capture_and_preprocessing_dominate_apps_not_benchmarks() {
     let cap = app.summary(Stage::DataCapture).mean_ms();
     let pre = app.summary(Stage::PreProcessing).mean_ms();
     let inf = app.summary(Stage::Inference).mean_ms();
-    let ratio = (cap + pre) / inf;
-    assert!(
-        (1.2..3.2).contains(&ratio),
-        "app capture+preproc should be ≈2× inference, got {ratio:.2}x"
-    );
-    assert!(
-        app.ai_tax_fraction() > 0.45,
-        "AI tax should be ≈half of E2E or more, got {:.2}",
-        app.ai_tax_fraction()
-    );
+    assert_ratio_within("app capture+preproc vs inference", cap + pre, inf, 1.2, 3.2);
+    assert_within("app AI-tax fraction", app.ai_tax_fraction(), 0.45, 1.0);
 
     let bench = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
         .engine(Engine::nnapi())
@@ -48,10 +41,7 @@ fn capture_and_preprocessing_dominate_apps_not_benchmarks() {
         .run();
     let bpre = bench.summary(Stage::PreProcessing).mean_ms();
     let binf = bench.summary(Stage::Inference).mean_ms();
-    assert!(
-        bpre < binf * 0.1,
-        "benchmark pre-processing must be negligible: {bpre:.2} vs {binf:.2}"
-    );
+    assert_ratio_within("benchmark preproc vs inference", bpre, binf, 0.0, 0.1);
 }
 
 /// Headline claim 2 (Fig. 5): NNAPI with broken driver support is ≈7×
@@ -60,10 +50,11 @@ fn capture_and_preprocessing_dominate_apps_not_benchmarks() {
 #[test]
 fn fig5_nnapi_fallback_is_roughly_7x() {
     let r = experiment::fig5(opts());
-    assert!(
-        (4.5..11.0).contains(&r.nnapi_vs_cpu1),
-        "NNAPI degradation should be ≈7x, got {:.1}x",
-        r.nnapi_vs_cpu1
+    assert_within(
+        "fig5 NNAPI vs cpu-1t degradation",
+        r.nnapi_vs_cpu1,
+        4.5,
+        11.0,
     );
     let ms: Vec<f64> = r
         .table
@@ -72,9 +63,7 @@ fn fig5_nnapi_fallback_is_roughly_7x() {
         .map(|row| row[1].parse().unwrap())
         .collect();
     // hexagon < cpu4 < cpu1 < nnapi
-    assert!(ms[0] < ms[1], "hexagon should beat cpu-4t: {ms:?}");
-    assert!(ms[1] < ms[2], "cpu-4t should beat cpu-1t: {ms:?}");
-    assert!(ms[2] < ms[3], "cpu-1t should beat nnapi: {ms:?}");
+    assert_monotone("fig5 target ordering", &ms, Direction::Increasing, 0.0);
 }
 
 /// Headline claim 4 (Fig. 8): offload overhead dominates small inference
@@ -88,14 +77,19 @@ fn fig8_offload_amortizes() {
     let per_inf: Vec<f64> = t.rows().iter().map(|r| r[2].parse().unwrap()).collect();
     assert!(per_inf.len() >= 5);
     // First inference pays setup: much more expensive than steady state.
-    assert!(
-        per_inf[0] > per_inf.last().unwrap() * 3.0,
-        "cold start should dominate n=1: {per_inf:?}"
+    assert_ratio_within(
+        "fig8 cold start vs steady state",
+        per_inf[0],
+        *per_inf.last().unwrap(),
+        3.0,
+        f64::INFINITY,
     );
     // Monotone (within noise) decrease.
-    assert!(
-        per_inf.last().unwrap() < &per_inf[2],
-        "per-inference cost should keep falling: {per_inf:?}"
+    assert_monotone(
+        "fig8 per-inference cost",
+        &per_inf,
+        Direction::Decreasing,
+        0.10,
     );
 }
 
@@ -113,17 +107,19 @@ fn fig9_fig10_multitenancy_shapes() {
     let inf = |i: usize| rows[i][3].parse::<f64>().unwrap();
     let pre = |i: usize| rows[i][2].parse::<f64>().unwrap();
     let last = rows.len() - 1;
-    assert!(
-        inf(last) > inf(0) * 3.0,
-        "DSP contention should inflate inference severely: {} -> {}",
+    assert_ratio_within(
+        "fig9 inference under DSP contention",
+        inf(last),
         inf(0),
-        inf(last)
+        3.0,
+        f64::INFINITY,
     );
-    assert!(
-        pre(last) < pre(0) * 1.5,
-        "pre-processing should stay flat under DSP contention: {} -> {}",
+    assert_ratio_within(
+        "fig9 preproc under DSP contention",
+        pre(last),
         pre(0),
-        pre(last)
+        0.0,
+        1.5,
     );
 
     let cpu = experiment::fig10(quick);
@@ -131,17 +127,19 @@ fn fig9_fig10_multitenancy_shapes() {
     let inf = |i: usize| rows[i][3].parse::<f64>().unwrap();
     let pre = |i: usize| rows[i][2].parse::<f64>().unwrap();
     let last = rows.len() - 1;
-    assert!(
-        pre(last) > pre(0) * 1.2,
-        "CPU contention should inflate pre-processing: {} -> {}",
+    assert_ratio_within(
+        "fig10 preproc under CPU contention",
+        pre(last),
         pre(0),
-        pre(last)
+        1.2,
+        f64::INFINITY,
     );
-    assert!(
-        inf(last) < inf(0) * 1.25,
-        "inference should stay ≈flat under CPU contention: {} -> {}",
+    assert_ratio_within(
+        "fig10 inference under CPU contention",
+        inf(last),
         inf(0),
-        inf(last)
+        0.0,
+        1.25,
     );
 }
 
@@ -153,17 +151,20 @@ fn fig11_variability_gap() {
         iterations: 120,
         seed: 1,
     });
-    assert!(
-        r.benchmark_deviation < 0.05,
-        "benchmark spread should be tight, got {:.3}",
-        r.benchmark_deviation
+    assert_within(
+        "fig11 benchmark deviation",
+        r.benchmark_deviation,
+        0.0,
+        0.05,
     );
-    assert!(
-        (0.10..0.60).contains(&r.app_deviation),
-        "app spread should reach tens of percent, got {:.3}",
-        r.app_deviation
+    assert_within("fig11 app deviation", r.app_deviation, 0.10, 0.60);
+    assert_ratio_within(
+        "fig11 app vs benchmark spread",
+        r.app_deviation,
+        r.benchmark_deviation,
+        4.0,
+        f64::INFINITY,
     );
-    assert!(r.app_deviation > r.benchmark_deviation * 4.0);
 }
 
 /// Fig. 3: the same model is consistently slower end-to-end as a real app
@@ -184,7 +185,7 @@ fn fig3_apps_slower_than_benchmarks() {
             .run();
         let c = cli.e2e_summary().mean_ms();
         let a = app.e2e_summary().mean_ms();
-        assert!(a > c * 1.08, "{model}: app {a:.1}ms vs cli {c:.1}ms");
+        assert_ratio_within(&format!("{model} app vs cli"), a, c, 1.08, f64::INFINITY);
     }
 }
 
@@ -197,10 +198,7 @@ fn inception_v3_absolute_anchor() {
         .iterations(20)
         .run();
     let e2e = cli.e2e_summary().mean_ms();
-    assert!(
-        (170.0..340.0).contains(&e2e),
-        "Inception v3 benchmark ≈250ms, got {e2e:.0}ms"
-    );
+    assert_within("Inception v3 benchmark e2e ms", e2e, 170.0, 340.0);
 }
 
 /// §IV-B: vendor SNPE beats both the CPU and NNAPI on the DSP.
@@ -238,11 +236,7 @@ fn warm_start_inflates_latency_15_to_20_percent() {
     };
     let cooled = inference_ms(None);
     let warm = inference_ms(Some(72.0));
-    let ratio = warm / cooled;
-    assert!(
-        (1.12..1.22).contains(&ratio),
-        "warm start should cost ≈15-20%, got {ratio:.3}x ({cooled:.2} -> {warm:.2} ms)"
-    );
+    assert_ratio_within("warm-start inflation", warm, cooled, 1.12, 1.22);
 }
 
 /// Fig. 5 corollary: the same EfficientNet INT8 APK is dramatically
@@ -261,8 +255,11 @@ fn newer_driver_fixes_efficientnet() {
     };
     let sd845 = on(aitax::soc::SocId::Sd845);
     let sd865 = on(aitax::soc::SocId::Sd865);
-    assert!(
-        sd845 > sd865 * 10.0,
-        "SD845 {sd845:.0}ms should dwarf SD865 {sd865:.1}ms"
+    assert_ratio_within(
+        "SD845 vs SD865 EfficientNet",
+        sd845,
+        sd865,
+        10.0,
+        f64::INFINITY,
     );
 }

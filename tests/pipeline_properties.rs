@@ -12,6 +12,7 @@ use aitax::pipeline::post::topk::top_k;
 use aitax::pipeline::preprocess;
 use aitax::soc::{SocCatalog, SocId};
 use aitax::tensor::{QuantParams, Tensor};
+use aitax::testkit::assert_ratio_within;
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -229,6 +230,12 @@ fn scheduler_conserves_work() {
         assert_eq!(m.stats().tasks_completed, tasks.len() as u64, "case {case}");
         // Wall-clock lower bound: all-big-core peak on 4 cores.
         let peak_ms = total_mflops / (4.0 * 22_400.0) * 1e3 / 1e3;
-        assert!(m.now().as_ms() + 1e-6 >= peak_ms * 0.9, "case {case}");
+        assert_ratio_within(
+            &format!("case {case} wall-clock vs peak-speed bound"),
+            m.now().as_ms() + 1e-6,
+            peak_ms,
+            0.9,
+            f64::INFINITY,
+        );
     }
 }

@@ -9,6 +9,7 @@ use aitax::framework::Engine;
 use aitax::models::zoo::ModelId;
 use aitax::profiler::ProfileReport;
 use aitax::tensor::DType;
+use aitax::testkit::{assert_ratio_within, assert_within};
 
 fn profile(engine: Engine) -> (ProfileReport, u64) {
     let r = E2eConfig::new(ModelId::EfficientNetLite0, DType::I8)
@@ -37,16 +38,23 @@ fn cpu_path_pegs_the_big_cores() {
         .map(|c| p.mean_utilization(TraceResource::CpuCore(c)))
         .collect();
     big.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    assert!(big[0] > 0.9, "lead core should be pegged: {big:?}");
-    assert!(big[3] > 0.3, "all four big cores busy: {big:?}");
+    assert_within("lead big-core utilization", big[0], 0.9, 1.0);
+    assert_within("slowest big-core utilization", big[3], 0.3, 1.0);
     // Little cores stay essentially idle, and so does the DSP.
     for c in 4..8 {
-        assert!(
-            p.mean_utilization(TraceResource::CpuCore(c)) < 0.1,
-            "little core {c} should idle"
+        assert_within(
+            &format!("little core {c} utilization"),
+            p.mean_utilization(TraceResource::CpuCore(c)),
+            0.0,
+            0.1,
         );
     }
-    assert!(p.mean_utilization(TraceResource::Dsp) < 0.01);
+    assert_within(
+        "cdsp utilization",
+        p.mean_utilization(TraceResource::Dsp),
+        0.0,
+        0.01,
+    );
 }
 
 /// Annotation 2: "execution through Hexagon shows 100% utilization of
@@ -54,10 +62,11 @@ fn cpu_path_pegs_the_big_cores() {
 #[test]
 fn hexagon_path_lights_up_cdsp_and_axi() {
     let (p, _) = profile(Engine::TfLiteHexagon { threads: 4 });
-    assert!(
-        p.mean_utilization(TraceResource::Dsp) > 0.25,
-        "cDSP should be busy: {:.2}",
-        p.mean_utilization(TraceResource::Dsp)
+    assert_within(
+        "cdsp utilization",
+        p.mean_utilization(TraceResource::Dsp),
+        0.25,
+        1.0,
     );
     assert!(
         p.axi_bytes > 1_000_000,
@@ -69,7 +78,7 @@ fn hexagon_path_lights_up_cdsp_and_axi() {
         .map(|c| p.mean_utilization(TraceResource::CpuCore(c)))
         .sum::<f64>()
         / 4.0;
-    assert!(big_mean < 0.5, "CPU should mostly wait: {big_mean:.2}");
+    assert_within("big-cluster mean utilization", big_mean, 0.0, 0.5);
 }
 
 /// Annotations 3+4: NNAPI fallback shows sporadic utilization smeared
@@ -79,23 +88,23 @@ fn hexagon_path_lights_up_cdsp_and_axi() {
 fn nnapi_fallback_smears_across_cores_with_migrations() {
     let (p, migrations) = profile(Engine::nnapi());
     let (_, cpu_migrations) = profile(Engine::tflite_cpu(4));
-    assert!(
-        migrations > 50 * (cpu_migrations + 1),
-        "fallback migrations {migrations} should dwarf CPU path {cpu_migrations}"
+    assert_ratio_within(
+        "fallback vs CPU-path migrations",
+        migrations as f64,
+        (cpu_migrations + 1) as f64,
+        50.0,
+        f64::INFINITY,
     );
     // The single wandering thread never saturates any one core for long...
     for c in 0..8 {
         let u = p.mean_utilization(TraceResource::CpuCore(c));
-        assert!(u < 0.6, "core {c} unexpectedly saturated: {u:.2}");
+        assert_within(&format!("core {c} utilization"), u, 0.0, 0.6);
     }
     // ...but does visit the little cluster.
     let little_total: f64 = (4..8)
         .map(|c| p.mean_utilization(TraceResource::CpuCore(c)))
         .sum();
-    assert!(
-        little_total > 0.05,
-        "fallback should spill onto little cores: {little_total:.3}"
-    );
+    assert_within("little-cluster spillover", little_total, 0.05, 4.0);
     // Initial DSP probe appears at the start of the trace, then nothing.
     let dsp = p
         .timeline(TraceResource::Dsp)
@@ -118,14 +127,26 @@ fn profiles_are_distinguishable() {
     let (hex, hex_mig) = profile(Engine::TfLiteHexagon { threads: 4 });
     let (nnapi, nnapi_mig) = profile(Engine::nnapi());
     // DSP utilization separates hexagon from both others.
-    assert!(
-        hex.mean_utilization(TraceResource::Dsp)
-            > 10.0 * cpu.mean_utilization(TraceResource::Dsp).max(1e-9)
+    assert_ratio_within(
+        "hexagon vs cpu cdsp utilization",
+        hex.mean_utilization(TraceResource::Dsp),
+        cpu.mean_utilization(TraceResource::Dsp).max(1e-9),
+        10.0,
+        f64::INFINITY,
     );
-    assert!(
-        hex.mean_utilization(TraceResource::Dsp)
-            > 10.0 * nnapi.mean_utilization(TraceResource::Dsp).max(1e-4)
+    assert_ratio_within(
+        "hexagon vs nnapi cdsp utilization",
+        hex.mean_utilization(TraceResource::Dsp),
+        nnapi.mean_utilization(TraceResource::Dsp).max(1e-4),
+        10.0,
+        f64::INFINITY,
     );
     // Migration counts separate NNAPI from both others.
-    assert!(nnapi_mig > 10 * (cpu_mig + hex_mig + 1));
+    assert_ratio_within(
+        "nnapi vs other-path migrations",
+        nnapi_mig as f64,
+        (cpu_mig + hex_mig + 1) as f64,
+        10.0,
+        f64::INFINITY,
+    );
 }
