@@ -3,106 +3,28 @@
 //!
 //! Replays the paper's Fig. 6 streaming scenario (quantized MobileNet
 //! through NNAPI in app mode, DSP-offloaded when healthy) under each
-//! fault kind and prints the degradation shape: end-to-end slowdown,
-//! retry/fallback counters, and the added tax the DegradationReport
-//! attributes — the "AI tax of failure" beside the paper's AI tax of
-//! success.
+//! fault kind via the aitax-lab sweep engine — all fault scenarios run
+//! in parallel, with byte-identical aggregates for any thread count —
+//! and prints the degradation shape: end-to-end slowdown,
+//! retry/fallback counters, and the added tax attributed to each fault.
+//! The "AI tax of failure" beside the paper's AI tax of success.
 //!
-//! Honors `AITAX_ITERS`, `AITAX_SEED` and `AITAX_TSV=1`.
+//! Honors `AITAX_ITERS`, `AITAX_SEED`, `AITAX_THREADS` and `AITAX_TSV=1`.
 
-use aitax_bench::{emit, opts_from_env};
-use aitax_core::pipeline::{E2eConfig, E2eReport};
-use aitax_core::report::Table;
-use aitax_core::runmode::RunMode;
-use aitax_des::fault::{FaultKind, FaultPlan};
-use aitax_des::SimTime;
-use aitax_framework::Engine;
-use aitax_models::zoo::ModelId;
-use aitax_tensor::DType;
+use aitax_lab::{render, scenarios, SweepReport};
 
-/// One traced Fig. 6-style run, optionally under a fault plan.
-fn run(iters: usize, seed: u64, plan: Option<FaultPlan>) -> E2eReport {
-    let mut cfg = E2eConfig::new(ModelId::MobileNetV1, DType::I8)
-        .engine(Engine::nnapi())
-        .run_mode(RunMode::AndroidApp)
-        .iterations(iters)
-        .seed(seed)
-        .tracing(true);
-    if let Some(plan) = plan {
-        cfg = cfg.fault_plan(plan);
-    }
-    cfg.run()
-}
-
-/// The sweep: one sustained window per fault kind, from t = 0.
-fn scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    let sustained = |kind: FaultKind| FaultPlan::new(seed).sustained(kind, SimTime::ZERO);
-    vec![
-        ("rpc-ioctl-error", sustained(FaultKind::RpcIoctlError)),
-        ("dsp-signal-timeout", sustained(FaultKind::DspSignalTimeout)),
-        (
-            "dsp-response-dropped",
-            sustained(FaultKind::DspResponseDropped),
-        ),
-        (
-            "thermal-emergency",
-            FaultPlan::new(seed).at(FaultKind::ThermalEmergency, SimTime::from_ns(10_000_000)),
-        ),
-        ("cache-flush-storm", sustained(FaultKind::CacheFlushStorm)),
-        (
-            "background-burst",
-            FaultPlan::new(seed).at(FaultKind::BackgroundBurst, SimTime::from_ns(10_000_000)),
-        ),
-    ]
+fn sweep(iters: usize, seed: u64, threads: usize) -> SweepReport {
+    let grid = scenarios::faults(iters, seed);
+    let results = aitax_lab::run_jobs(grid.expand(), threads);
+    SweepReport::aggregate(&grid, &results)
 }
 
 fn main() {
-    let opts = opts_from_env();
-    let iters = opts.iterations.clamp(4, 40);
-
-    let healthy = run(iters, opts.seed, None);
-    let h_ms = healthy.e2e_summary().mean_ms();
-
-    let mut t = Table::new(vec![
-        "fault",
-        "e2e_ms",
-        "slowdown",
-        "retries",
-        "giveups",
-        "fallbacks",
-        "added_tax_ms",
-        "added_energy_mj",
-    ]);
-    t.row(vec![
-        "none".into(),
-        format!("{h_ms:.2}"),
-        "1.00x".into(),
-        "0".into(),
-        "0".into(),
-        "0".into(),
-        "0.00".into(),
-        "0.00".into(),
-    ]);
-    for (name, plan) in scenarios(opts.seed) {
-        let r = run(iters, opts.seed, Some(plan));
-        let d = &r.degradation;
-        let ms = r.e2e_summary().mean_ms();
-        t.row(vec![
-            name.into(),
-            format!("{ms:.2}"),
-            format!("{:.2}x", ms / h_ms),
-            d.stats.rpc_retries.to_string(),
-            d.stats.rpc_giveups.to_string(),
-            d.stats.cpu_fallbacks.to_string(),
-            format!("{:.2}", d.added_tax_ms),
-            d.added_energy_mj
-                .map(|mj| format!("{mj:.2}"))
-                .unwrap_or_else(|| "n/a".into()),
-        ]);
-    }
-    emit(
+    let opts = aitax_bench::opts_from_env();
+    let report = sweep(opts.iterations, opts.seed, aitax_lab::default_threads());
+    aitax_bench::emit(
         "Fault sweep — MobileNet v1 int8 via NNAPI, app mode (Fig. 6 scenario)",
-        &t,
+        &render::fault_table(&report),
     );
 }
 
@@ -114,11 +36,10 @@ mod tests {
     /// end-to-end latency and attributes the loss.
     #[test]
     fn dsp_outage_at_least_doubles_e2e() {
-        let healthy = run(6, 3, None);
-        let plan = FaultPlan::new(3).sustained(FaultKind::DspSignalTimeout, SimTime::ZERO);
-        let broken = run(6, 3, Some(plan));
-        let h = healthy.e2e_summary().mean_ms();
-        let b = broken.e2e_summary().mean_ms();
+        let report = sweep(6, 3, 1);
+        let h = report.scenario("none").unwrap().e2e.mean;
+        let broken = report.scenario("dsp-signal-timeout").unwrap();
+        let b = broken.e2e.mean;
         assert!(
             b >= 2.0 * h,
             "expected >=2x slowdown, got {h:.2} -> {b:.2} ms"
@@ -126,16 +47,20 @@ mod tests {
         assert!(broken.degradation.added_tax_ms > 0.0);
     }
 
-    /// Every scenario the binary sweeps completes and stays deterministic.
+    /// The whole sweep is reproducible — and independent of thread count.
     #[test]
-    fn all_scenarios_complete_deterministically() {
-        for (name, plan) in scenarios(5) {
-            let a = run(4, 5, Some(plan.clone()));
-            let b = run(4, 5, Some(plan));
-            assert_eq!(
-                a.degradation, b.degradation,
-                "{name}: degradation must be reproducible"
-            );
+    fn sweep_is_deterministic_across_thread_counts() {
+        let serial = sweep(4, 5, 1);
+        let parallel = sweep(4, 5, 4);
+        assert_eq!(serial, parallel, "aggregates must not depend on threads");
+        for s in &serial.scenarios {
+            if s.label != "none" {
+                assert!(
+                    s.degradation.faults_injected > 0,
+                    "{}: fault plan must actually fire",
+                    s.label
+                );
+            }
         }
     }
 }

@@ -1,10 +1,19 @@
 //! Regenerates Figure 10: app latency breakdown with background
 //! inferences contending for the CPU.
+//!
+//! Runs the declarative `fig10` grid through the aitax-lab sweep engine
+//! (parallel across background counts, deterministic for any thread
+//! count) instead of looping configs by hand.
+
+use aitax_lab::{render, scenarios, SweepReport};
 
 fn main() {
-    let t = aitax_core::experiment::fig10(aitax_bench::opts_from_env());
+    let opts = aitax_bench::opts_from_env();
+    let grid = scenarios::fig10(opts.iterations, opts.seed);
+    let results = aitax_lab::run_jobs(grid.expand(), aitax_lab::default_threads());
+    let report = SweepReport::aggregate(&grid, &results);
     aitax_bench::emit(
         "Figure 10 — multi-tenancy, background inferences on the CPU",
-        &t,
+        &render::multitenancy_table(&report),
     );
 }

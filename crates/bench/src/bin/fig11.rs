@@ -1,15 +1,31 @@
 //! Regenerates Figure 11: run-to-run latency distribution, benchmark vs
 //! application.
+//!
+//! Runs the `fig11` grid through the aitax-lab sweep engine: each mode
+//! is repeated over independent seeds in parallel and the repeats pool
+//! into one distribution per mode (percentiles, CV, CDF) — the paper's
+//! many-runs methodology, not a single long run.
+
+use aitax_lab::{render, scenarios, SweepReport};
 
 fn main() {
-    let r = aitax_core::experiment::fig11(aitax_bench::opts_from_env());
+    let opts = aitax_bench::opts_from_env();
+    let grid = scenarios::fig11(opts.iterations, opts.seed);
+    let results = aitax_lab::run_jobs(grid.expand(), aitax_lab::default_threads());
+    let report = SweepReport::aggregate(&grid, &results);
     aitax_bench::emit(
         "Figure 11 — run-to-run variability (MobileNet v1, CPU)",
-        &r.table,
+        &render::distribution_table(&report),
     );
+    let dev = |label: &str| {
+        report
+            .scenario(label)
+            .map(|s| s.e2e.max_dev_from_median)
+            .unwrap_or(f64::NAN)
+    };
     println!(
         "max deviation from median: benchmark {:.1}%, app {:.1}% (paper: app up to ~30%)",
-        r.benchmark_deviation * 100.0,
-        r.app_deviation * 100.0
+        dev("cli-benchmark") * 100.0,
+        dev("android-app") * 100.0
     );
 }

@@ -1,8 +1,20 @@
-//! Regenerates Table I: the benchmark/model list.
+//! Regenerates Table I: the benchmark/model list, plus a measured
+//! companion — every listed benchmark swept end to end through the
+//! aitax-lab engine.
+
+use aitax_lab::{render, scenarios, SweepReport};
 
 fn main() {
     aitax_bench::emit(
         "Table I — Comprehensive list of benchmarks",
         &aitax_core::experiment::table1(),
+    );
+    let opts = aitax_bench::opts_from_env();
+    let grid = scenarios::table1(opts.iterations, opts.seed);
+    let results = aitax_lab::run_jobs(grid.expand(), aitax_lab::default_threads());
+    let report = SweepReport::aggregate(&grid, &results);
+    aitax_bench::emit(
+        "Table I (measured) — end-to-end latency per benchmark, CPU CLI",
+        &render::model_latency_table(&report),
     );
 }

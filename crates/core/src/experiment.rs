@@ -274,8 +274,14 @@ pub fn fig6(opts: ExperimentOpts) -> String {
     out
 }
 
-/// **Figure 7** — the FastRPC call flow with measured phase timestamps.
-pub fn fig7() -> Table {
+/// The Fig. 7 reference trace: one steady-state FastRPC invocation of a
+/// MobileNet-class kernel on the SD845 DSP, traced from `t0`.
+///
+/// The returned buffer carries the full event stream (RPC phases, cache
+/// flush, DSP execution, interrupts); `fig7` condenses it into the
+/// paper's phase table and the lab's Chrome-trace sink renders it
+/// visually.
+pub fn fig7_trace() -> (aitax_des::TraceBuffer, aitax_des::SimTime) {
     let soc = SocCatalog::get(SocId::Sd845);
     let mut m = Machine::new(soc, 7);
     m.set_tracing(true);
@@ -304,10 +310,16 @@ pub fn fig7() -> Table {
         |_| {},
     );
     m.run_until_idle();
+    let trace = std::mem::replace(&mut m.trace, aitax_des::TraceBuffer::disabled());
+    (trace, t0)
+}
 
+/// **Figure 7** — the FastRPC call flow with measured phase timestamps.
+pub fn fig7() -> Table {
+    let (trace, t0) = fig7_trace();
     let mut t = Table::new(vec!["phase", "t_ms", "delta_ms"]);
     let mut last = 0.0;
-    for ev in m.trace.events() {
+    for ev in trace.events() {
         if let TraceKind::Rpc { phase } = ev.kind {
             let at = (ev.time - t0).as_ms();
             t.row(vec![phase.to_string(), fmt_ms(at), fmt_ms(at - last)]);
@@ -341,7 +353,7 @@ pub fn fig8(opts: ExperimentOpts) -> Table {
             .seed(opts.seed + i as u64)
             .run();
         let inf = r.summary(Stage::Inference);
-        let total = r.model_init.as_ms() + inf.samples_ms().iter().sum::<f64>();
+        let total = r.model_init.as_ms() + inf.total_ms();
         let per_inf = total / n as f64;
         let steady = inf.min_ms();
         let pure = cost::dsp_exec_span(

@@ -61,4 +61,4 @@ pub use energy::EnergyReport;
 pub use pipeline::{E2eConfig, E2eReport};
 pub use runmode::RunMode;
 pub use stage::{Stage, TaxonomyCategory};
-pub use stats::Summary;
+pub use stats::{Summary, Welford};

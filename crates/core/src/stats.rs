@@ -94,6 +94,75 @@ impl Summary {
         self.percentile_ms(50.0)
     }
 
+    /// 50th percentile in ms (alias for [`Summary::median_ms`]).
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 95th percentile in ms.
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(95.0)
+    }
+
+    /// 99th percentile in ms — the tail the paper argues single-number
+    /// reporting hides.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
+    /// Sum of all samples in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.samples_ms.iter().sum()
+    }
+
+    /// Coefficient of variation (stddev / mean; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean_ms();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.stddev_ms() / mean
+        }
+    }
+
+    /// Empirical CDF over `buckets` equal-width bins spanning
+    /// `[min, max]`: each entry is `(upper_edge_ms, cumulative_fraction)`
+    /// and the last fraction is exactly 1. Empty summaries yield an
+    /// empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn cdf(&self, buckets: usize) -> Vec<(f64, f64)> {
+        assert!(buckets > 0, "need at least one CDF bucket");
+        if self.sorted_ms.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.min_ms();
+        let hi = self.max_ms();
+        let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
+        let n = self.sorted_ms.len() as f64;
+        let mut out = Vec::with_capacity(buckets);
+        let mut idx = 0usize;
+        for b in 0..buckets {
+            let edge = if b + 1 == buckets {
+                hi
+            } else {
+                lo + width * (b + 1) as f64
+            };
+            while idx < self.sorted_ms.len() && self.sorted_ms[idx] <= edge {
+                idx += 1;
+            }
+            let frac = if b + 1 == buckets {
+                1.0
+            } else {
+                idx as f64 / n
+            };
+            out.push((edge, frac));
+        }
+        out
+    }
+
     /// Smallest sample in ms.
     pub fn min_ms(&self) -> f64 {
         self.sorted_ms.first().copied().unwrap_or(0.0)
@@ -152,6 +221,87 @@ impl Summary {
             .enumerate()
             .map(|(i, c)| (lo + width * (i as f64 + 0.5), c))
             .collect()
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// The lab aggregator folds per-job statistics without materializing a
+/// sample vector per metric; [`Welford::merge`] (Chan's parallel update)
+/// combines accumulators built independently, so the result is the same
+/// whichever order jobs finished in.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Combines two accumulators (Chan et al. parallel variance).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.n += other.n;
+    }
+
+    /// Number of samples folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.stddev() / self.mean()
+        }
     }
 }
 
@@ -232,5 +382,82 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn bad_percentile_panics() {
         s(&[1.0]).percentile_ms(101.0);
+    }
+
+    #[test]
+    fn tail_percentile_aliases() {
+        let sum = s(&(1..=100).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(sum.p50_ms(), sum.median_ms());
+        assert!((sum.p95_ms() - 95.05).abs() < 1e-9);
+        assert!((sum.p99_ms() - 99.01).abs() < 1e-9);
+        assert_eq!(sum.total_ms(), 5050.0);
+    }
+
+    #[test]
+    fn cv_is_relative_spread() {
+        let sum = s(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sum.cv() - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s(&[]).cv(), 0.0);
+        assert_eq!(s(&[0.0, 0.0]).cv(), 0.0);
+    }
+
+    #[test]
+    fn cdf_reaches_one_and_is_monotone() {
+        let sum = s(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        let cdf = sum.cdf(4);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0, "edges increase");
+            assert!(w[0].1 <= w[1].1, "fractions non-decreasing");
+        }
+        // 4 of 5 samples are ≤ 4.0 ms, inside the first two buckets.
+        assert!((cdf[1].1 - 0.8).abs() < 1e-12);
+        assert!(s(&[]).cdf(3).is_empty());
+    }
+
+    #[test]
+    fn welford_matches_batch_summary() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for x in data {
+            w.push(x);
+        }
+        let sum = s(&data);
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - sum.mean_ms()).abs() < 1e-12);
+        assert!((w.stddev() - sum.stddev_ms()).abs() < 1e-12);
+        assert!((w.cv() - sum.cv()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 10.0)
+            .collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..17] {
+            a.push(x);
+        }
+        for &x in &data[17..] {
+            b.push(x);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        // Merging into an empty accumulator copies; merging empty is a no-op.
+        let mut empty = Welford::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        let mut same = whole;
+        same.merge(&Welford::new());
+        assert_eq!(same, whole);
     }
 }

@@ -1,0 +1,141 @@
+//! The work-stealing execution pool.
+//!
+//! Jobs are dealt round-robin into per-worker deques; each worker drains
+//! its own deque from the front and, when empty, steals from the back of
+//! its neighbours'. Workers only consume (jobs never spawn jobs), so a
+//! worker may exit once every deque is empty.
+//!
+//! **Determinism contract:** results are written into a slot indexed by
+//! job id and aggregated in id order, and every job's randomness is a
+//! pure function of its spec (see [`Grid::expand`]). Aggregate output is
+//! therefore byte-identical for any thread count — the property
+//! `tests/lab_determinism.rs` pins at 1, 2 and 8 threads.
+//!
+//! [`Grid::expand`]: crate::scenario::Grid::expand
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::job::{JobResult, JobSpec};
+
+/// Worker-thread count to use by default: the `AITAX_THREADS` environment
+/// variable when set, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("AITAX_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every job and returns the results **in job-id order**.
+///
+/// `threads == 1` executes inline on the caller's thread (the serial
+/// reference path); any other count spins up a scoped work-stealing
+/// pool. Both paths produce identical output by construction.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the pool unwinds.
+pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return jobs.iter().map(JobSpec::run).collect();
+    }
+
+    // Deal jobs round-robin so every worker starts with local work and
+    // long scenarios interleave across workers.
+    let mut queues: Vec<VecDeque<JobSpec>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queues[i % threads].push_back(job);
+    }
+    let queues: Vec<Mutex<VecDeque<JobSpec>>> = queues.into_iter().map(Mutex::new).collect();
+    let results: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let results = &results;
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal (back) round-robin.
+                // The own-queue guard must drop before stealing: holding
+                // it while locking a victim's queue would let a ring of
+                // stealing workers deadlock.
+                let mut job = queues[me].lock().unwrap().pop_front();
+                if job.is_none() {
+                    job = (1..threads)
+                        .find_map(|d| queues[(me + d) % threads].lock().unwrap().pop_back());
+                }
+                match job {
+                    Some(job) => {
+                        let result = job.run();
+                        let id = result.id;
+                        *results[id].lock().unwrap() = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap()
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Grid, Scenario};
+    use aitax_models::zoo::ModelId;
+    use aitax_tensor::DType;
+
+    fn small_grid() -> Grid {
+        Grid::new("pool-test")
+            .repeats(3)
+            .push(Scenario::new("mn", ModelId::MobileNetV1, DType::F32).iterations(4))
+            .push(Scenario::new("sq", ModelId::SqueezeNet, DType::F32).iterations(4))
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial = run_jobs(small_grid().expand(), 1);
+        for threads in [2, 3, 8] {
+            let parallel = run_jobs(small_grid().expand(), threads);
+            assert_eq!(serial, parallel, "{threads} threads must match serial");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let out = run_jobs(small_grid().expand(), 4);
+        assert_eq!(out.len(), 6);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.id, i);
+        }
+    }
+
+    #[test]
+    fn oversized_thread_count_is_clamped() {
+        let out = run_jobs(small_grid().expand(), 64);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(Vec::new(), 4).is_empty());
+    }
+}

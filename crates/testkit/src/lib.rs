@@ -15,6 +15,9 @@
 //! * [`golden`] — golden-signature snapshots: TSV report renderings
 //!   under fixed seeds committed to `tests/goldens/` and diffed with
 //!   numeric [`Tolerance`]; rewrite intentionally with `AITAX_BLESS=1`.
+//! * [`json`] — a strict, dependency-free JSON syntax validator
+//!   ([`assert_valid_json`]) for the hand-rolled artifact and
+//!   Chrome-trace emitters.
 //!
 //! # Example
 //!
@@ -36,9 +39,11 @@
 pub mod assert;
 pub mod golden;
 pub mod invariant;
+pub mod json;
 
 pub use assert::{assert_cv_below, assert_monotone, assert_ratio_within, assert_within, Direction};
 pub use golden::{check_golden, diff_tsv, golden_dir, Tolerance};
 pub use invariant::{
     assert_report_ok, check_energy, check_stats_agreement, check_trace, TraceInvariant, Violation,
 };
+pub use json::{assert_valid_json, validate_json};

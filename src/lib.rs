@@ -23,6 +23,7 @@
 //! | [`core`] | `aitax-core` | AI-tax taxonomy, E2E runner, experiments |
 //! | [`profiler`] | `aitax-profiler` | utilization timelines, Fig. 6 profiles |
 //! | [`power`] | `aitax-power` | per-rail power specs, energy metering, battery |
+//! | [`lab`] | `aitax-lab` | parallel deterministic sweeps, distribution stats, Chrome traces |
 //! | [`testkit`] | `aitax-testkit` | trace invariants, shape asserts, golden snapshots |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use aitax_core as core;
 pub use aitax_des as des;
 pub use aitax_framework as framework;
 pub use aitax_kernel as kernel;
+pub use aitax_lab as lab;
 pub use aitax_models as models;
 pub use aitax_pipeline as pipeline;
 pub use aitax_power as power;
