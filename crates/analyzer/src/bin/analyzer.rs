@@ -1,0 +1,146 @@
+//! `analyzer` — the workspace static-analysis CLI.
+//!
+//! ```text
+//! analyzer [--root <dir>] [--json] [--deny-warnings] [--explain <lint>] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings at failing severity, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aitax_analyzer::lint::{known_lint_names, registry};
+use aitax_analyzer::{analyze_root, datalint};
+
+const USAGE: &str = "usage: analyzer [--root <dir>] [--json] [--deny-warnings] \
+                     [--explain <lint>] [--list]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut explain: Option<String> = None;
+    let mut list = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--explain" => match it.next() {
+                Some(l) => explain = Some(l),
+                None => return usage_error("--explain needs a lint name"),
+            },
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for l in registry() {
+            // to_string first: width specs don't reach the custom Display.
+            println!(
+                "{:<22} {:<8} {}",
+                l.name(),
+                l.severity().to_string(),
+                l.summary()
+            );
+        }
+        println!(
+            "{:<22} {:<8} malformed or unknown aitax-allow comment",
+            "bad-suppression", "error"
+        );
+        println!(
+            "{:<22} {:<8} built SoC/power catalog violates a modeling invariant",
+            datalint::NAME,
+            "error"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = explain {
+        return explain_lint(&name);
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("analyzer: could not find a workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyzer: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("analyzer: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn explain_lint(name: &str) -> ExitCode {
+    for l in registry() {
+        if l.name() == name {
+            println!("{} ({})\n\n{}", l.name(), l.severity(), l.explain());
+            return ExitCode::SUCCESS;
+        }
+    }
+    if name == datalint::NAME {
+        println!("{} (error)\n\n{}", datalint::NAME, datalint::EXPLAIN);
+        return ExitCode::SUCCESS;
+    }
+    if name == "bad-suppression" {
+        println!(
+            "bad-suppression (error)\n\nAn `aitax-allow` comment that is malformed \
+             (missing `: <reason>`) or names a lint the analyzer does not know. \
+             The suppression grammar is `// aitax-allow(<lint>): <reason>`; the \
+             reason is mandatory so every exception is justified in-source."
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "analyzer: unknown lint `{name}`; known lints: {}",
+        known_lint_names().join(", ")
+    );
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `catalog-sane`: runtime data lints over the *built* platform catalogs.
+//!
+//! The static `opp-monotone` lint judges ladder literals in source; this
+//! pass builds every [`SocCatalog`] entry and validates the values the
+//! simulator will actually price against — monotone OPP ladders after
+//! scaling, positive capacitance, sane accelerator rails, positive
+//! bandwidths. Violations use `catalog://<soc>/<rail>` pseudo-paths
+//! (line 0) since no single source line owns a computed spec.
+
+use aitax_power::{AccelRailSpec, CoreRailSpec};
+use aitax_soc::{SocCatalog, SocId};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Name of the runtime data lint.
+pub const NAME: &str = "catalog-sane";
+
+/// Long-form rationale for `--explain catalog-sane`.
+pub const EXPLAIN: &str = "Builds each SocCatalog platform and checks modeling invariants on the \
+     result: every core rail's OPP ladder is strictly increasing in frequency \
+     and non-decreasing in voltage, capacitance is positive and leakage \
+     non-negative, accelerator rails draw more busy than idle, interconnect \
+     energy-per-byte and uncore floor are non-negative, and memory bandwidth \
+     is positive. These are the const-data assumptions the energy model \
+     interpolates over; a violation yields plausible-looking but wrong \
+     Table I/II numbers rather than a crash.";
+
+/// Runs every catalog check, appending findings to `out`.
+pub fn check_catalogs(out: &mut Vec<Diagnostic>) {
+    for &id in &SocId::ALL {
+        let soc = SocCatalog::get(id);
+        for rail in &soc.power.core_rails {
+            check_core_rail(id, rail, out);
+        }
+        check_accel_rail(id, &soc.power.gpu, out);
+        check_accel_rail(id, &soc.power.dsp, out);
+        if let Some(npu) = &soc.power.npu {
+            check_accel_rail(id, npu, out);
+        }
+        let ic = &soc.power.interconnect;
+        if ic.energy_per_byte_j < 0.0 || ic.uncore_w < 0.0 {
+            push(
+                out,
+                id,
+                "interconnect",
+                "energy per byte and uncore floor must be non-negative",
+            );
+        }
+        if soc.memory.axi_bytes_per_sec <= 0.0 {
+            push(out, id, "memory", "AXI bandwidth must be positive");
+        }
+    }
+}
+
+fn check_core_rail(id: SocId, rail: &CoreRailSpec, out: &mut Vec<Diagnostic>) {
+    if rail.opps.is_empty() {
+        push(out, id, rail.name, "rail has an empty OPP ladder");
+        return;
+    }
+    for w in rail.opps.windows(2) {
+        if w[1].freq_hz <= w[0].freq_hz {
+            push(
+                out,
+                id,
+                rail.name,
+                "OPP frequencies must be strictly increasing",
+            );
+        }
+        if w[1].voltage_v < w[0].voltage_v {
+            push(out, id, rail.name, "OPP voltages must be non-decreasing");
+        }
+    }
+    if rail.capacitance_f <= 0.0 {
+        push(out, id, rail.name, "switched capacitance must be positive");
+    }
+    if rail.leakage_w < 0.0 {
+        push(out, id, rail.name, "leakage must be non-negative");
+    }
+    if rail.opps.iter().any(|o| o.voltage_v <= 0.0) {
+        push(out, id, rail.name, "OPP voltages must be positive");
+    }
+}
+
+fn check_accel_rail(id: SocId, rail: &AccelRailSpec, out: &mut Vec<Diagnostic>) {
+    if rail.busy_w <= rail.idle_w {
+        push(out, id, rail.name, "busy power must exceed idle power");
+    }
+    if rail.idle_w < 0.0 {
+        push(out, id, rail.name, "idle power must be non-negative");
+    }
+}
+
+fn push(out: &mut Vec<Diagnostic>, id: SocId, rail: &str, msg: &str) {
+    out.push(Diagnostic {
+        file: format!("catalog://{id}/{rail}"),
+        line: 0,
+        lint: NAME,
+        severity: Severity::Error,
+        message: msg.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_catalogs_are_sane() {
+        let mut out = Vec::new();
+        check_catalogs(&mut out);
+        assert!(
+            out.is_empty(),
+            "catalog violations: {:?}",
+            out.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn broken_core_rail_is_caught() {
+        let mut rail = CoreRailSpec::scaled("big", 2.8e9, 4.0, 0.4, false);
+        rail.opps.swap(0, 1);
+        let mut out = Vec::new();
+        check_core_rail(SocId::Sd845, &rail, &mut out);
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("strictly increasing")));
+        assert!(out.iter().all(|d| d.lint == NAME && d.line == 0));
+        assert!(out[0].file.starts_with("catalog://SD845/"));
+    }
+
+    #[test]
+    fn inverted_accel_rail_is_caught() {
+        let rail = AccelRailSpec {
+            name: "adreno",
+            busy_w: 0.5,
+            idle_w: 1.0,
+            power_gated: true,
+        };
+        let mut out = Vec::new();
+        check_accel_rail(SocId::Sd835, &rail, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("busy power"));
+    }
+}

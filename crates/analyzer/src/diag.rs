@@ -1,0 +1,88 @@
+//! Diagnostics: what a lint reports, with file:line spans and severity.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style / hygiene finding; fails the build only under `--deny-warnings`.
+    Warning,
+    /// Invariant violation; always fails the build.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding, anchored to a repo-relative file and 1-based line.
+///
+/// Data lints that check built catalog values rather than source text use
+/// a `catalog://` pseudo-path and line 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators, or a `catalog://` pseudo-path.
+    pub file: String,
+    /// 1-based line, or 0 for data lints.
+    pub line: u32,
+    /// Lint name, e.g. `"float-eq"`.
+    pub lint: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Human-readable description of the specific finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Sort key: file, then line, then lint — a stable, deterministic order.
+    pub fn sort_key(&self) -> (&str, u32, &'static str, &str) {
+        (&self.file, self.line, self.lint, &self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.lint, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_severity_lint_message() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            lint: "float-eq",
+            severity: Severity::Warning,
+            message: "float compared with `==`".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: warning [float-eq] float compared with `==`"
+        );
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

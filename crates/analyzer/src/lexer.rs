@@ -1,0 +1,520 @@
+//! A hand-rolled Rust lexer: raw token stream with comment and string
+//! awareness, no full parse.
+//!
+//! The lints in this crate only need to see *which identifiers and
+//! operators appear where* — `Instant :: now`, `== 0.0`, `# [ allow` —
+//! so a token stream is enough, and it is immune to the classic grep
+//! failure modes: text inside string literals, commented-out code, and
+//! doc prose never produce tokens. Comments are kept on a side channel
+//! (they carry `aitax-allow` suppressions), never in the token stream.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored without `r#`).
+    Ident,
+    /// Integer literal (any base, underscores kept).
+    Int,
+    /// Float literal (has `.`, exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String, byte-string or raw-string literal (text is the raw body).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime such as `'a` (text is the label without the quote).
+    Lifetime,
+    /// Operator or delimiter; multi-char operators like `::`, `==`, `..=`
+    /// are single tokens.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Token text as written (floats keep underscores and suffixes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with its source line (1-based) and whether any token
+/// precedes it on the same line (a *trailing* comment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// True when code precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Result of lexing one file: the token stream plus the comment side
+/// channel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Lexed {
+    /// All non-trivia tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lowest token line strictly greater than `line`, if any — the line
+    /// an own-line suppression comment targets.
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        self.toks.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPERATORS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        self.bytes[self.pos..].starts_with(pat.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognized bytes
+/// become single-char [`TokKind::Punct`] tokens, so a malformed file
+/// degrades to noisy-but-harmless output instead of aborting the pass.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        // A comment is *trailing* iff a token was already emitted on its line.
+        let line_has_token = out.toks.last().is_some_and(|t| t.line == cur.line);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let line = cur.line;
+                let start = cur.pos + 2;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos])
+                        .trim()
+                        .to_string(),
+                    trailing: line_has_token,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let line = cur.line;
+                let start = cur.pos + 2;
+                let body_start = start;
+                cur.advance(2);
+                let mut depth = 1usize;
+                while depth > 0 && cur.peek().is_some() {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.advance(2);
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.advance(2);
+                    } else {
+                        cur.bump();
+                    }
+                }
+                let body_end = cur.pos.saturating_sub(2).max(body_start);
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[body_start..body_end])
+                        .trim()
+                        .to_string(),
+                    trailing: line_has_token,
+                });
+            }
+            b'"' => lex_string(&mut cur, &mut out.toks),
+            b'\'' => lex_quote(&mut cur, &mut out.toks),
+            b'r' | b'b' | b'c' if is_literal_prefix(&cur) => lex_prefixed(&mut cur, &mut out.toks),
+            _ if is_ident_start(b) => lex_ident(&mut cur, &mut out.toks),
+            _ if b.is_ascii_digit() => lex_number(&mut cur, &mut out.toks),
+            _ => lex_punct(&mut cur, &mut out.toks),
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on an `r"` / `b"` / `br#"` / `b'` / `c"`-style
+/// literal prefix (as opposed to a plain identifier starting with r/b/c)?
+fn is_literal_prefix(cur: &Cursor) -> bool {
+    let rest = &cur.bytes[cur.pos..];
+    let take = |i: usize| rest.get(i).copied();
+    match take(0) {
+        Some(b'r') => {
+            // r"..."  r#"..."#  r#ident (raw identifier — not a literal)
+            matches!(take(1), Some(b'"')) || (take(1) == Some(b'#') && take(2) == Some(b'"'))
+        }
+        Some(b'b') => match take(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(take(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        Some(b'c') => matches!(take(1), Some(b'"')),
+        _ => false,
+    }
+}
+
+fn lex_prefixed(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    // Consume the prefix letters (r, b, br, c), then dispatch on what follows.
+    while matches!(cur.peek(), Some(b'r') | Some(b'b') | Some(b'c')) {
+        cur.bump();
+    }
+    match cur.peek() {
+        Some(b'\'') => lex_quote(cur, toks),
+        Some(b'#') => lex_raw_string(cur, toks),
+        _ => lex_string(cur, toks),
+    }
+}
+
+fn lex_string(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'"' => break,
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned();
+    cur.bump(); // closing quote
+    toks.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    });
+}
+
+fn lex_raw_string(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut closer = String::from("\"");
+    closer.push_str(&"#".repeat(hashes));
+    while cur.peek().is_some() && !cur.starts_with(&closer) {
+        cur.bump();
+    }
+    let text = String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned();
+    cur.advance(closer.len());
+    toks.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    });
+}
+
+/// A `'` is either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+fn lex_quote(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    cur.bump(); // the quote
+    let is_lifetime = cur.peek().is_some_and(is_ident_start)
+        && cur.peek() != Some(b'\\')
+        && cur.peek_at(1) != Some(b'\'');
+    if is_lifetime {
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        toks.push(Tok {
+            kind: TokKind::Lifetime,
+            text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+            line,
+        });
+        return;
+    }
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'\'' => break,
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned();
+    cur.bump(); // closing quote
+    toks.push(Tok {
+        kind: TokKind::Char,
+        text,
+        line,
+    });
+}
+
+fn lex_ident(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    let start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let mut text = String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned();
+    if let Some(stripped) = text.strip_prefix("r#") {
+        text = stripped.to_string();
+    }
+    toks.push(Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+    });
+}
+
+fn lex_number(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    let start = cur.pos;
+    let mut is_float = false;
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.advance(2);
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+    } else {
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+        // A '.' joins the number only when a digit follows (so `1..n`
+        // and `1.max(2)` stay integer + punct).
+        if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+        if matches!(cur.peek(), Some(b'e') | Some(b'E'))
+            && (cur.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(cur.peek_at(1), Some(b'+') | Some(b'-'))
+                    && cur.peek_at(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            is_float = true;
+            cur.bump();
+            if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+        // Type suffix: f32/f64 forces float; integer suffixes stay Int.
+        if cur.starts_with("f32") || cur.starts_with("f64") {
+            is_float = true;
+            cur.advance(3);
+        } else {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        },
+        text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+        line,
+    });
+}
+
+fn lex_punct(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    for op in OPERATORS {
+        if cur.starts_with(op) {
+            cur.advance(op.len());
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            return;
+        }
+    }
+    let b = cur.bump().unwrap_or(b'?');
+    toks.push(Tok {
+        kind: TokKind::Punct,
+        text: (b as char).to_string(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_paths_tokenize() {
+        let t = kinds("Instant::now()");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "Instant".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "now".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_never_reach_the_token_stream() {
+        let l = lex("let x = 1; // Instant::now() here is prose\n/* HashMap too */");
+        assert!(l
+            .toks
+            .iter()
+            .all(|t| t.text != "Instant" && t.text != "HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let l = lex(r#"let s = "Instant::now() == 0.0";"#);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.toks.iter().all(|t| t.text != "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_lex() {
+        let l = lex(r##"let s = r#"quote " inside"#; let y = 2;"##);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.toks.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn float_vs_int_discrimination() {
+        assert_eq!(kinds("1.5")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.5e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        assert_eq!(kinds("1_000_000")[0].0, TokKind::Int);
+        // `1..n` is Int, Punct("..") — the dot does not join the number.
+        let t = kinds("1..n");
+        assert_eq!(t[0], (TokKind::Int, "1".into()));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("&'a str");
+        assert_eq!(t[1], (TokKind::Lifetime, "a".into()));
+        let t = kinds("let c = 'x';");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "x"));
+        let t = kinds(r"let c = '\n';");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let t = kinds("a == b != c ..= d :: e");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "..=", "::"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let l = lex("/* a /* nested */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let l = lex("let a = b\"bytes\"; let c = b'x';");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        let l = lex(r###"let r = br##"raw "# body"##; done"###);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.toks.iter().any(|t| t.text == "done"));
+    }
+}

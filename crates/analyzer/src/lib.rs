@@ -1,0 +1,42 @@
+//! aitax-analyzer: workspace determinism & model-invariant static
+//! analysis.
+//!
+//! The repo's core guarantee — byte-identical artifacts across runs and
+//! thread counts — is enforced dynamically by `--verify-determinism`,
+//! but only *after* a violation ships. This crate enforces it at the
+//! source level: a dependency-free pass over the whole workspace built
+//! on a hand-rolled Rust [lexer] (raw token stream with comment/string
+//! awareness — no full parse) and a [`Lint`](lint::Lint) trait
+//! framework with per-diagnostic file:line spans, severity levels,
+//! machine-readable JSON, and inline suppression via
+//! `// aitax-allow(<lint>): <reason>` comments so every exception is
+//! justified in-source.
+//!
+//! Lint families:
+//! * **determinism** — wall-clock reads, environment reads, unordered
+//!   iteration, thread creation outside the lab pool;
+//! * **numeric hygiene** — float `==`, truncating casts of time/energy
+//!   counters;
+//! * **panic policy** — `unwrap`/`expect`/`panic!` in non-test library
+//!   code;
+//! * **suppression hygiene** — stale `#[allow]`s and unused
+//!   `aitax-allow`s;
+//! * **catalog sanity** — monotone OPP ladders, both as const-data
+//!   literals (`opp-monotone`) and over the built catalogs
+//!   (`catalog-sane`).
+//!
+//! Run it with `cargo run -p aitax-analyzer -- --deny-warnings`.
+
+pub mod datalint;
+pub mod diag;
+pub mod lexer;
+pub mod lint;
+pub mod lints;
+pub mod report;
+pub mod source;
+pub mod suppress;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Severity};
+pub use report::Report;
+pub use workspace::{analyze_root, analyze_sources};

@@ -1,0 +1,136 @@
+//! The `Lint` trait, the lint registry, and the workspace policy tables
+//! that decide where each lint applies.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Tok, TokKind};
+use crate::lints;
+use crate::source::SourceFile;
+
+/// One static check over a lexed source file.
+pub trait Lint {
+    /// Kebab-case name used in output and `aitax-allow(..)` comments.
+    fn name(&self) -> &'static str;
+    /// Severity of this lint's findings.
+    fn severity(&self) -> Severity;
+    /// One-line summary for `--list`.
+    fn summary(&self) -> &'static str;
+    /// Long-form rationale for `--explain <lint>`.
+    fn explain(&self) -> &'static str;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Crates whose library code must be deterministic: they run inside the
+/// simulation, so any wall-clock read, environment dependence or
+/// unordered iteration can leak into artifacts and break byte-identity.
+pub const SIM_CRATES: [&str; 13] = [
+    "aitax",
+    "capture",
+    "core",
+    "des",
+    "framework",
+    "kernel",
+    "lab",
+    "models",
+    "pipeline",
+    "power",
+    "profiler",
+    "soc",
+    "tensor",
+];
+
+/// Crates exempt from `panic-path`: `testkit`'s API contract *is*
+/// panicking assertions, and `bench` is a throwaway wall-clock harness.
+pub const PANIC_EXEMPT_CRATES: [&str; 2] = ["testkit", "bench"];
+
+/// The one file allowed to call `std::thread::spawn`: the lab worker
+/// pool, whose merge step makes thread count unobservable in artifacts.
+pub const THREAD_SPAWN_HOME: &str = "crates/lab/src/pool.rs";
+
+/// Is `krate` simulation code (see [`SIM_CRATES`])?
+pub fn is_sim_crate(krate: &str) -> bool {
+    SIM_CRATES.contains(&krate)
+}
+
+/// All lints, in stable name order. `bad-suppression` and the unused-
+/// suppression half of `stale-allow` are emitted by the driver rather
+/// than a `check` implementation, but both names resolve here so
+/// `--explain` covers them.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lints::determinism::EnvRead),
+        Box::new(lints::numeric::FloatEq),
+        Box::new(lints::numeric::LossyCast),
+        Box::new(lints::catalog::OppMonotone),
+        Box::new(lints::panic_path::PanicPath),
+        Box::new(lints::stale_allow::StaleAllow),
+        Box::new(lints::determinism::ThreadSpawn),
+        Box::new(lints::determinism::UnorderedCollection),
+        Box::new(lints::determinism::WallClock),
+    ]
+}
+
+/// Every lint name the analyzer can emit, including the driver-emitted
+/// ones — the vocabulary `aitax-allow(..)` comments are validated against.
+pub fn known_lint_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry().iter().map(|l| l.name()).collect();
+    names.push("bad-suppression");
+    names.push("catalog-sane");
+    names.sort_unstable();
+    names
+}
+
+/// Does the token window starting at `i` match `pat` textually?
+pub fn seq_at(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    toks.len() >= i + pat.len() && pat.iter().enumerate().all(|(k, p)| toks[i + k].text == *p)
+}
+
+/// Nearest identifier at or before `i`, looking back at most `window`
+/// tokens — used to ask "what value is being cast/compared here?".
+pub fn prev_ident(toks: &[Tok], i: usize, window: usize) -> Option<&Tok> {
+    toks[i.saturating_sub(window)..=i]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn registry_names_are_sorted_and_unique() {
+        let names: Vec<&str> = registry().iter().map(|l| l.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "registry must be in stable name order");
+    }
+
+    #[test]
+    fn known_names_cover_driver_lints() {
+        let names = known_lint_names();
+        assert!(names.contains(&"bad-suppression"));
+        assert!(names.contains(&"catalog-sane"));
+        assert!(names.contains(&"stale-allow"));
+        assert!(names.len() >= 10);
+    }
+
+    #[test]
+    fn seq_at_matches_token_text() {
+        let l = lex("std::thread::spawn(move || {})");
+        let toks = &l.toks;
+        let hit = (0..toks.len()).any(|i| seq_at(toks, i, &["thread", "::", "spawn"]));
+        assert!(hit);
+        assert!(!(0..toks.len()).any(|i| seq_at(toks, i, &["thread", "::", "sleep"])));
+    }
+
+    #[test]
+    fn prev_ident_walks_past_punctuation() {
+        let l = lex("span.end_ps() as u32");
+        let toks = &l.toks;
+        let as_idx = toks.iter().position(|t| t.text == "as").unwrap();
+        assert_eq!(prev_ident(toks, as_idx - 1, 6).unwrap().text, "end_ps");
+    }
+}

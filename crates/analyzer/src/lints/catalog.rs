@@ -1,0 +1,215 @@
+//! `opp-monotone`: const-data check that OPP ladders declared in source
+//! are monotone.
+//!
+//! DVFS operating-point tables are ordered by contract: ascending
+//! frequency with non-decreasing voltage (`P ∝ V²f` only interpolates
+//! correctly over a sorted ladder, and the schedutil governor walks the
+//! ladder by index). A hand-edited catalog entry that breaks the order
+//! produces silently wrong power numbers, not a crash — exactly the class
+//! of bug a static pass should catch before any sweep runs.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::Lint;
+use crate::source::SourceFile;
+
+/// `opp-monotone`: const ladder tables must be sorted.
+pub struct OppMonotone;
+
+impl Lint for OppMonotone {
+    fn name(&self) -> &'static str {
+        "opp-monotone"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "OPP/ladder const table out of order"
+    }
+    fn explain(&self) -> &'static str {
+        "Applies to every `const` whose name contains OPP or LADDER and whose \
+         initializer is an array of numeric pairs: the first column \
+         (frequency, or fraction of nominal) must be strictly increasing and \
+         the second (voltage) non-decreasing. Voltage interpolation and \
+         governor ladder-walking both index these tables assuming that order; \
+         a misordered row yields wrong energy numbers with no runtime error. \
+         The companion runtime check (`catalog-sane`) validates the *built* \
+         catalogs; this lint catches the literal before it compiles into one."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.toks;
+        for i in 0..toks.len() {
+            if toks[i].text != "const" {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            let upper = name.text.to_ascii_uppercase();
+            if !(upper.contains("OPP") || upper.contains("LADDER")) {
+                continue;
+            }
+            let Some(rows) = parse_pair_rows(file, i) else {
+                continue;
+            };
+            for w in rows.windows(2) {
+                let ((_, f0, v0), (line, f1, v1)) = (w[0], w[1]);
+                if f1 <= f0 {
+                    out.push(self.diag(
+                        file,
+                        line,
+                        &name.text,
+                        format!("first column must be strictly increasing, but {f1} follows {f0}"),
+                    ));
+                }
+                if v1 < v0 {
+                    out.push(self.diag(
+                        file,
+                        line,
+                        &name.text,
+                        format!("second column must be non-decreasing, but {v1} follows {v0}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl OppMonotone {
+    fn diag(&self, file: &SourceFile, line: u32, name: &str, detail: String) -> Diagnostic {
+        Diagnostic {
+            file: file.path.clone(),
+            line,
+            lint: self.name(),
+            severity: self.severity(),
+            message: format!("ladder `{name}` is out of order: {detail}"),
+        }
+    }
+}
+
+/// Parses `const NAME: .. = [ (a, b), (c, d), .. ];` starting at the
+/// `const` token, returning `(line, first, second)` per row. Returns
+/// `None` when the initializer is not an array of 2-tuples of numeric
+/// literals — the lint only judges tables it fully understands.
+fn parse_pair_rows(file: &SourceFile, const_idx: usize) -> Option<Vec<(u32, f64, f64)>> {
+    let toks = &file.lexed.toks;
+    // Find the `=` introducing the initializer, then require `[`. The
+    // type annotation may itself contain `;` (`[(f64, f64); 5]`), so only
+    // delimiters at bracket depth zero count.
+    let mut i = const_idx;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" | "(" | "<" => depth += 1,
+            "]" | ")" | ">" => depth -= 1,
+            "=" if depth == 0 => break,
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    if toks.get(i)?.text != "=" || toks.get(i + 1)?.text != "[" {
+        return None;
+    }
+    i += 2;
+    let mut rows = Vec::new();
+    loop {
+        match toks.get(i)?.text.as_str() {
+            "]" => return Some(rows),
+            "," => i += 1,
+            "(" => {
+                let line = toks[i].line;
+                let (first, next) = parse_number(toks, i + 1)?;
+                if toks.get(next)?.text != "," {
+                    return None;
+                }
+                let (second, next) = parse_number(toks, next + 1)?;
+                if toks.get(next)?.text != ")" {
+                    return None;
+                }
+                rows.push((line, first, second));
+                i = next + 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Parses an optionally-negated numeric literal at `i`, returning the
+/// value and the index past it.
+fn parse_number(toks: &[crate::lexer::Tok], i: usize) -> Option<(f64, usize)> {
+    let (neg, i) = if toks.get(i)?.text == "-" {
+        (true, i + 1)
+    } else {
+        (false, i)
+    };
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Float && t.kind != TokKind::Int {
+        return None;
+    }
+    let cleaned: String = t
+        .text
+        .chars()
+        .filter(|c| *c != '_')
+        .collect::<String>()
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .to_string();
+    let v: f64 = cleaned.parse().ok()?;
+    Some((if neg { -v } else { v }, i + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/power/src/spec.rs", src);
+        let mut out = Vec::new();
+        OppMonotone.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn sorted_ladder_passes() {
+        let src =
+            "const OPP_LADDER: [(f64, f64); 3] = [(0.35, 0.62), (0.55, 0.70), (1.00, 0.95)];\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn frequency_regression_is_flagged() {
+        let src =
+            "const OPP_LADDER: [(f64, f64); 3] = [(0.55, 0.62), (0.35, 0.70), (1.00, 0.95)];\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("strictly increasing"));
+    }
+
+    #[test]
+    fn voltage_regression_is_flagged() {
+        let src = "const VOLT_LADDER: [(f64, f64); 2] = [(0.35, 0.70), (0.55, 0.62)];\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("non-decreasing"));
+    }
+
+    #[test]
+    fn equal_frequencies_are_not_strictly_increasing() {
+        let src = "const OPPS: [(f64, f64); 2] = [(0.5, 0.6), (0.5, 0.7)];\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn non_ladder_consts_and_odd_shapes_are_ignored() {
+        assert!(run("const LIMITS: [(f64, f64); 2] = [(2.0, 1.0), (1.0, 0.5)];\n").is_empty());
+        assert!(run("const OPP_NAMES: [&str; 2] = [\"a\", \"b\"];\n").is_empty());
+        assert!(run("const OPP_MAX: f64 = 1.0;\n").is_empty());
+    }
+
+    #[test]
+    fn underscored_and_suffixed_literals_parse() {
+        let src = "const FREQ_LADDER: [(u64, f64); 2] = [(1_000_000, 0.6f64), (2_000_000, 0.7)];\n";
+        assert!(run(src).is_empty());
+    }
+}

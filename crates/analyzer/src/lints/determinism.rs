@@ -1,0 +1,267 @@
+//! Determinism lints: the checks that keep artifacts byte-identical
+//! across runs and thread counts.
+//!
+//! The repo's reproductions (Fig. 11 run-to-run variability, Table I/II)
+//! treat variance as a *measured quantity*, so the simulator itself must
+//! be free of ambient nondeterminism: no wall-clock reads, no environment
+//! dependence, no unordered iteration feeding an emitter, and no thread
+//! creation outside the one pool whose merge discipline is proven
+//! order-independent.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::{is_sim_crate, seq_at, Lint, THREAD_SPAWN_HOME};
+use crate::source::SourceFile;
+
+/// `wall-clock`: `Instant` / `SystemTime` / `thread::sleep` in sim-crate
+/// library code.
+pub struct WallClock;
+
+impl Lint for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "wall-clock time source in simulation code"
+    }
+    fn explain(&self) -> &'static str {
+        "Simulation crates must take time only from the DES clock (SimTime). A \
+         single Instant::now() or SystemTime read makes results depend on host \
+         speed and load, destroying the byte-identical artifacts that \
+         --verify-determinism proves and that the Fig. 11 variability \
+         reproduction measures. thread::sleep is doubly wrong: it converts \
+         simulated waiting into real waiting. Wall-clock measurement belongs in \
+         the bench harness crate, which is exempt by policy."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_sim_crate(&file.krate) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !file.is_lib_code(t.line) {
+                continue;
+            }
+            let hit = match t.text.as_str() {
+                "Instant" | "SystemTime" => Some(format!("`{}` is a wall-clock type", t.text)),
+                "thread" if seq_at(toks, i, &["thread", "::", "sleep"]) => {
+                    Some("`thread::sleep` blocks on real time".to_string())
+                }
+                _ => None,
+            };
+            if let Some(what) = hit {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!("{what}; simulation code must use the DES clock (SimTime)"),
+                });
+            }
+        }
+    }
+}
+
+/// `env-read`: `env::var` / `env::args` in sim-crate library code.
+pub struct EnvRead;
+
+impl Lint for EnvRead {
+    fn name(&self) -> &'static str {
+        "env-read"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "environment read in simulation code"
+    }
+    fn explain(&self) -> &'static str {
+        "Reading the process environment from simulation code threads a hidden \
+         input into results: two hosts with different variables silently \
+         produce different artifacts, and no seed or spec captures why. All \
+         configuration must arrive through explicit specs/CLI plumbing so a \
+         JobSpec fully determines its artifact. (Harness knobs such as \
+         AITAX_THREADS are acceptable only where the value provably cannot \
+         reach an artifact — justify those sites with aitax-allow.)"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_sim_crate(&file.krate) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "env" || !file.is_lib_code(t.line) {
+                continue;
+            }
+            for acc in ["var", "var_os", "vars", "args", "args_os"] {
+                if seq_at(toks, i, &["env", "::", acc]) {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: t.line,
+                        lint: self.name(),
+                        severity: self.severity(),
+                        message: format!(
+                            "`env::{acc}` reads ambient host state; pass configuration \
+                             explicitly through specs instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `unordered-collection`: `HashMap` / `HashSet` in sim-crate library
+/// code — iteration order is randomized per process, so any path from
+/// such a collection to an emitter breaks reproducibility.
+pub struct UnorderedCollection;
+
+impl Lint for UnorderedCollection {
+    fn name(&self) -> &'static str {
+        "unordered-collection"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in simulation code (iteration order is random)"
+    }
+    fn explain(&self) -> &'static str {
+        "std's HashMap and HashSet randomize iteration order per process \
+         (RandomState), so any iteration that feeds a trace, report, or \
+         artifact emits in a different order on every run — the classic way a \
+         --verify-determinism proof passes locally (same process) while \
+         artifacts still differ across runs. Use BTreeMap/BTreeSet, or sort \
+         before emitting; keep a hash container only where iteration order is \
+         provably never observed, and say so with an aitax-allow reason."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_sim_crate(&file.krate) {
+            return;
+        }
+        for t in &file.lexed.toks {
+            if t.kind == TokKind::Ident
+                && (t.text == "HashMap" || t.text == "HashSet")
+                && file.is_lib_code(t.line)
+            {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "`{}` iteration order is randomized; use the BTree \
+                         equivalent or justify why order is never observed",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `thread-spawn`: `thread::spawn` anywhere but the lab worker pool.
+pub struct ThreadSpawn;
+
+impl Lint for ThreadSpawn {
+    fn name(&self) -> &'static str {
+        "thread-spawn"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "thread creation outside lab::pool"
+    }
+    fn explain(&self) -> &'static str {
+        "All parallelism funnels through lab::pool, whose job-indexed merge \
+         makes thread count and scheduling order unobservable in aggregate \
+         artifacts (the property --verify-determinism checks). A thread \
+         spawned anywhere else has no such discipline: whatever it touches \
+         becomes ordering-dependent. If concurrent execution is needed, \
+         express it as lab jobs."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.path == THREAD_SPAWN_HOME {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && seq_at(toks, i, &["thread", "::", "spawn"])
+                && file.is_lib_code(t.line)
+            {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "`thread::spawn` outside {THREAD_SPAWN_HOME}; route \
+                         parallel work through the lab pool"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lint: &dyn Lint, path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        lint.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn wall_clock_fires_in_sim_lib_only() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(run(&WallClock, "crates/des/src/lib.rs", src).len(), 2);
+        // bench is not a sim crate; bins are not lib code.
+        assert!(run(&WallClock, "crates/bench/src/lib.rs", src).is_empty());
+        assert!(run(&WallClock, "crates/des/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_skips_test_regions() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod t {\n fn g() { let i = Instant::now(); }\n}\n";
+        assert!(run(&WallClock, "crates/des/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_read_names_the_accessor() {
+        let src = "fn f() { let v = std::env::var(\"X\"); }\n";
+        let d = run(&EnvRead, "crates/lab/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("env::var"));
+    }
+
+    #[test]
+    fn unordered_collection_flags_both_types() {
+        let src = "use std::collections::{HashMap, HashSet};\n";
+        let d = run(&UnorderedCollection, "crates/kernel/src/lib.rs", src);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn thread_spawn_allowed_only_in_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(run(&ThreadSpawn, "crates/core/src/lib.rs", src).len(), 1);
+        assert!(run(&ThreadSpawn, "crates/lab/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn prose_and_strings_never_fire() {
+        let src = "// Instant::now() would be wrong here\nfn f() -> &'static str { \"HashMap\" }\n";
+        assert!(run(&WallClock, "crates/des/src/lib.rs", src).is_empty());
+        assert!(run(&UnorderedCollection, "crates/des/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! The lint set: determinism, numeric hygiene, panic policy, suppression
+//! hygiene, and catalog const-data sanity.
+
+pub mod catalog;
+pub mod determinism;
+pub mod numeric;
+pub mod panic_path;
+pub mod stale_allow;

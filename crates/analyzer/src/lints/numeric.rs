@@ -1,0 +1,179 @@
+//! Numeric-hygiene lints: float equality and truncating casts of
+//! time/energy counters.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::{is_sim_crate, prev_ident, Lint};
+use crate::source::SourceFile;
+
+/// `float-eq`: `==` / `!=` with a float-literal operand.
+pub struct FloatEq;
+
+impl Lint for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "float compared with == / !="
+    }
+    fn explain(&self) -> &'static str {
+        "Exact float comparison is almost always a latent bug: two \
+         mathematically equal quantities computed along different paths differ \
+         in the last ulp, and the branch silently flips. In a simulator that \
+         prices time and energy in f64, such a flip changes an artifact byte. \
+         Compare against a tolerance, or restructure so the sentinel is exact \
+         by construction (e.g. `== 0.0` guarding a divisor that is only ever \
+         exactly zero) and justify the site with aitax-allow."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_sim_crate(&file.krate) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            if !file.is_lib_code(t.line) {
+                continue;
+            }
+            let float_operand = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+            if float_operand {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "float literal compared with `{}`; use a tolerance or \
+                         justify the exact sentinel",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Identifier segments that mark a value as a time or energy counter.
+const COUNTER_SEGMENTS: [&str; 15] = [
+    "energy", "joules", "micros", "millis", "mj", "ms", "nanos", "nj", "ns", "pj", "ps", "secs",
+    "time", "uj", "us",
+];
+
+/// Integer types narrower than the 64-bit counters the simulator uses.
+const NARROW_INTS: [&str; 6] = ["i16", "i32", "i8", "u16", "u32", "u8"];
+
+/// `lossy-cast`: `as u32`-style casts applied to time/energy counters.
+pub struct LossyCast;
+
+impl Lint for LossyCast {
+    fn name(&self) -> &'static str {
+        "lossy-cast"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "truncating cast of a time/energy counter"
+    }
+    fn explain(&self) -> &'static str {
+        "Simulated time is carried in u64 picoseconds and energy in f64 \
+         joules; a cast to u32 or narrower silently truncates once a sweep \
+         runs long enough (u32 picoseconds wraps after ~4.3 ms of simulated \
+         time). `as` casts saturate nothing and warn about nothing, so the \
+         wrap is invisible until an artifact disagrees. Keep counters 64-bit \
+         end to end, or prove the bound and justify with aitax-allow."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_sim_crate(&file.krate) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.text != "as" || !file.is_lib_code(t.line) {
+                continue;
+            }
+            let Some(ty) = toks.get(i + 1) else { continue };
+            if !NARROW_INTS.contains(&ty.text.as_str()) {
+                continue;
+            }
+            let Some(src_ident) = (i > 0).then(|| prev_ident(toks, i - 1, 6)).flatten() else {
+                continue;
+            };
+            let is_counter = src_ident
+                .text
+                .split('_')
+                .any(|seg| COUNTER_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()));
+            if is_counter {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "`{}` looks like a time/energy counter but is cast `as {}`; \
+                         keep counters 64-bit or prove the bound",
+                        src_ident.text, ty.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lint: &dyn Lint, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/core/src/lib.rs", src);
+        let mut out = Vec::new();
+        lint.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_eq_fires_on_either_side() {
+        assert_eq!(
+            run(&FloatEq, "fn f(x: f64) -> bool { x == 0.0 }\n").len(),
+            1
+        );
+        assert_eq!(
+            run(&FloatEq, "fn f(x: f64) -> bool { 1.5 != x }\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn integer_equality_is_fine() {
+        assert!(run(&FloatEq, "fn f(x: u64) -> bool { x == 0 }\n").is_empty());
+    }
+
+    #[test]
+    fn float_comparison_operators_other_than_eq_are_fine() {
+        assert!(run(&FloatEq, "fn f(x: f64) -> bool { x >= 0.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_fires_on_counter_idents() {
+        let d = run(&LossyCast, "fn f(t_ps: u64) -> u32 { t_ps as u32 }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("t_ps"));
+        assert_eq!(
+            run(&LossyCast, "fn f(s: Span) -> u16 { s.end_ps() as u16 }\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lossy_cast_ignores_non_counters_and_wide_targets() {
+        assert!(run(&LossyCast, "fn f(items: usize) -> u32 { items as u32 }\n").is_empty());
+        assert!(run(&LossyCast, "fn f(t_ps: u64) -> u64 { t_ps as u64 }\n").is_empty());
+        assert!(run(&LossyCast, "fn f(t_ps: u64) -> f64 { t_ps as f64 }\n").is_empty());
+    }
+}

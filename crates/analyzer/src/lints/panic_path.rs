@@ -1,0 +1,113 @@
+//! Panic-policy lint: `unwrap` / `expect` / `panic!` in non-test
+//! library code.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lint::{Lint, PANIC_EXEMPT_CRATES};
+use crate::source::SourceFile;
+
+/// `panic-path`: panicking calls in library code.
+pub struct PanicPath;
+
+/// Macro names that panic when reached.
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+impl Lint for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic! in non-test library code"
+    }
+    fn explain(&self) -> &'static str {
+        "A panic in library code tears down an entire sweep: one bad job kills \
+         the pool, losing every completed result with it. Library paths should \
+         return Result or handle the absent case; panics are acceptable only \
+         as assertions of documented invariants (constructor-checked \
+         non-emptiness, spec validation at build time), and each such site \
+         must carry an aitax-allow naming the invariant that makes it \
+         unreachable. Test code and the testkit assertion crate are exempt — \
+         panicking is their job. (assert!/debug_assert! are not flagged: \
+         stating invariants is encouraged.)"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if PANIC_EXEMPT_CRATES.contains(&file.krate.as_str()) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if !file.is_lib_code(t.line) {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let found = match t.text.as_str() {
+                "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                    Some(format!("`.{}()` panics on the absent case", t.text))
+                }
+                m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                    Some(format!("`{m}!` in library code"))
+                }
+                "unreachable" if next == Some("!") => {
+                    Some("`unreachable!` in library code".to_string())
+                }
+                _ => None,
+            };
+            if let Some(what) = found {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "{what}; return the error, handle the case, or justify \
+                         the invariant with aitax-allow"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        PanicPath.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire_in_lib_code() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\nfn g(o: Option<u32>) -> u32 { o.expect(\"set\") }\n";
+        assert_eq!(run("crates/core/src/lib.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { unreachable!() }\nfn h() { todo!() }\n";
+        assert_eq!(run("crates/core/src/lib.rs", src).len(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_and_asserts_do_not_fire() {
+        let src = "fn f(o: Option<u32>) -> u32 { assert!(true); o.unwrap_or(0) }\n";
+        assert!(run("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_bins_and_exempt_crates_do_not_fire() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(run("crates/core/tests/t.rs", src).is_empty());
+        assert!(run("crates/core/src/bin/x.rs", src).is_empty());
+        assert!(run("crates/testkit/src/assert.rs", src).is_empty());
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod t { fn f(o: Option<u32>) -> u32 { o.unwrap() } }\n";
+        assert!(run("crates/core/src/lib.rs", in_test_mod).is_empty());
+    }
+}

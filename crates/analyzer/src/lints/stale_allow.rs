@@ -1,0 +1,244 @@
+//! `stale-allow`: `#[allow(..)]` attributes that provably suppress
+//! nothing.
+//!
+//! A stale allow is worse than noise — it reads as "this code is known to
+//! trigger lint X", teaches readers the wrong invariant, and keeps
+//! suppressing after refactors remove the original trigger. Full
+//! staleness detection needs the compiler, but three common cases are
+//! decidable from the token stream, and those cover every attribute this
+//! workspace has ever accumulated. (The other half of this lint — unused
+//! `aitax-allow` comments — is emitted by the driver, which knows which
+//! suppressions matched.)
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::{seq_at, Lint};
+use crate::source::{item_end_line, skip_attr, SourceFile};
+
+/// Method names whose presence justifies `clippy::should_implement_trait`.
+const STD_TRAIT_METHODS: [&str; 22] = [
+    "add",
+    "as_mut",
+    "as_ref",
+    "borrow",
+    "borrow_mut",
+    "clone",
+    "cmp",
+    "default",
+    "deref",
+    "deref_mut",
+    "div",
+    "drop",
+    "eq",
+    "from_iter",
+    "from_str",
+    "into_iter",
+    "mul",
+    "ne",
+    "neg",
+    "next",
+    "not",
+    "sub",
+];
+
+/// `stale-allow`: decidably-inert `#[allow(..)]` attributes.
+pub struct StaleAllow;
+
+impl Lint for StaleAllow {
+    fn name(&self) -> &'static str {
+        "stale-allow"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "#[allow] or aitax-allow that suppresses nothing"
+    }
+    fn explain(&self) -> &'static str {
+        "Flags suppressions that provably cannot be doing anything: (1) \
+         #[allow(missing_docs)] in a crate that never enables missing_docs — \
+         the lint is allow-by-default, so the attribute is inert; (2) \
+         #[allow(clippy::assertions_on_constants)] guarding an item with no \
+         assert!/debug_assert! at all (whether a present assert is on \
+         constants needs const evaluation, so any assert keeps the attribute \
+         alive); (3) #[allow(clippy::should_implement_trait)] guarding an \
+         item that defines no std-trait-shaped method. It also fires (from \
+         the driver) on aitax-allow comments that matched no diagnostic this \
+         run. Remove stale suppressions; they document invariants that no \
+         longer exist."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            // Match `# [ allow (` — outer attributes only (`#![allow]` at
+            // crate scope is a policy decision, not a per-item exception).
+            if !(toks[i].text == "#" && seq_at(toks, i + 1, &["[", "allow", "("])) {
+                i += 1;
+                continue;
+            }
+            let attr_line = toks[i].line;
+            let attr_end = skip_attr(&file.lexed, i);
+            let lints = allowed_paths(file, i + 4, attr_end);
+            // The guarded item: skip any further stacked attributes.
+            let mut j = attr_end;
+            while j < toks.len() && toks[j].text == "#" {
+                j = skip_attr(&file.lexed, j);
+            }
+            let end_line = item_end_line(&file.lexed, j).unwrap_or(attr_line);
+            for lint_path in &lints {
+                if let Some(msg) = staleness(file, lint_path, j, end_line) {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: attr_line,
+                        lint: self.name(),
+                        severity: self.severity(),
+                        message: msg,
+                    });
+                }
+            }
+            i = attr_end;
+        }
+    }
+}
+
+/// Collects the `::`-joined lint paths inside `#[allow(..)]` between
+/// token indices `start` (first token after `(`) and `end` (past `]`).
+fn allowed_paths(file: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let toks = &file.lexed.toks;
+    let mut out = Vec::new();
+    let mut path = String::new();
+    for t in toks.iter().take(end.min(toks.len())).skip(start) {
+        match t.text.as_str() {
+            "," | ")" | "]" if !path.is_empty() => {
+                out.push(std::mem::take(&mut path));
+            }
+            "::" => path.push_str("::"),
+            _ if t.kind == TokKind::Ident => path.push_str(&t.text),
+            _ => {}
+        }
+    }
+    if !path.is_empty() {
+        out.push(path);
+    }
+    out
+}
+
+/// Returns the staleness message when `lint_path` is decidably inert over
+/// the guarded item (token index `item_start`, lines up to `end_line`).
+fn staleness(
+    file: &SourceFile,
+    lint_path: &str,
+    item_start: usize,
+    end_line: u32,
+) -> Option<String> {
+    let toks = &file.lexed.toks;
+    let in_item = |i: usize| i < toks.len() && toks[i].line <= end_line;
+    match lint_path {
+        "missing_docs" => {
+            if file.crate_warns.iter().any(|w| w == "missing_docs") {
+                None
+            } else {
+                Some(
+                    "#[allow(missing_docs)] is inert: missing_docs is allow-by-default \
+                     and this crate never enables it — remove the attribute"
+                        .to_string(),
+                )
+            }
+        }
+        "clippy::assertions_on_constants" => {
+            // Whether an assert's condition is fully constant needs const
+            // evaluation; any assert at all keeps the attribute alive.
+            let mut i = item_start;
+            while in_item(i) {
+                if seq_at(toks, i, &["assert", "!", "("])
+                    || seq_at(toks, i, &["debug_assert", "!", "("])
+                {
+                    return None;
+                }
+                i += 1;
+            }
+            Some(
+                "#[allow(clippy::assertions_on_constants)] guards no assert! \
+                 at all — remove the attribute"
+                    .to_string(),
+            )
+        }
+        "clippy::should_implement_trait" => {
+            let mut i = item_start;
+            while in_item(i) {
+                if toks[i].text == "fn"
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|n| STD_TRAIT_METHODS.contains(&n.text.as_str()))
+                {
+                    return None;
+                }
+                i += 1;
+            }
+            Some(
+                "#[allow(clippy::should_implement_trait)] guards no std-trait-shaped \
+                 method — remove the attribute"
+                    .to_string(),
+            )
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/models/src/zoo.rs", src);
+        let mut out = Vec::new();
+        StaleAllow.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn inert_missing_docs_allow_is_stale() {
+        let d = run("#[allow(missing_docs)]\npub enum E { A, B }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn missing_docs_allow_survives_when_crate_warns() {
+        let mut f = SourceFile::new(
+            "crates/models/src/zoo.rs",
+            "#[allow(missing_docs)]\npub enum E { A }\n",
+        );
+        f.crate_warns = vec!["missing_docs".to_string()];
+        let mut out = Vec::new();
+        StaleAllow.check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn assertions_on_constants_needs_an_assert() {
+        let stale = "#[allow(clippy::assertions_on_constants)]\nfn t() { let x = A > B; }\n";
+        assert_eq!(run(stale).len(), 1);
+        // Clippy fires on any const-evaluable condition, not just literal
+        // true/false, so any assert keeps the attribute live.
+        let live = "#[allow(clippy::assertions_on_constants)]\nfn t() { assert!(A > B); }\n";
+        assert!(run(live).is_empty());
+        let live2 = "#[allow(clippy::assertions_on_constants)]\nfn t() { assert!(true); }\n";
+        assert!(run(live2).is_empty());
+    }
+
+    #[test]
+    fn should_implement_trait_needs_a_trait_shaped_fn() {
+        let live = "#[allow(clippy::should_implement_trait)]\npub fn next(&mut self) -> Option<u32> { None }\n";
+        assert!(run(live).is_empty());
+        let stale = "#[allow(clippy::should_implement_trait)]\npub fn advance(&mut self) {}\n";
+        assert_eq!(run(stale).len(), 1);
+    }
+
+    #[test]
+    fn unknown_lints_are_left_alone() {
+        assert!(run("#[allow(dead_code)]\nfn f() {}\n").is_empty());
+        assert!(run("#[allow(clippy::too_many_arguments)]\nfn f(a: u8, b: u8) {}\n").is_empty());
+    }
+}

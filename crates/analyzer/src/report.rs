@@ -1,0 +1,212 @@
+//! Rendering: human console output, machine-readable JSON
+//! (`aitax-analyzer/v1`), and the TSV form the golden tests pin.
+//!
+//! Like every artifact in this workspace the JSON is hand-rolled (the
+//! build is dependency-free by policy) and the testkit's strict RFC 8259
+//! validator checks it in the analyzer's own test suite.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Outcome of one analyzer run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Surviving (unsuppressed) diagnostics, sorted by file/line/lint.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many findings inline `aitax-allow` comments excused.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Diagnostics at [`Severity::Error`].
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Diagnostics at [`Severity::Warning`].
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+
+    /// Per-lint counts, name-ordered.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.lint).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Should the run fail? Errors always do; warnings only under
+    /// `--deny-warnings`.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Human-readable rendering: one line per diagnostic plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "analyzer: {} diagnostic(s) ({} error(s), {} warning(s)), \
+             {} suppressed, {} file(s) scanned\n",
+            self.diagnostics.len(),
+            self.errors(),
+            self.warnings(),
+            self.suppressed,
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// `file\tline\tlint\tseverity` TSV — the exact-match golden format.
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::from("file\tline\tlint\tseverity\n");
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                d.file, d.line, d.lint, d.severity
+            ));
+        }
+        out
+    }
+
+    /// `aitax-analyzer/v1` JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"aitax-analyzer/v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        for (i, (lint, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{lint}\": {n}"));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \
+                 \"severity\": {}, \"message\": {}}}",
+                json_string(&d.file),
+                d.line,
+                json_string(d.lint),
+                json_string(d.severity.label()),
+                json_string(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (RFC 8259).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 3,
+            diagnostics: vec![
+                Diagnostic {
+                    file: "crates/a/src/lib.rs".into(),
+                    line: 2,
+                    lint: "float-eq",
+                    severity: Severity::Warning,
+                    message: "float \"literal\"\ncompared".into(),
+                },
+                Diagnostic {
+                    file: "crates/b/src/lib.rs".into(),
+                    line: 9,
+                    lint: "wall-clock",
+                    severity: Severity::Error,
+                    message: "Instant".into(),
+                },
+            ],
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn counts_and_failure_policy() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.failed(false), "errors always fail");
+        let warn_only = Report {
+            diagnostics: r
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .cloned()
+                .collect(),
+            ..r
+        };
+        assert!(!warn_only.failed(false));
+        assert!(warn_only.failed(true));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn tsv_has_header_and_one_row_per_diagnostic() {
+        let tsv = sample().render_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "file\tline\tlint\tseverity");
+        assert_eq!(lines[1], "crates/a/src/lib.rs\t2\tfloat-eq\twarning");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report {
+            files_scanned: 0,
+            diagnostics: vec![],
+            suppressed: 0,
+        };
+        assert!(r.render_json().contains("\"diagnostics\": []"));
+    }
+}

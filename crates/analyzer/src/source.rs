@@ -1,0 +1,318 @@
+//! A classified source file: where it lives in the workspace, its token
+//! stream, and which line ranges are test-only code.
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// Which compilation target a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Library code under `src/` (excluding `src/bin/`).
+    Lib,
+    /// Binary entry points under `src/bin/`.
+    Bin,
+    /// Integration tests under `tests/`.
+    Tests,
+    /// Examples under `examples/`.
+    Examples,
+}
+
+/// One lexed, classified workspace file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Crate name as used in policy tables (`"core"`, `"lab"`, …); the
+    /// root `aitax` package maps to `"aitax"`.
+    pub krate: String,
+    /// Which target the file belongs to.
+    pub section: Section,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Lint names the owning crate enables via `#![warn(..)]` /
+    /// `#![deny(..)]` / `#![forbid(..)]` in its crate root (used by
+    /// `stale-allow` to decide whether an `#[allow]` can ever suppress
+    /// anything).
+    pub crate_warns: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `src` as the file at repo-relative `path`.
+    pub fn new(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_regions = find_test_regions(&lexed);
+        let (krate, section) = classify(path);
+        SourceFile {
+            path: path.to_string(),
+            krate,
+            section,
+            lexed,
+            test_regions,
+            crate_warns: Vec::new(),
+        }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module or `#[test]` function?
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// True for code that ships in the library: `Lib` section, outside
+    /// test regions. Most determinism and hygiene lints scope to this.
+    pub fn is_lib_code(&self, line: u32) -> bool {
+        self.section == Section::Lib && !self.in_test_region(line)
+    }
+}
+
+/// Derives (crate, section) from a repo-relative path.
+fn classify(path: &str) -> (String, Section) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (krate, rest) = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        (parts[1].to_string(), &parts[2..])
+    } else {
+        ("aitax".to_string(), &parts[..])
+    };
+    let section = if rest.first() == Some(&"tests") {
+        Section::Tests
+    } else if rest.first() == Some(&"examples") {
+        Section::Examples
+    } else if rest.first() == Some(&"src") && rest.get(1) == Some(&"bin") {
+        Section::Bin
+    } else {
+        Section::Lib
+    };
+    (krate, section)
+}
+
+/// Finds line ranges guarded by `#[cfg(test)]` or `#[test]`.
+///
+/// From each such attribute, any further attributes are skipped, then the
+/// guarded item's extent is taken to the matching close brace (or the
+/// terminating semicolon for brace-less items).
+fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.toks;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(attr_end) = match_test_attr(lexed, i) {
+            let start_line = toks[i].line;
+            let mut j = attr_end;
+            // Skip stacked attributes (e.g. `#[cfg(test)]` + `#[allow(..)]`).
+            while j < toks.len() && toks[j].text == "#" {
+                j = skip_attr(lexed, j);
+            }
+            if let Some(end_line) = item_end_line(lexed, j) {
+                regions.push((start_line, end_line));
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// If tokens at `i` start `#[cfg(test)]` or `#[test]`, returns the index
+/// one past the closing `]`.
+fn match_test_attr(lexed: &Lexed, i: usize) -> Option<usize> {
+    let toks = &lexed.toks;
+    let text = |k: usize| toks.get(k).map(|t| t.text.as_str());
+    if text(i) != Some("#") || text(i + 1) != Some("[") {
+        return None;
+    }
+    if text(i + 2) == Some("test") && text(i + 3) == Some("]") {
+        return Some(i + 4);
+    }
+    if text(i + 2) == Some("cfg")
+        && text(i + 3) == Some("(")
+        && text(i + 4) == Some("test")
+        && text(i + 5) == Some(")")
+        && text(i + 6) == Some("]")
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// Skips one `#[...]` attribute starting at `i`, returning the index past
+/// its closing `]`. Returns `i + 1` if the shape is unexpected.
+pub fn skip_attr(lexed: &Lexed, i: usize) -> usize {
+    let toks = &lexed.toks;
+    if toks.get(i).map(|t| t.text.as_str()) != Some("#") {
+        return i + 1;
+    }
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.text.as_str()) != Some("[") {
+        return j;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Line where the item starting at token `i` ends: the matching `}` of
+/// its first brace block, or the first `;` before any brace opens.
+pub fn item_end_line(lexed: &Lexed, i: usize) -> Option<u32> {
+    let toks = &lexed.toks;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            ";" => return Some(toks[j].line),
+            "{" => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(toks[j].line);
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return toks.last().map(|t| t.line);
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Scans a crate-root file for `#![warn(..)]` / `#![deny(..)]` /
+/// `#![forbid(..)]` inner attributes, returning the lint names enabled.
+pub fn enabled_lints(lexed: &Lexed) -> Vec<String> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        let is_inner = toks[i].text == "#" && toks[i + 1].text == "!" && toks[i + 2].text == "[";
+        if is_inner && matches!(toks[i + 3].text.as_str(), "warn" | "deny" | "forbid") {
+            let mut j = i + 4;
+            // Collect every ident path inside the parentheses.
+            let mut depth = 0i32;
+            let mut path = String::new();
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "," if !path.is_empty() => {
+                        out.push(std::mem::take(&mut path));
+                    }
+                    t if toks[j].kind == TokKind::Ident || t == "::" => path.push_str(t),
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !path.is_empty() {
+                out.push(path);
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_sections() {
+        assert_eq!(
+            classify("crates/lab/src/pool.rs"),
+            ("lab".to_string(), Section::Lib)
+        );
+        assert_eq!(
+            classify("crates/lab/src/bin/lab.rs"),
+            ("lab".to_string(), Section::Bin)
+        );
+        assert_eq!(
+            classify("crates/des/tests/calendar_props.rs"),
+            ("des".to_string(), Section::Tests)
+        );
+        assert_eq!(classify("src/lib.rs"), ("aitax".to_string(), Section::Lib));
+        assert_eq!(
+            classify("tests/determinism.rs"),
+            ("aitax".to_string(), Section::Tests)
+        );
+        assert_eq!(
+            classify("examples/quickstart.rs"),
+            ("aitax".to_string(), Section::Examples)
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_becomes_a_region() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n",
+        );
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes_is_a_region() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "#[test]\n#[allow(dead_code)]\nfn t() {\n    x();\n}\nfn real() {}\n",
+        );
+        assert!(f.in_test_region(4));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_confuse_regions() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod t {\n    const S: &str = \"}}}{{{\";\n}\nfn after() {}\n",
+        );
+        assert!(f.in_test_region(3));
+        assert!(!f.in_test_region(5));
+    }
+
+    #[test]
+    fn enabled_lints_reads_inner_attributes() {
+        let l = lex("#![warn(missing_docs)]\n#![deny(unsafe_code, clippy::all)]\nfn x() {}\n");
+        let e = enabled_lints(&l);
+        assert!(e.contains(&"missing_docs".to_string()));
+        assert!(e.contains(&"unsafe_code".to_string()));
+        assert!(e.contains(&"clippy::all".to_string()));
+    }
+
+    #[test]
+    fn semicolon_items_end_regions() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests;\nfn real() {}\n",
+        );
+        assert!(f.in_test_region(2));
+        assert!(!f.in_test_region(3));
+    }
+}

@@ -1,0 +1,201 @@
+//! Inline suppressions: `// aitax-allow(<lint>): <reason>`.
+//!
+//! Every exception to a lint must be justified *in the source*, next to
+//! the code it excuses. A trailing comment suppresses findings on its own
+//! line; a comment alone on a line suppresses findings on the next line
+//! that has code. A suppression with no reason, or for a lint the
+//! analyzer does not know, is itself a diagnostic (`bad-suppression`),
+//! and a suppression that excuses nothing is flagged `stale-allow` so
+//! stale exceptions cannot accumulate.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Lexed;
+
+/// Marker that opens a suppression comment.
+pub const MARKER: &str = "aitax-allow(";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// Lint name inside the parentheses.
+    pub lint: String,
+    /// Justification after the `:`; never empty for a well-formed comment.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose diagnostics it suppresses.
+    pub target_line: u32,
+    /// Set once a diagnostic matched; unused suppressions are stale.
+    pub used: bool,
+}
+
+/// Parses all suppressions in a lexed file.
+///
+/// Malformed comments (missing reason, unclosed parenthesis) produce a
+/// `bad-suppression` diagnostic instead of a [`Suppression`]. Unknown
+/// lint names are reported too, against `known_lints`.
+pub fn parse(
+    path: &str,
+    lexed: &Lexed,
+    known_lints: &[&'static str],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // Only comments that *begin* with the marker are suppressions;
+        // prose that merely mentions `aitax-allow(` mid-sentence is not.
+        let Some(rest) = c.text.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let bad = |msg: String, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: c.line,
+                lint: "bad-suppression",
+                severity: Severity::Error,
+                message: msg,
+            });
+        };
+        let Some(close) = rest.find(')') else {
+            bad(
+                "unclosed `aitax-allow(` — expected `aitax-allow(<lint>): <reason>`".into(),
+                diags,
+            );
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':').map(str::trim) else {
+            bad(format!(
+                "suppression of `{lint}` lacks a `: <reason>` — every exception must be justified in-source"
+            ), diags);
+            continue;
+        };
+        if reason.is_empty() {
+            bad(format!(
+                "suppression of `{lint}` has an empty reason — every exception must be justified in-source"
+            ), diags);
+            continue;
+        }
+        if !known_lints.contains(&lint.as_str()) {
+            bad(format!("unknown lint `{lint}` in aitax-allow"), diags);
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            lexed.next_token_line(c.line).unwrap_or(c.line)
+        };
+        out.push(Suppression {
+            lint,
+            reason: reason.to_string(),
+            comment_line: c.line,
+            target_line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Filters `raw` through `sups`: matching diagnostics are dropped and the
+/// suppression is marked used. Returns the surviving diagnostics and the
+/// number suppressed.
+pub fn apply(raw: Vec<Diagnostic>, sups: &mut [Suppression]) -> (Vec<Diagnostic>, usize) {
+    let mut kept = Vec::with_capacity(raw.len());
+    let mut suppressed = 0usize;
+    for d in raw {
+        let hit = sups
+            .iter_mut()
+            .find(|s| s.lint == d.lint && s.target_line == d.line);
+        match hit {
+            Some(s) => {
+                s.used = true;
+                suppressed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["float-eq", "panic-path"];
+
+    fn parse_src(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+        let lexed = lex(src);
+        let mut diags = Vec::new();
+        let sups = parse("f.rs", &lexed, KNOWN, &mut diags);
+        (sups, diags)
+    }
+
+    #[test]
+    fn trailing_comment_targets_its_own_line() {
+        let (s, d) = parse_src("let x = a == 0.0; // aitax-allow(float-eq): exact zero sentinel\n");
+        assert!(d.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].target_line, 1);
+        assert_eq!(s[0].reason, "exact zero sentinel");
+    }
+
+    #[test]
+    fn own_line_comment_targets_next_code_line() {
+        let (s, d) =
+            parse_src("// aitax-allow(panic-path): invariant documented\n\nfoo.unwrap();\n");
+        assert!(d.is_empty());
+        assert_eq!(s[0].comment_line, 1);
+        assert_eq!(s[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_a_bad_suppression() {
+        let (s, d) = parse_src("// aitax-allow(float-eq)\nlet x = 1;\n");
+        assert!(s.is_empty());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "bad-suppression");
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn empty_reason_is_a_bad_suppression() {
+        let (s, d) = parse_src("// aitax-allow(float-eq):   \nlet x = 1;\n");
+        assert!(s.is_empty());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lint_is_a_bad_suppression() {
+        let (s, d) = parse_src("// aitax-allow(no-such-lint): because\nlet x = 1;\n");
+        assert!(s.is_empty());
+        assert!(d[0].message.contains("no-such-lint"));
+    }
+
+    #[test]
+    fn apply_drops_matching_and_marks_used() {
+        let (mut s, _) = parse_src("x.unwrap(); // aitax-allow(panic-path): infallible here\n");
+        let raw = vec![
+            Diagnostic {
+                file: "f.rs".into(),
+                line: 1,
+                lint: "panic-path",
+                severity: Severity::Warning,
+                message: "unwrap".into(),
+            },
+            Diagnostic {
+                file: "f.rs".into(),
+                line: 2,
+                lint: "panic-path",
+                severity: Severity::Warning,
+                message: "unwrap".into(),
+            },
+        ];
+        let (kept, n) = apply(raw, &mut s);
+        assert_eq!(n, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 2);
+        assert!(s[0].used);
+    }
+}

@@ -1,0 +1,209 @@
+//! The driver: walk the workspace, lex and classify every `.rs` file,
+//! run the lint registry, apply inline suppressions, surface unused
+//! suppressions, append the runtime data lints, and produce a sorted
+//! [`Report`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::datalint;
+use crate::diag::{Diagnostic, Severity};
+use crate::lint::{known_lint_names, registry};
+use crate::report::Report;
+use crate::source::{enabled_lints, SourceFile};
+use crate::suppress;
+
+/// Analyzes the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`). Includes the runtime catalog data lints.
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = relative(root, &path);
+        // The analyzer's lint fixtures are deliberate violations; they are
+        // exercised by their own golden tests, not the workspace pass.
+        if rel.contains("tests/fixtures/") {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        files.push(SourceFile::new(&rel, &src));
+    }
+    attach_crate_warns(&mut files);
+    Ok(analyze_sources(&files, true))
+}
+
+/// Runs the registry over already-built sources. `with_data_lints`
+/// additionally validates the built SoC catalogs (`catalog-sane`).
+pub fn analyze_sources(files: &[SourceFile], with_data_lints: bool) -> Report {
+    let lints = registry();
+    let known = known_lint_names();
+    let mut all = Vec::new();
+    let mut suppressed_total = 0usize;
+    for f in files {
+        let mut raw = Vec::new();
+        for l in &lints {
+            l.check(f, &mut raw);
+        }
+        let mut sup_diags = Vec::new();
+        let mut sups = suppress::parse(&f.path, &f.lexed, &known, &mut sup_diags);
+        let (kept, n) = suppress::apply(raw, &mut sups);
+        suppressed_total += n;
+        all.extend(kept);
+        all.extend(sup_diags);
+        for s in sups.iter().filter(|s| !s.used) {
+            all.push(Diagnostic {
+                file: f.path.clone(),
+                line: s.comment_line,
+                lint: "stale-allow",
+                severity: Severity::Warning,
+                message: format!(
+                    "aitax-allow({}) suppressed nothing this run — remove the stale exception",
+                    s.lint
+                ),
+            });
+        }
+    }
+    if with_data_lints {
+        datalint::check_catalogs(&mut all);
+    }
+    all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Report {
+        files_scanned: files.len(),
+        diagnostics: all,
+        suppressed: suppressed_total,
+    }
+}
+
+/// Propagates each crate root's `#![warn(..)]`-style lint enables to all
+/// files of that crate (consumed by `stale-allow`).
+fn attach_crate_warns(files: &mut [SourceFile]) {
+    let mut per_crate: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in files.iter() {
+        let is_root = f.path == "src/lib.rs"
+            || (f.path.starts_with("crates/") && f.path.ends_with("/src/lib.rs"));
+        if is_root {
+            per_crate.insert(f.krate.clone(), enabled_lints(&f.lexed));
+        }
+    }
+    for f in files.iter_mut() {
+        if let Some(w) = per_crate.get(&f.krate) {
+            f.crate_warns = w.clone();
+        }
+    }
+}
+
+/// All `.rs` files under `root`, sorted, skipping `target/`, hidden
+/// directories, and anything a `.git` tree owns.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path, src)
+    }
+
+    #[test]
+    fn suppressed_findings_do_not_survive() {
+        let f = src_file(
+            "crates/core/src/lib.rs",
+            "fn f(x: f64) -> bool {\n    x == 0.0 // aitax-allow(float-eq): exact zero sentinel\n}\n",
+        );
+        let r = analyze_sources(&[f], false);
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn unused_suppression_becomes_stale_allow() {
+        let f = src_file(
+            "crates/core/src/lib.rs",
+            "// aitax-allow(float-eq): nothing here actually compares floats\nfn f() {}\n",
+        );
+        let r = analyze_sources(&[f], false);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "stale-allow");
+        assert_eq!(r.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_file_line_lint() {
+        let a = src_file(
+            "crates/des/src/lib.rs",
+            "fn f() { let i = Instant::now(); }\n",
+        );
+        let b = src_file(
+            "crates/core/src/lib.rs",
+            "fn g(x: f64) -> bool { x.unwrap(); x == 0.0 }\n",
+        );
+        let r = analyze_sources(&[a, b], false);
+        let order: Vec<(&str, &str)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.as_str(), d.lint))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn data_lints_are_appended_on_request() {
+        let r = analyze_sources(&[], true);
+        // Shipped catalogs are sane, so the pass adds nothing — but it ran.
+        assert!(r.diagnostics.iter().all(|d| d.lint != "catalog-sane"));
+    }
+
+    #[test]
+    fn crate_warns_propagate_from_crate_root() {
+        let mut files = vec![
+            src_file("crates/models/src/lib.rs", "#![warn(missing_docs)]\n"),
+            src_file(
+                "crates/models/src/zoo.rs",
+                "#[allow(missing_docs)]\npub enum E { A }\n",
+            ),
+        ];
+        attach_crate_warns(&mut files);
+        assert_eq!(files[1].crate_warns, vec!["missing_docs".to_string()]);
+        let r = analyze_sources(&files, false);
+        assert!(
+            r.diagnostics.iter().all(|d| d.lint != "stale-allow"),
+            "allow is live when the crate warns: {:?}",
+            r.diagnostics
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: `bad-suppression` — malformed `aitax-allow` comments.
+
+// aitax-allow(float-eq)
+pub fn missing_reason(x: f64) -> bool {
+    x == 0.5
+}
+
+// aitax-allow(float-eq):
+pub fn empty_reason(y: f64) -> bool {
+    y == 0.5
+}
+
+// aitax-allow(no-such-lint): the lint name is not in the registry
+pub fn unknown_lint() -> u32 {
+    1
+}

@@ -1,0 +1,14 @@
+//! Fixture: `env-read` — ambient environment reads in sim-crate lib code.
+
+pub fn bad_var() -> Option<String> {
+    std::env::var("AITAX_SECRET_KNOB").ok()
+}
+
+pub fn bad_args() -> usize {
+    std::env::args().count()
+}
+
+pub fn allowed_var() -> Option<String> {
+    // aitax-allow(env-read): harness knob, provably never reaches an artifact
+    std::env::var("AITAX_THREADS").ok()
+}

@@ -1,0 +1,17 @@
+//! Fixture: `float-eq` — exact float comparison in sim code.
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn bad_ne(y: f64) -> bool {
+    y != 1.0
+}
+
+pub fn allowed_sentinel(mean: f64) -> f64 {
+    // aitax-allow(float-eq): exact-zero sentinel, mean is zero only when empty
+    if mean == 0.0 {
+        return 0.0;
+    }
+    1.0 / mean
+}

@@ -1,0 +1,17 @@
+//! Fixture: `lossy-cast` — truncating casts of time/energy counters.
+
+pub fn bad_time_cast(elapsed_ps: u64) -> u32 {
+    elapsed_ps as u32
+}
+
+pub fn bad_energy_cast(energy_uj: f64) -> u16 {
+    energy_uj as u16
+}
+
+pub fn fine_wide_cast(elapsed_ps: u64) -> i64 {
+    elapsed_ps as i64
+}
+
+pub fn fine_non_counter(core_index: usize) -> u8 {
+    core_index as u8
+}

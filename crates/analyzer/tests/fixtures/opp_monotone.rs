@@ -1,0 +1,10 @@
+//! Fixture: `opp-monotone` — misordered DVFS ladder constants.
+
+/// Frequency regression between rows 2 and 3.
+pub const BAD_OPP_LADDER: [(f64, f64); 3] = [(0.35, 0.62), (0.80, 0.80), (0.55, 0.90)];
+
+/// Voltage regression between rows 1 and 2.
+pub const BAD_VOLT_LADDER: [(f64, f64); 2] = [(0.35, 0.80), (0.55, 0.62)];
+
+/// Sorted ladder: no findings.
+pub const GOOD_OPP_LADDER: [(f64, f64); 3] = [(0.35, 0.62), (0.55, 0.70), (1.00, 0.95)];

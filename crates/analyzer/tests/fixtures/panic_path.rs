@@ -1,0 +1,26 @@
+//! Fixture: `panic-path` — panicking calls in non-test library code.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("caller promised Some")
+}
+
+pub fn bad_panic(kind: u8) -> &'static str {
+    match kind {
+        0 => "cpu",
+        1 => "dsp",
+        _ => panic!("unknown resource kind"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: `stale-allow` — attribute and suppression exceptions that
+//! excuse nothing.
+
+// Inert: this fixture's crate never enables missing_docs.
+#[allow(missing_docs)]
+pub enum Kind {
+    Cpu,
+    Dsp,
+}
+
+// Unused suppression: no panic-path finding on the next line.
+// aitax-allow(panic-path): nothing here can actually panic
+pub fn harmless() -> u32 {
+    7
+}

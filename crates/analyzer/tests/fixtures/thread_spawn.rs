@@ -1,0 +1,6 @@
+//! Fixture: `thread-spawn` — thread creation outside `lab::pool`.
+
+pub fn bad_spawn() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

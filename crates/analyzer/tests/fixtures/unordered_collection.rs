@@ -1,0 +1,15 @@
+//! Fixture: `unordered-collection` — randomized iteration order in sim code.
+
+use std::collections::HashMap;
+
+pub fn bad_histogram(keys: &[&'static str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for k in keys {
+        *counts.entry(k.to_string()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn bad_set(xs: &[u64]) -> std::collections::HashSet<u64> {
+    xs.iter().copied().collect()
+}

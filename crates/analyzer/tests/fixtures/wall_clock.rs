@@ -1,0 +1,24 @@
+//! Fixture: `wall-clock` — wall-clock time sources in sim-crate lib code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are out of scope for wall-clock.
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

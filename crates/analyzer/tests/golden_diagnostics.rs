@@ -1,0 +1,102 @@
+//! Golden-diagnostic tests: every lint has a fixture under
+//! `tests/fixtures/`, and its findings — exact `file:line:lint:severity`
+//! rows — are pinned against committed goldens in `tests/goldens/`.
+//!
+//! Rebless intentional changes with `AITAX_BLESS=1 cargo test -p
+//! aitax-analyzer`, then review the golden diff in version control.
+
+use aitax_analyzer::source::SourceFile;
+use aitax_analyzer::{analyze_sources, Report};
+use aitax_testkit::{check_golden, Tolerance};
+
+/// Loads `tests/fixtures/<name>.rs` as a sim-crate library file.
+///
+/// The synthetic repo-relative path `fixtures/<name>.rs` classifies as
+/// the root `aitax` package's library section, so every sim-crate policy
+/// applies — the fixtures exercise lints exactly as production code would
+/// trigger them.
+fn analyze_fixture(name: &str) -> Report {
+    let disk = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&disk).unwrap_or_else(|e| panic!("fixture {disk} unreadable: {e}"));
+    let file = SourceFile::new(&format!("fixtures/{name}.rs"), &src);
+    analyze_sources(&[file], false)
+}
+
+/// Runs one fixture, asserts the lint under test actually fires, and
+/// exact-matches the full diagnostic set against the committed golden.
+fn check_fixture(name: &str, lint: &str) {
+    let report = analyze_fixture(name);
+    assert!(
+        report.diagnostics.iter().any(|d| d.lint == lint),
+        "fixture {name} never fired `{lint}`; got {:?}",
+        report.diagnostics
+    );
+    check_golden(
+        &format!("analyzer_{name}"),
+        &report.render_tsv(),
+        Tolerance::EXACT,
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_fixture("wall_clock", "wall-clock");
+}
+
+#[test]
+fn env_read_fixture() {
+    check_fixture("env_read", "env-read");
+}
+
+#[test]
+fn unordered_collection_fixture() {
+    check_fixture("unordered_collection", "unordered-collection");
+}
+
+#[test]
+fn thread_spawn_fixture() {
+    check_fixture("thread_spawn", "thread-spawn");
+}
+
+#[test]
+fn float_eq_fixture() {
+    check_fixture("float_eq", "float-eq");
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    check_fixture("lossy_cast", "lossy-cast");
+}
+
+#[test]
+fn panic_path_fixture() {
+    check_fixture("panic_path", "panic-path");
+}
+
+#[test]
+fn stale_allow_fixture() {
+    check_fixture("stale_allow", "stale-allow");
+}
+
+#[test]
+fn opp_monotone_fixture() {
+    check_fixture("opp_monotone", "opp-monotone");
+}
+
+#[test]
+fn bad_suppression_fixture() {
+    check_fixture("bad_suppression", "bad-suppression");
+}
+
+#[test]
+fn suppressed_lines_stay_out_of_goldens() {
+    // The float-eq fixture carries one justified suppression; it must be
+    // counted as suppressed, not silently dropped.
+    let report = analyze_fixture("float_eq");
+    assert_eq!(report.suppressed, 1);
+    assert!(
+        report.diagnostics.iter().all(|d| d.lint != "stale-allow"),
+        "the suppression is used, not stale"
+    );
+}

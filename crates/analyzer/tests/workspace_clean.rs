@@ -1,0 +1,39 @@
+//! The analyzer's own acceptance gate: the workspace it ships in must be
+//! clean under `--deny-warnings`, and its machine-readable output must be
+//! valid JSON.
+
+use aitax_analyzer::analyze_root;
+use aitax_testkit::assert_valid_json;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_diagnostics() {
+    let report = analyze_root(repo_root()).expect("workspace scan");
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must be analyzer-clean; found:\n{}",
+        report.render_human()
+    );
+    // The pass actually looked at the tree and honored real suppressions.
+    assert!(
+        report.files_scanned > 100,
+        "scanned {}",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed > 0,
+        "expected justified suppressions in-tree"
+    );
+}
+
+#[test]
+fn json_report_is_valid_and_carries_the_schema() {
+    let report = analyze_root(repo_root()).expect("workspace scan");
+    let json = report.render_json();
+    assert_valid_json("analyzer report", &json);
+    assert!(json.contains("\"schema\": \"aitax-analyzer/v1\""));
+}

@@ -168,6 +168,7 @@ impl E2eConfig {
         let entry = Zoo::entry(self.model);
         let graph = Rc::new(entry.build_graph_with(self.dtype));
         let session = Session::compile(self.engine, graph.clone(), &soc)
+            // aitax-allow(panic-path): user-facing runner: an unsupported engine/model pairing is a usage error worth aborting
             .unwrap_or_else(|e| panic!("cannot run {}: {e}", entry.display_name));
         let plan = session.plan().clone();
 
@@ -193,9 +194,11 @@ impl E2eConfig {
         if self.background_loops > 0 {
             let bg_engine = self
                 .background_engine
+                // aitax-allow(panic-path): builder contract: background_loops > 0 requires background_engine
                 .expect("background loops require an engine");
             let soc2 = SocCatalog::get(self.soc);
             let bg_session = Session::compile(bg_engine, graph.clone(), &soc2)
+                // aitax-allow(panic-path): user-facing runner: an unusable background engine is a usage error worth aborting
                 .unwrap_or_else(|e| panic!("background engine unusable: {e}"));
             for _ in 0..self.background_loops {
                 spawn_background_loop(&mut m, bg_session.clone());

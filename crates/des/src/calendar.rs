@@ -9,6 +9,7 @@
 //!    so a simulation with a fixed seed is exactly reproducible.
 
 use std::cmp::Reverse;
+// aitax-allow(unordered-collection): HashSet is membership-only here; its iteration order is never observed
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::{SimSpan, SimTime};
@@ -46,6 +47,7 @@ pub struct Calendar {
     now: SimTime,
     next_seq: u64,
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    // aitax-allow(unordered-collection): cancelled tokens are probed with contains/remove on the hot path and never iterated
     cancelled: HashSet<u64>,
     live: usize,
 }

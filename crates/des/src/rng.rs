@@ -167,6 +167,7 @@ impl SimRng {
             (0.0..1.0).contains(&frac),
             "jitter fraction must be in [0,1)"
         );
+        // aitax-allow(float-eq): frac == 0.0 is an exact caller-supplied sentinel meaning no jitter
         if frac == 0.0 {
             1.0
         } else {

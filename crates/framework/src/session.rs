@@ -411,6 +411,7 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
             let npu = m
                 .spec()
                 .npu
+                // aitax-allow(panic-path): Session::compile rejects Npu plans on NPU-less chipsets before execution
                 .expect("Npu partition compiled for a chipset without an NPU");
             let work =
                 aitax_des::SimSpan::from_secs(2.0 * part.macs as f64 / (npu.int8_ops * efficiency));

@@ -235,6 +235,7 @@ impl Machine {
             RpcDevice::Npu => {
                 self.spec()
                     .npu
+                    // aitax-allow(panic-path): NPU invokes are only issued on chipsets that declare an NPU
                     .expect("NPU invoke on a chipset without an NPU")
                     .invoke_overhead
             }

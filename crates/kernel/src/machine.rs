@@ -1,6 +1,6 @@
 //! The simulated phone: SoC + OS state + event loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use aitax_des::trace::{TraceKind, TraceResource};
 use aitax_des::{Calendar, FaultKind, FaultPlan, SimRng, SimSpan, SimTime, Token, TraceBuffer};
@@ -161,7 +161,7 @@ pub struct Machine {
     pub trace: TraceBuffer,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) tasks: Vec<Option<Task>>,
-    pub(crate) events: HashMap<Token, Ev>,
+    pub(crate) events: BTreeMap<Token, Ev>,
     pub(crate) dsp: AccelState,
     pub(crate) dsp_session_mapped: bool,
     pub(crate) gpu: AccelState,
@@ -211,7 +211,7 @@ impl Machine {
             rng: SimRng::seed_from(seed),
             trace: TraceBuffer::disabled(),
             tasks: Vec::new(),
-            events: HashMap::new(),
+            events: BTreeMap::new(),
             dsp: AccelState::default(),
             dsp_session_mapped: false,
             gpu: AccelState::default(),
@@ -636,6 +636,7 @@ impl Machine {
         let job = state
             .running
             .take()
+            // aitax-allow(panic-path): accelerator completion events are only scheduled while a job is running
             .expect("accelerator completion without a running job");
         let now = self.cal.now();
         self.trace.record(

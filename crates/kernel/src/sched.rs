@@ -137,6 +137,7 @@ impl Machine {
                 best = Some(i);
             }
         }
+        // aitax-allow(panic-path): spawn validates affinity masks against the core count
         best.expect("affinity mask excludes every core on this SoC")
     }
 
@@ -167,6 +168,7 @@ impl Machine {
         self.touch_thermal();
         let class = self.tasks[id.0 as usize]
             .as_ref()
+            // aitax-allow(panic-path): task records outlive their scheduled events by construction
             .expect("dispatching a completed task")
             .class;
         // The core flips busy: fold the elapsed idle stretch into its
@@ -192,6 +194,7 @@ impl Machine {
         let (rate, slice, label, penalty) = {
             let task = self.tasks[id.0 as usize]
                 .as_mut()
+                // aitax-allow(panic-path): task records outlive their scheduled events by construction
                 .expect("dispatching a completed task");
             let penalty = std::mem::replace(&mut task.pending_penalty, SimSpan::ZERO);
             let spec = &self.core_specs[core];
@@ -234,6 +237,7 @@ impl Machine {
         let running = self.cores[core]
             .running
             .take()
+            // aitax-allow(panic-path): slice-end events are cancelled when their core goes idle
             .expect("slice end on an idle core");
         let now = self.cal.now();
         let id = running.task;
@@ -246,6 +250,7 @@ impl Machine {
         let finished = {
             let task = self.tasks[id.0 as usize]
                 .as_mut()
+                // aitax-allow(panic-path): task records outlive their scheduled events by construction
                 .expect("running task has no record");
             let ran = now.since(running.work_start);
             task.cpu_time += ran;
@@ -255,6 +260,7 @@ impl Machine {
 
         if finished {
             let cb = {
+                // aitax-allow(panic-path): task records outlive their scheduled events by construction
                 let task = self.tasks[id.0 as usize].as_mut().unwrap();
                 task.on_done.take()
             };
@@ -360,6 +366,7 @@ impl Machine {
             let id = self.cores[vc]
                 .runq
                 .remove(pos)
+                // aitax-allow(panic-path): the victim position was computed from the same runq this event
                 .expect("victim position valid");
             self.migrate(id, vc, core);
         }

@@ -21,6 +21,7 @@ use crate::job::{JobResult, JobSpec};
 /// Worker-thread count to use by default: the `AITAX_THREADS` environment
 /// variable when set, otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
+    // aitax-allow(env-read): AITAX_THREADS picks the worker count only; the job-id-ordered merge keeps artifacts identical for any value
     if let Ok(v) = std::env::var("AITAX_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -68,15 +69,18 @@ pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
                 // The own-queue guard must drop before stealing: holding
                 // it while locking a victim's queue would let a ring of
                 // stealing workers deadlock.
+                // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
                 let mut job = queues[me].lock().unwrap().pop_front();
                 if job.is_none() {
                     job = (1..threads)
+                        // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
                         .find_map(|d| queues[(me + d) % threads].lock().unwrap().pop_back());
                 }
                 match job {
                     Some(job) => {
                         let result = job.run();
                         let id = result.id;
+                        // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
                         *results[id].lock().unwrap() = Some(result);
                     }
                     None => break,
@@ -90,7 +94,9 @@ pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
+                // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
                 .unwrap()
+                // aitax-allow(panic-path): the scope join guarantees every job slot was filled
                 .unwrap_or_else(|| panic!("job {i} produced no result"))
         })
         .collect()

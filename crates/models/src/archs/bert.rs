@@ -90,6 +90,7 @@ pub fn mobile_bert(dtype: DType) -> Graph {
     b.push(dense(s, HIDDEN, 2))
         .push(Op::Reshape { elements: s * 2 })
         .finish()
+        // aitax-allow(panic-path): graph is statically non-empty by construction
         .expect("mobile bert graph is non-empty")
 }
 

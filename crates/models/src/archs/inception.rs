@@ -222,6 +222,7 @@ pub fn inception_v3(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1001 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("inception v3 graph is non-empty")
 }
 
@@ -333,6 +334,7 @@ pub fn inception_v4(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1001 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("inception v4 graph is non-empty")
 }
 

@@ -115,6 +115,7 @@ pub fn nasnet_mobile(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1001 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("nasnet graph is non-empty")
 }
 

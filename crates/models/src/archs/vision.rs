@@ -51,6 +51,7 @@ pub fn mobilenet_v1(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1001 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("mobilenet v1 graph is non-empty")
 }
 
@@ -142,6 +143,7 @@ pub fn squeezenet(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1000 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("squeezenet graph is non-empty")
 }
 
@@ -239,6 +241,7 @@ pub fn alexnet(dtype: DType) -> Graph {
         })
         .push(Op::Softmax { n: 1000 })
         .finish()
+        // aitax-allow(panic-path): graph is statically non-empty by construction
         .expect("alexnet graph is non-empty")
 }
 
@@ -295,6 +298,7 @@ pub fn efficientnet_lite0(dtype: DType) -> Graph {
     })
     .push(Op::Softmax { n: 1000 })
     .finish()
+    // aitax-allow(panic-path): graph is statically non-empty by construction
     .expect("efficientnet-lite0 graph is non-empty")
 }
 

@@ -185,7 +185,7 @@ pub struct GraphBuilder {
     dtype: DType,
     input_elements: u64,
     nodes: Vec<Node>,
-    counters: std::collections::HashMap<&'static str, usize>,
+    counters: std::collections::BTreeMap<&'static str, usize>,
 }
 
 impl GraphBuilder {
@@ -196,7 +196,7 @@ impl GraphBuilder {
             dtype,
             input_elements,
             nodes: Vec::new(),
-            counters: std::collections::HashMap::new(),
+            counters: std::collections::BTreeMap::new(),
         }
     }
 

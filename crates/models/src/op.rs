@@ -148,7 +148,6 @@ pub enum Op {
 /// Operator kind without shape parameters — the key NNAPI vendor drivers
 /// declare support against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[allow(missing_docs)]
 pub enum OpKind {
     Conv2d,
     DepthwiseConv2d,

@@ -9,7 +9,6 @@ use crate::graph::Graph;
 
 /// Identifier for a zoo model (one row of Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[allow(missing_docs)]
 pub enum ModelId {
     MobileNetV1,
     NasNetMobile,
@@ -49,7 +48,6 @@ impl std::fmt::Display for ModelId {
 
 /// The ML task a model performs (Table I column 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
 pub enum MlTask {
     Classification,
     FaceRecognition,
@@ -75,7 +73,6 @@ impl std::fmt::Display for MlTask {
 
 /// Pre-processing tasks (Table I column 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
 pub enum PreTask {
     Scale,
     Crop,
@@ -100,7 +97,6 @@ impl std::fmt::Display for PreTask {
 /// Post-processing tasks (Table I column 5). Tasks marked `*` in the
 /// paper apply to quantized models only ([`PostTask::Dequantize`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
 pub enum PostTask {
     TopK,
     Dequantize,

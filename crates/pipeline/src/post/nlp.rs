@@ -4,13 +4,13 @@
 //! pre-processing task is *tokenization* and its post-processing computes
 //! logits (for question answering: start/end span scores).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A WordPiece tokenizer with greedy longest-match-first subword splitting,
 /// as used by BERT-family models.
 #[derive(Debug, Clone)]
 pub struct WordPieceTokenizer {
-    vocab: HashMap<String, u32>,
+    vocab: BTreeMap<String, u32>,
     unk_id: u32,
     max_chars_per_word: usize,
 }
@@ -29,7 +29,8 @@ impl WordPieceTokenizer {
     ///
     /// Panics if `[UNK]` is missing.
     pub fn new(vocab: impl IntoIterator<Item = (String, u32)>) -> Self {
-        let vocab: HashMap<String, u32> = vocab.into_iter().collect();
+        let vocab: BTreeMap<String, u32> = vocab.into_iter().collect();
+        // aitax-allow(panic-path): documented constructor contract: the vocabulary must contain [UNK]
         let unk_id = *vocab.get("[UNK]").expect("vocabulary must contain [UNK]");
         WordPieceTokenizer {
             vocab,

@@ -44,7 +44,7 @@ impl SegmentationMask {
     /// by descending count — the "{people, forest, person, lamps, ...}"
     /// summary in the paper's Fig. 2.
     pub fn class_histogram(&self) -> Vec<(u16, usize)> {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for &c in &self.classes {
             *counts.entry(c).or_insert(0usize) += 1;
         }

@@ -30,6 +30,7 @@ impl RailEnergy {
 
     /// Adds joules to a rail.
     pub fn add(&mut self, rail: Rail, joules: f64) {
+        // aitax-allow(float-eq): exact-zero skip avoids materializing empty rail cells
         if joules != 0.0 {
             *self.cells.entry(rail).or_insert(0.0) += joules;
         }
@@ -95,6 +96,7 @@ impl PowerTimeline {
     /// Average total watts in a bin.
     pub fn total_watts(&self, bin: usize) -> f64 {
         let secs = self.bin_secs(bin);
+        // aitax-allow(float-eq): exact-zero bin width sentinel guards the division
         if secs == 0.0 {
             return 0.0;
         }
@@ -104,6 +106,7 @@ impl PowerTimeline {
     /// Average watts on one rail in a bin.
     pub fn rail_watts(&self, rail: Rail, bin: usize) -> f64 {
         let secs = self.bin_secs(bin);
+        // aitax-allow(float-eq): exact-zero bin width sentinel guards the division
         if secs == 0.0 {
             return 0.0;
         }
@@ -212,6 +215,7 @@ impl<'a> EnergyMeter<'a> {
     pub fn energy_between(&self, trace: &TraceBuffer, from: SimTime, to: SimTime) -> RailEnergy {
         self.attribute(trace, &[(from, to)])
             .pop()
+            // aitax-allow(panic-path): attribute() returns exactly one ledger per window passed in
             .expect("one window in, one ledger out")
     }
 
@@ -243,6 +247,7 @@ impl<'a> EnergyMeter<'a> {
         // Busy increments (active minus idle, so floor isn't double-paid).
         for iv in intervals {
             let secs = overlap_secs(iv.start, iv.end, from, to);
+            // aitax-allow(float-eq): exact-zero overlap means the interval misses the window
             if secs == 0.0 {
                 continue;
             }
@@ -316,6 +321,7 @@ impl<'a> EnergyMeter<'a> {
 
         let mut rails: BTreeMap<Rail, Vec<f64>> = BTreeMap::new();
         let mut deposit = |rail: Rail, bin: usize, joules: f64| {
+            // aitax-allow(float-eq): exact-zero skip avoids allocating all-zero bins
             if joules != 0.0 {
                 rails.entry(rail).or_insert_with(|| vec![0.0; n])[bin] += joules;
             }

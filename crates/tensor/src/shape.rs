@@ -28,6 +28,7 @@ impl Shape {
     pub fn new(dims: &[usize]) -> Self {
         let s = Shape(dims.to_vec());
         s.checked_elements()
+            // aitax-allow(panic-path): documented panic: an overflowing element count is unrepresentable
             .expect("shape element count overflows usize");
         s
     }
@@ -54,6 +55,7 @@ impl Shape {
 
     /// Total number of elements.
     pub fn elements(&self) -> usize {
+        // aitax-allow(panic-path): the element count was validated at construction
         self.checked_elements().expect("validated at construction")
     }
 
