@@ -47,6 +47,36 @@ pub const PANIC_EXEMPT_CRATES: [&str; 2] = ["testkit", "bench"];
 /// pool, whose merge step makes thread count unobservable in artifacts.
 pub const THREAD_SPAWN_HOME: &str = "crates/lab/src/pool.rs";
 
+/// Crates whose record/step-path functions must stay allocation-free:
+/// the DES engine and the kernel model it drives. (The root `aitax`
+/// package is included so fixtures exercise the lint.)
+pub const HOT_PATH_CRATES: [&str; 3] = ["aitax", "des", "kernel"];
+
+/// The per-event functions `hot-path-alloc` scopes to: everything
+/// reachable from `Machine::step` / `Calendar::next` /
+/// `TraceBuffer::record` on the steady-state path that
+/// `sim_throughput`'s `steady_allocs` counter pins at zero.
+pub const HOT_PATH_FNS: [&str; 18] = [
+    "cancel",
+    "cancel_timer",
+    "dispatch_next",
+    "gov_observe",
+    "gov_retarget",
+    "maybe_start_accel",
+    "migrate",
+    "next",
+    "on_accel_done",
+    "on_slice_end",
+    "peek_time",
+    "record",
+    "schedule_after",
+    "schedule_at",
+    "steal_if_idle",
+    "step",
+    "touch_thermal",
+    "try_wander",
+];
+
 /// Is `krate` simulation code (see [`SIM_CRATES`])?
 pub fn is_sim_crate(krate: &str) -> bool {
     SIM_CRATES.contains(&krate)
@@ -60,6 +90,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(lints::determinism::EnvRead),
         Box::new(lints::numeric::FloatEq),
+        Box::new(lints::hot_path::HotPathAlloc),
         Box::new(lints::numeric::LossyCast),
         Box::new(lints::catalog::OppMonotone),
         Box::new(lints::panic_path::PanicPath),

@@ -1,0 +1,151 @@
+//! Hot-path allocation lint: the check that keeps the simulator's
+//! steady-state event loop allocation-free.
+//!
+//! The `sim_throughput` benchmark pins allocations-per-event at zero in
+//! the steady-state `Machine::step` loop (`BENCH_sim.json`,
+//! `steady_allocs`), and `crates/kernel/tests/alloc_pin.rs` enforces it
+//! with a counting allocator. This lint catches the regression at review
+//! time instead: any string allocation introduced into a record/step-path
+//! function shows up as a warning before it ever reaches the benchmark.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::{prev_ident, seq_at, Lint, HOT_PATH_CRATES, HOT_PATH_FNS};
+use crate::source::{item_end_line, SourceFile};
+
+/// Identifiers that name string-typed values in the des/kernel hot path;
+/// `.clone()` on one of these is a heap copy the interner made redundant.
+const STRINGY_RECEIVERS: [&str; 3] = ["label", "name", "source"];
+
+/// `hot-path-alloc`: `format!` / `to_string` / `to_owned` /
+/// `String::from` / `.clone()`-of-a-string inside a simulator hot-path
+/// function.
+pub struct HotPathAlloc;
+
+impl Lint for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "string allocation in a simulator hot-path function"
+    }
+    fn explain(&self) -> &'static str {
+        "The steady-state event loop (Calendar::next, TraceBuffer::record, \
+         Machine::step and the scheduler functions they dispatch to) is \
+         allocation-free: labels are interned to Symbol handles at task \
+         submission, and the benchmark gates allocations-per-event at zero \
+         (BENCH_sim.json, steady_allocs). A format!, to_string, to_owned, \
+         String::from, or string clone inside one of these functions puts a \
+         malloc back on the per-event path — a probe-effect cost paid \
+         millions of times per sweep. Allocate at submission/setup time and \
+         pass a Symbol instead; if the allocation is provably off the \
+         per-event path (error reporting, cold branch), justify it with an \
+         aitax-allow reason."
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !HOT_PATH_CRATES.contains(&file.krate.as_str()) {
+            return;
+        }
+        let toks = &file.lexed.toks;
+        // Line ranges of hot-path function bodies in library code.
+        let mut regions: Vec<(u32, u32)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.text != "fn" || !file.is_lib_code(t.line) {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            if HOT_PATH_FNS.contains(&name.text.as_str()) {
+                if let Some(end) = item_end_line(&file.lexed, i) {
+                    regions.push((t.line, end));
+                }
+            }
+        }
+        if regions.is_empty() {
+            return;
+        }
+        let in_hot = |line: u32| regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !in_hot(t.line) || !file.is_lib_code(t.line) {
+                continue;
+            }
+            let after_dot = i > 0 && toks[i - 1].text == ".";
+            let hit = match t.text.as_str() {
+                "format" if toks.get(i + 1).map(|n| n.text == "!") == Some(true) => {
+                    Some("`format!` allocates a String per event".to_string())
+                }
+                "to_string" | "to_owned" if after_dot => {
+                    Some(format!("`.{}()` allocates per event", t.text))
+                }
+                "String" if seq_at(toks, i, &["String", "::", "from"]) => {
+                    Some("`String::from` allocates per event".to_string())
+                }
+                "clone" if after_dot && i >= 2 => prev_ident(toks, i - 2, 4)
+                    .filter(|r| STRINGY_RECEIVERS.contains(&r.text.as_str()))
+                    .map(|r| format!("`{}.clone()` copies a string per event", r.text)),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!("{what}; intern at submission time and pass a Symbol instead"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        HotPathAlloc.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn format_in_hot_fn_fires() {
+        let src = "pub fn record(x: u32) { let s = format!(\"{x}\"); }\n";
+        let d = run("crates/des/src/trace.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn cold_fn_does_not_fire() {
+        let src = "pub fn submit(x: u32) -> String { format!(\"{x}\") }\n";
+        assert!(run("crates/kernel/src/sched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn only_hot_path_crates_are_scoped() {
+        let src = "pub fn record(x: u32) { let s = format!(\"{x}\"); }\n";
+        assert!(run("crates/lab/src/render.rs", src).is_empty());
+        assert!(run("crates/pipeline/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_clone_fires_but_other_clones_do_not() {
+        let src = "pub fn dispatch_next(&mut self) { let l = self.label.clone(); \
+                   let a = affinity.clone(); }\n";
+        let d = run("crates/kernel/src/sched.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("label.clone()"));
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n    fn step() { let s = format!(\"x\"); }\n}\n";
+        assert!(run("crates/kernel/src/machine.rs", src).is_empty());
+    }
+}

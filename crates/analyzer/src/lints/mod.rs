@@ -1,8 +1,9 @@
-//! The lint set: determinism, numeric hygiene, panic policy, suppression
-//! hygiene, and catalog const-data sanity.
+//! The lint set: determinism, hot-path allocation, numeric hygiene,
+//! panic policy, suppression hygiene, and catalog const-data sanity.
 
 pub mod catalog;
 pub mod determinism;
+pub mod hot_path;
 pub mod numeric;
 pub mod panic_path;
 pub mod stale_allow;

@@ -1,0 +1,40 @@
+//! Fixture: `hot-path-alloc` — string allocation inside a simulator
+//! record/step-path function.
+
+pub struct Ev {
+    pub label: String,
+}
+
+pub fn record(task: u64, label: &str) -> (String, String, String) {
+    let tag = format!("task-{task}");
+    let owned = label.to_string();
+    let copied = String::from(label);
+    (tag, owned, copied)
+}
+
+pub fn dispatch_next(ev: &Ev) -> String {
+    let label = &ev.label;
+    label.clone()
+}
+
+pub fn step(ev: &Ev) -> std::borrow::Cow<'_, str> {
+    // A non-string clone on the hot path is fine (Copy-like handles)...
+    let affinity = [1u8, 2, 3];
+    let _mask = affinity.clone();
+    // ...but materializing the label is not.
+    std::borrow::Cow::Owned(ev.label.to_owned())
+}
+
+pub fn submit(label: &str) -> String {
+    // Cold path: task submission is where allocation belongs.
+    format!("submitted-{label}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn next() {
+        // Test code is exempt even when the function name is hot.
+        let _ = format!("{}", 1u32);
+    }
+}

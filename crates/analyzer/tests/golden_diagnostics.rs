@@ -70,6 +70,11 @@ fn lossy_cast_fixture() {
 }
 
 #[test]
+fn hot_path_alloc_fixture() {
+    check_fixture("hot_path_alloc", "hot-path-alloc");
+}
+
+#[test]
 fn panic_path_fixture() {
     check_fixture("panic_path", "panic-path");
 }

@@ -181,6 +181,10 @@ impl E2eConfig {
         }
         if self.tracing {
             m.set_tracing(true);
+            // Size the event storage once, up front, so steady-state
+            // recording never reallocates mid-run; capacity is reused
+            // across iterations because the buffer is never dropped.
+            m.trace.reserve_events(8192 * self.iterations.max(1));
         }
         if let Some(plan) = &self.fault_plan {
             if !plan.is_empty() {

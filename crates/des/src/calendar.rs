@@ -7,10 +7,16 @@
 //! 2. **Determinism** — events scheduled for the same instant fire in the
 //!    order they were scheduled (FIFO tie-breaking via a sequence number),
 //!    so a simulation with a fixed seed is exactly reproducible.
+//!
+//! Cancellation uses a dense tombstone slab rather than a side set: each
+//! pending event owns a slot in a `Vec`, a [`Token`] packs the slot index
+//! with a generation counter, and cancelling just clears the slot's live
+//! bit. Popping skips dead entries, bumps the slot generation, and recycles
+//! the slot — so schedule/cancel/fire are all O(log n) heap work plus O(1)
+//! slab pokes, with no hashing and no per-event allocation in steady state.
 
 use std::cmp::Reverse;
-// aitax-allow(unordered-collection): HashSet is membership-only here; its iteration order is never observed
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimSpan, SimTime};
 
@@ -22,10 +28,35 @@ use crate::time::{SimSpan, SimTime};
 pub struct Token(u64);
 
 impl Token {
-    /// Raw sequence number (useful for logging).
+    /// Raw packed value: generation in the high 32 bits, slot in the low
+    /// 32 (useful for logging).
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// The slab slot this token occupies. Slots are dense and recycled
+    /// after their event fires, so at most [`Calendar::pending`] + the
+    /// in-flight heap backlog distinct values exist at once — callers can
+    /// use the slot as a small dense index for per-event side tables.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn pack(generation: u32, slot: u32) -> Token {
+        Token((u64::from(generation) << 32) | u64::from(slot))
+    }
+}
+
+/// One slab entry. `generation` advances each time the slot is recycled,
+/// invalidating any stale [`Token`] still pointing at it.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u32,
+    live: bool,
 }
 
 /// A cancellable, deterministically ordered event calendar.
@@ -46,10 +77,14 @@ impl Token {
 pub struct Calendar {
     now: SimTime,
     next_seq: u64,
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
-    // aitax-allow(unordered-collection): cancelled tokens are probed with contains/remove on the hot path and never iterated
-    cancelled: HashSet<u64>,
-    live: usize,
+    // Ordered by (time, seq); the trailing slot index is payload only —
+    // seq is globally unique, so it alone breaks every time tie (FIFO).
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    scheduled_total: u64,
+    fired_total: u64,
+    cancelled_total: u64,
 }
 
 impl Calendar {
@@ -65,12 +100,27 @@ impl Calendar {
 
     /// Number of pending (non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.live
+        (self.scheduled_total - self.fired_total - self.cancelled_total) as usize
     }
 
     /// Whether no live events remain.
     pub fn is_idle(&self) -> bool {
-        self.live == 0
+        self.pending() == 0
+    }
+
+    /// Total events ever scheduled (deterministic across identical runs).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events that fired via [`Calendar::next`].
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Total events cancelled while still pending.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
     }
 
     /// Schedules an event `delay` after the current time.
@@ -93,60 +143,81 @@ impl Calendar {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse((at, seq)));
-        self.live += 1;
-        Token(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].live = true;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                });
+                slot
+            }
+        };
+        self.heap.push(Reverse((at, seq, slot)));
+        self.scheduled_total += 1;
+        Token::pack(self.slots[slot as usize].generation, slot)
     }
 
     /// Cancels a pending event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired or was already cancelled.
+    /// fired or was already cancelled. O(1): the heap entry stays behind as
+    /// a tombstone and is discarded when it reaches the head.
     pub fn cancel(&mut self, token: Token) -> bool {
-        if token.0 >= self.next_seq {
-            return false;
-        }
-        if self.cancelled.insert(token.0) {
-            // It may have already fired; `cancelled` entries for fired events
-            // are never inserted because `next` consumes them first, so any
-            // successful insert here is either a live event or a double
-            // cancel of a fired event. Disambiguate conservatively by
-            // checking live count in `next`.
-            if self.live > 0 {
-                self.live -= 1;
-                return true;
+        match self.slots.get_mut(token.slot() as usize) {
+            Some(s) if s.live && s.generation == token.generation() => {
+                s.live = false;
+                self.cancelled_total += 1;
+                true
             }
+            _ => false,
         }
-        false
+    }
+
+    /// Recycles a slot whose heap entry just popped: the generation bump
+    /// invalidates every outstanding token for it, and only now — with no
+    /// heap entry referencing it — may the slot be handed out again.
+    fn retire(&mut self, slot: u32) -> (u32, bool) {
+        let s = &mut self.slots[slot as usize];
+        let generation = s.generation;
+        let was_live = s.live;
+        s.live = false;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        (generation, was_live)
     }
 
     /// Pops the next live event, advancing the clock to its fire time.
     ///
     /// Returns `None` when the calendar is empty. Cancelled events are
-    /// silently skipped (and their cancellation records reclaimed).
+    /// silently skipped (and their slots recycled).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, Token)> {
-        while let Some(Reverse((at, seq))) = self.heap.pop() {
-            if self.cancelled.remove(&seq) {
+        while let Some(Reverse((at, _seq, slot))) = self.heap.pop() {
+            let (generation, was_live) = self.retire(slot);
+            if !was_live {
                 continue;
             }
             debug_assert!(at >= self.now, "heap returned an event in the past");
             self.now = at;
-            self.live -= 1;
-            return Some((at, Token(seq)));
+            self.fired_total += 1;
+            return Some((at, Token::pack(generation, slot)));
         }
         None
     }
 
     /// The fire time of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse((at, seq))) = self.heap.peek() {
-            if self.cancelled.contains(&seq) {
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+        while let Some(&Reverse((at, _seq, slot))) = self.heap.peek() {
+            if self.slots[slot as usize].live {
                 return Some(at);
             }
+            self.heap.pop();
+            self.retire(slot);
         }
         None
     }
@@ -230,6 +301,43 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_false() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule_after(SimSpan::from_ns(10));
+        cal.next();
+        assert!(!cal.cancel(a), "fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_token() {
+        let mut cal = Calendar::new();
+        let old = cal.schedule_after(SimSpan::from_ns(1));
+        cal.next();
+        // The slot is recycled for a fresh event; the old token must not
+        // be able to cancel it.
+        let fresh = cal.schedule_after(SimSpan::from_ns(5));
+        assert_eq!(old.slot(), fresh.slot(), "slot should be recycled");
+        assert_ne!(old, fresh, "generation distinguishes the reuse");
+        assert!(!cal.cancel(old));
+        assert_eq!(cal.pending(), 1);
+        assert!(cal.cancel(fresh));
+        assert!(cal.next().is_none());
+    }
+
+    #[test]
+    fn cancelled_slot_is_not_recycled_until_popped() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule_after(SimSpan::from_ns(50));
+        cal.cancel(a);
+        // The tombstone still owns its heap entry, so a new event must get
+        // a different slot — otherwise the stale entry would fire it early.
+        let b = cal.schedule_after(SimSpan::from_ns(60));
+        assert_ne!(a.slot(), b.slot());
+        let (_, tok) = cal.next().unwrap();
+        assert_eq!(tok, b);
+    }
+
+    #[test]
     fn peek_skips_cancelled_head() {
         let mut cal = Calendar::new();
         let a = cal.schedule_after(SimSpan::from_ns(5));
@@ -273,5 +381,17 @@ mod tests {
         assert_eq!(cal.pending(), 1);
         cal.next();
         assert!(cal.is_idle());
+    }
+
+    #[test]
+    fn totals_track_schedule_cancel_fire() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule_after(SimSpan::from_ns(1));
+        let _b = cal.schedule_after(SimSpan::from_ns(2));
+        cal.cancel(a);
+        while cal.next().is_some() {}
+        assert_eq!(cal.scheduled_total(), 2);
+        assert_eq!(cal.cancelled_total(), 1);
+        assert_eq!(cal.fired_total(), 1);
     }
 }

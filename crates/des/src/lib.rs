@@ -33,11 +33,13 @@
 pub mod calendar;
 pub mod fault;
 pub mod rng;
+pub mod symbol;
 pub mod time;
 pub mod trace;
 
 pub use calendar::{Calendar, Token};
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use rng::SimRng;
+pub use symbol::{Symbol, SymbolTable};
 pub use time::{SimSpan, SimTime};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -1,0 +1,147 @@
+//! String interning for trace labels.
+//!
+//! Recording a trace event used to heap-allocate a `Box<str>` label —
+//! a real probe effect in the spirit of the paper's §III-D concern:
+//! the measurement apparatus (here, the simulator's own tracing) must
+//! not perturb the system under test. Interning fixes that: labels are
+//! deduplicated once at task-submission time into a [`SymbolTable`],
+//! and every trace event carries a `Copy` 4-byte [`Symbol`]. Strings
+//! are materialized only at report/export time.
+
+use std::collections::BTreeMap;
+
+/// An interned trace label: a dense index into the [`SymbolTable`]
+/// that minted it.
+///
+/// Symbols are meaningful only together with their table; resolving a
+/// symbol against a different table is a logic error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Raw table index (useful for logging).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A deduplicating string table mapping labels to [`Symbol`]s.
+///
+/// The reverse index is a `BTreeMap`, so symbol assignment depends only
+/// on intern order — never on hash iteration order — keeping runs with
+/// the same seed byte-identical.
+///
+/// # Example
+///
+/// ```
+/// use aitax_des::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("inference");
+/// let b = table.intern("inference");
+/// assert_eq!(a, b);
+/// assert_eq!(table.resolve(a), "inference");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<Box<str>>,
+    index: BTreeMap<Box<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if already present.
+    ///
+    /// Allocates only the first time a given string is seen; repeat
+    /// interning is a lookup.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&i) = self.index.get(s) {
+            return Symbol(i);
+        }
+        let i = u32::try_from(self.strings.len())
+            // aitax-allow(panic-path): 2^32 distinct labels means the workload generator is broken
+            .expect("symbol table overflow");
+        self.strings.push(s.into());
+        self.index.insert(s.into(), i);
+        Symbol(i)
+    }
+
+    /// The string a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was minted by a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.strings
+            .get(sym.0 as usize)
+            // aitax-allow(panic-path): a foreign symbol is a cross-table logic bug worth crashing on
+            .expect("symbol resolved against a table that did not intern it")
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        let a2 = t.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut t = SymbolTable::new();
+        let labels = ["conv2d", "pooling", "fully-connected", ""];
+        let syms: Vec<Symbol> = labels.iter().map(|l| t.intern(l)).collect();
+        for (l, s) in labels.iter().zip(&syms) {
+            assert_eq!(t.resolve(*s), *l);
+        }
+    }
+
+    #[test]
+    fn symbols_are_assigned_in_intern_order() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("a").index(), 0);
+        assert_eq!(t.intern("b").index(), 1);
+        assert_eq!(t.intern("a").index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not intern")]
+    fn foreign_symbol_panics() {
+        let mut a = SymbolTable::new();
+        a.intern("x");
+        let mut b = SymbolTable::new();
+        let s = b.intern("y");
+        let _ = s;
+        let empty = SymbolTable::new();
+        empty.resolve(Symbol(0));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -7,10 +7,14 @@
 //!
 //! Tracing is opt-in: a disabled [`TraceBuffer`] drops events with a single
 //! branch, keeping the probe effect of the *simulator itself* at zero, in the
-//! spirit of the paper's §III-D probe-effect discussion.
+//! spirit of the paper's §III-D probe-effect discussion. When enabled, the
+//! probe effect is one `Vec` push per event: labels are interned
+//! [`Symbol`]s, so recording never touches the heap once the event storage
+//! is warm (see [`TraceBuffer::intern`] and [`TraceBuffer::reserve_events`]).
 
 use std::fmt;
 
+use crate::symbol::{Symbol, SymbolTable};
 use crate::time::SimTime;
 
 /// A hardware execution resource appearing in traces.
@@ -37,6 +41,19 @@ impl fmt::Display for TraceResource {
             TraceResource::Npu => write!(f, "npu"),
             TraceResource::Axi => write!(f, "axi"),
         }
+    }
+}
+
+/// Dense slot for a resource in per-resource scratch tables: CPU cores map
+/// to their own index, accelerators and the interconnect to fixed slots
+/// past the 8-bit core space.
+fn res_slot(r: TraceResource) -> usize {
+    match r {
+        TraceResource::CpuCore(i) => i as usize,
+        TraceResource::Dsp => 256,
+        TraceResource::Gpu => 257,
+        TraceResource::Npu => 258,
+        TraceResource::Axi => 259,
     }
 }
 
@@ -84,14 +101,17 @@ impl fmt::Display for RpcPhase {
 }
 
 /// What happened.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Label-carrying variants hold interned [`Symbol`]s minted by the
+/// [`TraceBuffer`] that records them; resolve via [`TraceBuffer::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A task began executing on a resource.
     ExecStart {
         /// Simulator-wide task id.
         task: u64,
-        /// Human-readable task label.
-        label: Box<str>,
+        /// Interned task label.
+        label: Symbol,
     },
     /// The task currently on the resource stopped executing (completed or
     /// was preempted).
@@ -112,8 +132,8 @@ pub enum TraceKind {
     },
     /// An interrupt was serviced.
     Irq {
-        /// Interrupt source label.
-        source: Box<str>,
+        /// Interned interrupt source label.
+        source: Symbol,
     },
     /// A FastRPC phase boundary.
     Rpc {
@@ -138,13 +158,13 @@ pub enum TraceKind {
     },
     /// Free-form marker (pipeline stage boundaries etc.).
     Marker {
-        /// Marker label.
-        label: Box<str>,
+        /// Interned marker label.
+        label: Symbol,
     },
 }
 
 /// A single trace record.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,
@@ -154,7 +174,8 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// An append-only buffer of trace events.
+/// An append-only buffer of trace events plus the symbol table their
+/// labels are interned into.
 ///
 /// # Example
 ///
@@ -164,12 +185,20 @@ pub struct TraceEvent {
 ///
 /// let mut buf = TraceBuffer::enabled();
 /// buf.record(SimTime::from_ns(10), TraceResource::Dsp, TraceKind::ContextSwitch);
-/// assert_eq!(buf.events().len(), 1);
+/// let label = buf.intern("inference");
+/// buf.record(
+///     SimTime::from_ns(20),
+///     TraceResource::Dsp,
+///     TraceKind::ExecStart { task: 1, label },
+/// );
+/// assert_eq!(buf.events().len(), 2);
+/// assert_eq!(buf.resolve(label), "inference");
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceBuffer {
     enabled: bool,
     events: Vec<TraceEvent>,
+    symbols: SymbolTable,
 }
 
 impl TraceBuffer {
@@ -178,6 +207,7 @@ impl TraceBuffer {
         TraceBuffer {
             enabled: false,
             events: Vec::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -186,12 +216,48 @@ impl TraceBuffer {
         TraceBuffer {
             enabled: true,
             events: Vec::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Turns recording on or off in place.
+    ///
+    /// Disabling drops any recorded events; the symbol table (and thus
+    /// every previously minted [`Symbol`]) survives, so labels interned
+    /// while tracing was off stay valid when it is re-enabled.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.events.clear();
+        }
+    }
+
+    /// Interns `label`, returning a [`Symbol`] valid for this buffer.
+    ///
+    /// Works whether or not tracing is enabled — callers intern labels
+    /// once at object-creation time and record cheap symbols thereafter.
+    pub fn intern(&mut self, label: &str) -> Symbol {
+        self.symbols.intern(label)
+    }
+
+    /// The string a symbol minted by this buffer stands for.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The buffer's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Pre-sizes event storage so steady-state recording never reallocates.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
     }
 
     /// Records one event (no-op when disabled).
@@ -215,9 +281,16 @@ impl TraceBuffer {
         self.events
     }
 
-    /// Drops all recorded events, keeping the enabled flag.
+    /// Drops all recorded events, keeping the enabled flag, the symbol
+    /// table, and the event storage capacity (so a reused buffer records
+    /// its next run allocation-free).
     pub fn clear(&mut self) {
         self.events.clear();
+    }
+
+    /// Total bytes of recorded event storage.
+    pub fn traced_bytes(&self) -> u64 {
+        (self.events.len() * std::mem::size_of::<TraceEvent>()) as u64
     }
 
     /// Extracts closed execution intervals per resource.
@@ -226,33 +299,8 @@ impl TraceBuffer {
     /// the same resource. Unclosed intervals (still running at trace end)
     /// are dropped.
     pub fn exec_intervals(&self) -> Vec<ExecInterval> {
-        let mut open: Vec<(TraceResource, u64, SimTime, Box<str>)> = Vec::new();
-        let mut out = Vec::new();
-        for ev in &self.events {
-            match &ev.kind {
-                TraceKind::ExecStart { task, label } => {
-                    open.push((ev.resource, *task, ev.time, label.clone()));
-                }
-                TraceKind::ExecEnd { task } => {
-                    if let Some(pos) = open
-                        .iter()
-                        .rposition(|(r, t, _, _)| *r == ev.resource && *t == *task)
-                    {
-                        let (resource, task, start, label) = open.swap_remove(pos);
-                        out.push(ExecInterval {
-                            resource,
-                            task,
-                            label,
-                            start,
-                            end: ev.time,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-        out.sort_by_key(|iv| (iv.start, iv.resource));
-        out
+        let (out, _open) = self.collect_intervals();
+        self.sort_intervals(out)
     }
 
     /// Like [`TraceBuffer::exec_intervals`], but treats tasks still
@@ -263,54 +311,83 @@ impl TraceBuffer {
     /// Open intervals that start after `end` are clamped to zero length
     /// at their own start.
     pub fn exec_intervals_until(&self, end: SimTime) -> Vec<ExecInterval> {
-        let mut open: Vec<(TraceResource, u64, SimTime, Box<str>)> = Vec::new();
+        let (mut out, open) = self.collect_intervals();
+        for per_resource in open {
+            for (resource, task, start, label) in per_resource {
+                out.push(ExecInterval {
+                    resource,
+                    task,
+                    label,
+                    start,
+                    end: end.max(start),
+                });
+            }
+        }
+        self.sort_intervals(out)
+    }
+
+    /// Single O(n) pass pairing starts with ends via per-resource open
+    /// lists. Returns the closed intervals in `ExecEnd` encounter order
+    /// plus whatever remained open, grouped by resource slot.
+    #[allow(clippy::type_complexity)]
+    fn collect_intervals(
+        &self,
+    ) -> (
+        Vec<ExecInterval>,
+        Vec<Vec<(TraceResource, u64, SimTime, Symbol)>>,
+    ) {
+        let mut open: Vec<Vec<(TraceResource, u64, SimTime, Symbol)>> = Vec::new();
         let mut out = Vec::new();
         for ev in &self.events {
-            match &ev.kind {
+            match ev.kind {
                 TraceKind::ExecStart { task, label } => {
-                    open.push((ev.resource, *task, ev.time, label.clone()));
+                    let slot = res_slot(ev.resource);
+                    if open.len() <= slot {
+                        open.resize_with(slot + 1, Vec::new);
+                    }
+                    open[slot].push((ev.resource, task, ev.time, label));
                 }
                 TraceKind::ExecEnd { task } => {
-                    if let Some(pos) = open
-                        .iter()
-                        .rposition(|(r, t, _, _)| *r == ev.resource && *t == *task)
-                    {
-                        let (resource, task, start, label) = open.swap_remove(pos);
-                        out.push(ExecInterval {
-                            resource,
-                            task,
-                            label,
-                            start,
-                            end: ev.time,
-                        });
+                    let slot = res_slot(ev.resource);
+                    if let Some(per_resource) = open.get_mut(slot) {
+                        if let Some(pos) = per_resource.iter().rposition(|&(_, t, _, _)| t == task)
+                        {
+                            let (resource, task, start, label) = per_resource.swap_remove(pos);
+                            out.push(ExecInterval {
+                                resource,
+                                task,
+                                label,
+                                start,
+                                end: ev.time,
+                            });
+                        }
                     }
                 }
                 _ => {}
             }
         }
-        for (resource, task, start, label) in open {
-            out.push(ExecInterval {
-                resource,
-                task,
-                label,
-                start,
-                end: end.max(start),
-            });
-        }
+        (out, open)
+    }
+
+    /// The public interval ordering: by start time, resources breaking
+    /// ties. The sort is stable, so same-(start, resource) intervals keep
+    /// their emission order.
+    fn sort_intervals(&self, mut out: Vec<ExecInterval>) -> Vec<ExecInterval> {
         out.sort_by_key(|iv| (iv.start, iv.resource));
         out
     }
 }
 
 /// A closed execution interval extracted from a trace.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecInterval {
     /// Resource the task ran on.
     pub resource: TraceResource,
     /// Simulator-wide task id.
     pub task: u64,
-    /// Task label captured at start.
-    pub label: Box<str>,
+    /// Interned task label captured at start (resolve against the buffer
+    /// that produced this interval).
+    pub label: Symbol,
     /// Interval start.
     pub start: SimTime,
     /// Interval end.
@@ -329,10 +406,10 @@ mod tests {
     use super::*;
     use crate::SimSpan;
 
-    fn start(task: u64, label: &str) -> TraceKind {
+    fn start(buf: &mut TraceBuffer, task: u64, label: &str) -> TraceKind {
         TraceKind::ExecStart {
             task,
-            label: label.into(),
+            label: buf.intern(label),
         }
     }
 
@@ -348,22 +425,20 @@ mod tests {
     fn intervals_pair_start_end() {
         let mut buf = TraceBuffer::enabled();
         let r = TraceResource::CpuCore(0);
-        buf.record(SimTime::from_ns(10), r, start(1, "job"));
+        let k = start(&mut buf, 1, "job");
+        buf.record(SimTime::from_ns(10), r, k);
         buf.record(SimTime::from_ns(30), r, TraceKind::ExecEnd { task: 1 });
         let ivs = buf.exec_intervals();
         assert_eq!(ivs.len(), 1);
         assert_eq!(ivs[0].span(), SimSpan::from_ns(20));
-        assert_eq!(&*ivs[0].label, "job");
+        assert_eq!(buf.resolve(ivs[0].label), "job");
     }
 
     #[test]
     fn unclosed_intervals_are_dropped() {
         let mut buf = TraceBuffer::enabled();
-        buf.record(
-            SimTime::from_ns(5),
-            TraceResource::Gpu,
-            start(7, "dangling"),
-        );
+        let k = start(&mut buf, 7, "dangling");
+        buf.record(SimTime::from_ns(5), TraceResource::Gpu, k);
         assert!(buf.exec_intervals().is_empty());
     }
 
@@ -371,9 +446,11 @@ mod tests {
     fn intervals_until_closes_dangling_starts() {
         let mut buf = TraceBuffer::enabled();
         let r = TraceResource::CpuCore(1);
-        buf.record(SimTime::from_ns(10), r, start(1, "closed"));
+        let closed = start(&mut buf, 1, "closed");
+        buf.record(SimTime::from_ns(10), r, closed);
         buf.record(SimTime::from_ns(20), r, TraceKind::ExecEnd { task: 1 });
-        buf.record(SimTime::from_ns(40), TraceResource::Gpu, start(2, "open"));
+        let open = start(&mut buf, 2, "open");
+        buf.record(SimTime::from_ns(40), TraceResource::Gpu, open);
         let ivs = buf.exec_intervals_until(SimTime::from_ns(100));
         assert_eq!(ivs.len(), 2);
         assert_eq!(ivs[0].span(), SimSpan::from_ns(10));
@@ -389,8 +466,10 @@ mod tests {
         let mut buf = TraceBuffer::enabled();
         let c0 = TraceResource::CpuCore(0);
         let c1 = TraceResource::CpuCore(1);
-        buf.record(SimTime::from_ns(0), c0, start(1, "a"));
-        buf.record(SimTime::from_ns(1), c1, start(2, "b"));
+        let a = start(&mut buf, 1, "a");
+        buf.record(SimTime::from_ns(0), c0, a);
+        let b = start(&mut buf, 2, "b");
+        buf.record(SimTime::from_ns(1), c1, b);
         buf.record(SimTime::from_ns(4), c1, TraceKind::ExecEnd { task: 2 });
         buf.record(SimTime::from_ns(9), c0, TraceKind::ExecEnd { task: 1 });
         let ivs = buf.exec_intervals();
@@ -406,14 +485,51 @@ mod tests {
         let mut buf = TraceBuffer::enabled();
         let r = TraceResource::CpuCore(2);
         // Task runs twice (preemption produces two intervals).
-        buf.record(SimTime::from_ns(0), r, start(3, "x"));
+        let x = start(&mut buf, 3, "x");
+        buf.record(SimTime::from_ns(0), r, x);
         buf.record(SimTime::from_ns(2), r, TraceKind::ExecEnd { task: 3 });
-        buf.record(SimTime::from_ns(5), r, start(3, "x"));
+        buf.record(SimTime::from_ns(5), r, x);
         buf.record(SimTime::from_ns(6), r, TraceKind::ExecEnd { task: 3 });
         let ivs = buf.exec_intervals();
         assert_eq!(ivs.len(), 2);
         assert_eq!(ivs[0].start, SimTime::from_ns(0));
         assert_eq!(ivs[1].start, SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn same_task_on_accelerator_slots_pairs_correctly() {
+        // Exercise the non-CPU resource slots of the per-resource tables.
+        let mut buf = TraceBuffer::enabled();
+        for (i, r) in [
+            TraceResource::Dsp,
+            TraceResource::Gpu,
+            TraceResource::Npu,
+            TraceResource::Axi,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let k = start(&mut buf, i as u64, "accel");
+            buf.record(SimTime::from_ns(i as u64), r, k);
+        }
+        for (i, r) in [
+            TraceResource::Dsp,
+            TraceResource::Gpu,
+            TraceResource::Npu,
+            TraceResource::Axi,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            buf.record(
+                SimTime::from_ns(10 + i as u64),
+                r,
+                TraceKind::ExecEnd { task: i as u64 },
+            );
+        }
+        let ivs = buf.exec_intervals();
+        assert_eq!(ivs.len(), 4);
+        assert!(ivs.iter().all(|iv| buf.resolve(iv.label) == "accel"));
     }
 
     #[test]
@@ -432,8 +548,9 @@ mod tests {
     }
 
     #[test]
-    fn clear_retains_enabled_flag() {
+    fn clear_retains_enabled_flag_and_symbols() {
         let mut buf = TraceBuffer::enabled();
+        let label = buf.intern("stage");
         buf.record(
             SimTime::ZERO,
             TraceResource::Axi,
@@ -442,5 +559,38 @@ mod tests {
         buf.clear();
         assert!(buf.events().is_empty());
         assert!(buf.is_enabled());
+        assert_eq!(buf.resolve(label), "stage");
+    }
+
+    #[test]
+    fn set_enabled_drops_events_but_keeps_symbols() {
+        let mut buf = TraceBuffer::enabled();
+        let label = buf.intern("kept");
+        buf.record(SimTime::ZERO, TraceResource::Dsp, TraceKind::ContextSwitch);
+        buf.set_enabled(false);
+        assert!(buf.events().is_empty());
+        assert!(!buf.is_enabled());
+        buf.set_enabled(true);
+        assert!(buf.is_enabled());
+        assert_eq!(buf.resolve(label), "kept", "symbols survive the toggle");
+    }
+
+    #[test]
+    fn reserved_buffer_records_without_reallocating() {
+        let mut buf = TraceBuffer::enabled();
+        buf.reserve_events(128);
+        let label = buf.intern("warm");
+        for i in 0..128u64 {
+            buf.record(
+                SimTime::from_ns(i),
+                TraceResource::CpuCore(0),
+                TraceKind::ExecStart { task: i, label },
+            );
+        }
+        assert_eq!(buf.events().len(), 128);
+        assert_eq!(
+            buf.traced_bytes(),
+            128 * std::mem::size_of::<TraceEvent>() as u64
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! deterministic [`SimRng`] (seeded per test), so the suite needs no
 //! external dependencies and every failure reproduces bit-exactly.
 
-use aitax_des::{Calendar, SimRng, SimSpan, SimTime};
+use aitax_des::{Calendar, SimRng, SimSpan, SimTime, Token};
 
 /// Events always fire in non-decreasing time order regardless of
 /// schedule order, and every scheduled event fires exactly once.
@@ -75,6 +75,85 @@ fn fifo_tie_break() {
             .collect();
         let fired: Vec<_> = std::iter::from_fn(|| cal.next().map(|(_, t)| t)).collect();
         assert_eq!(fired, toks, "case {case}: FIFO order broken");
+    }
+}
+
+/// Random interleavings of schedule / cancel / fire keep the tombstone
+/// calendar honest: time stays monotone, `pending()` always equals the
+/// number of live events, the schedule/fire/cancel counters balance, and
+/// a spent token (fired or cancelled) is rejected forever — even after
+/// its slot has been recycled by a later event.
+#[test]
+fn churn_fuzz_accounting_and_token_reuse_safety() {
+    let mut rng = SimRng::seed_from(0xCA1E_0006);
+    for case in 0..48 {
+        let mut cal = Calendar::new();
+        let mut live: Vec<Token> = Vec::new();
+        let mut spent: Vec<Token> = Vec::new();
+        let mut last = SimTime::ZERO;
+        let ops = rng.uniform_u64(100, 600);
+        for op in 0..ops {
+            match rng.uniform_u64(0, 4) {
+                // Schedule (weighted 2x so the population grows).
+                0 | 1 => {
+                    let tok = cal.schedule_after(SimSpan::from_ns(rng.uniform_u64(0, 100_000)));
+                    assert!(
+                        !live.contains(&tok) && !spent.contains(&tok),
+                        "case {case} op {op}: token handed out twice"
+                    );
+                    live.push(tok);
+                }
+                // Fire the next event.
+                2 => {
+                    if let Some((t, tok)) = cal.next() {
+                        assert!(t >= last, "case {case} op {op}: time went backwards");
+                        last = t;
+                        let pos = live
+                            .iter()
+                            .position(|&l| l == tok)
+                            .unwrap_or_else(|| panic!("case {case} op {op}: fired unknown token"));
+                        spent.push(live.swap_remove(pos));
+                    }
+                }
+                // Cancel: a live token must cancel exactly once; a spent
+                // token must be rejected no matter who owns its slot now.
+                _ => {
+                    let pick_live = !live.is_empty() && (spent.is_empty() || rng.chance(0.5));
+                    if pick_live {
+                        let i = rng.uniform_u64(0, live.len() as u64) as usize;
+                        let tok = live.swap_remove(i);
+                        assert!(cal.cancel(tok), "case {case} op {op}: live cancel failed");
+                        spent.push(tok);
+                    } else if !spent.is_empty() {
+                        let i = rng.uniform_u64(0, spent.len() as u64) as usize;
+                        assert!(
+                            !cal.cancel(spent[i]),
+                            "case {case} op {op}: stale token cancelled a recycled slot"
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                cal.pending(),
+                live.len(),
+                "case {case} op {op}: pending() drifted from live population"
+            );
+            assert_eq!(
+                cal.scheduled_total(),
+                cal.fired_total() + cal.cancelled_total() + cal.pending() as u64,
+                "case {case} op {op}: counters do not balance"
+            );
+        }
+        // Drain: every remaining live event fires, in order, exactly once.
+        while let Some((t, tok)) = cal.next() {
+            assert!(t >= last, "case {case}: drain out of order");
+            last = t;
+            let pos = live.iter().position(|&l| l == tok);
+            assert!(pos.is_some(), "case {case}: drained unknown token");
+            live.swap_remove(pos.unwrap());
+        }
+        assert!(live.is_empty(), "case {case}: live events lost");
+        assert_eq!(cal.pending(), 0, "case {case}");
     }
 }
 

@@ -506,7 +506,7 @@ mod tests {
             .trace
             .exec_intervals()
             .iter()
-            .filter(|iv| iv.resource == TraceResource::Dsp && &*iv.label == "lost")
+            .filter(|iv| iv.resource == TraceResource::Dsp && m.trace.resolve(iv.label) == "lost")
             .count();
         assert_eq!(dsp_execs as u64, m.degradation().rpc_timeouts);
     }

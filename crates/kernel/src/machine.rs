@@ -1,9 +1,11 @@
 //! The simulated phone: SoC + OS state + event loop.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use aitax_des::trace::{TraceKind, TraceResource};
-use aitax_des::{Calendar, FaultKind, FaultPlan, SimRng, SimSpan, SimTime, Token, TraceBuffer};
+use aitax_des::{
+    Calendar, FaultKind, FaultPlan, SimRng, SimSpan, SimTime, Symbol, Token, TraceBuffer,
+};
 use aitax_soc::{SocSpec, ThermalState};
 
 use crate::dvfs::{CoreGov, DvfsPolicy};
@@ -80,7 +82,9 @@ impl DegradationStats {
 }
 
 pub(crate) struct Task {
-    pub name: String,
+    /// Trace label, interned at submission time so slice dispatch never
+    /// touches the heap.
+    pub label: Symbol,
     pub work_kind: Work,
     /// Remaining work, in the units of `work_kind`.
     pub remaining: f64,
@@ -116,7 +120,7 @@ impl CoreState {
 
 /// A job for a serial FIFO accelerator (DSP or GPU).
 pub(crate) struct AccelJob {
-    pub label: String,
+    pub label: Symbol,
     pub exec: SimSpan,
     pub on_done: Callback,
     pub trace_id: u64,
@@ -161,7 +165,10 @@ pub struct Machine {
     pub trace: TraceBuffer,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) tasks: Vec<Option<Task>>,
-    pub(crate) events: BTreeMap<Token, Ev>,
+    /// Pending calendar payloads, indexed by [`Token::slot`]. The calendar
+    /// recycles slots only after their heap entry pops, so a slot holds at
+    /// most one live payload at a time and the table stays dense.
+    pub(crate) events: Vec<Option<Ev>>,
     pub(crate) dsp: AccelState,
     pub(crate) dsp_session_mapped: bool,
     pub(crate) gpu: AccelState,
@@ -211,7 +218,7 @@ impl Machine {
             rng: SimRng::seed_from(seed),
             trace: TraceBuffer::disabled(),
             tasks: Vec::new(),
-            events: BTreeMap::new(),
+            events: Vec::new(),
             dsp: AccelState::default(),
             dsp_session_mapped: false,
             gpu: AccelState::default(),
@@ -347,20 +354,10 @@ impl Machine {
         self.thermal = aitax_soc::ThermalState::with_temp(self.spec.thermal, temp_c);
     }
 
-    /// Enables or disables structured tracing.
+    /// Enables or disables structured tracing. Disabling drops recorded
+    /// events; interned labels stay valid either way.
     pub fn set_tracing(&mut self, enabled: bool) {
-        let events = std::mem::take(&mut self.trace).into_events();
-        self.trace = if enabled {
-            TraceBuffer::enabled()
-        } else {
-            TraceBuffer::disabled()
-        };
-        // Preserve already-recorded events when re-enabling.
-        if enabled {
-            for ev in events {
-                self.trace.record(ev.time, ev.resource, ev.kind);
-            }
-        }
+        self.trace.set_enabled(enabled);
     }
 
     /// The machine's random stream (for drivers layered on top).
@@ -392,12 +389,27 @@ impl Machine {
 
     // ---------------------------------------------------------------- time
 
+    /// Registers the payload for a freshly scheduled calendar token.
+    pub(crate) fn set_event(&mut self, token: Token, ev: Ev) {
+        let slot = token.slot() as usize;
+        if self.events.len() <= slot {
+            self.events.resize_with(slot + 1, || None);
+        }
+        self.events[slot] = Some(ev);
+    }
+
+    pub(crate) fn take_event(&mut self, token: Token) -> Option<Ev> {
+        self.events
+            .get_mut(token.slot() as usize)
+            .and_then(Option::take)
+    }
+
     /// Runs one event. Returns `false` when the calendar is empty.
     pub fn step(&mut self) -> bool {
         match self.cal.next() {
             None => false,
             Some((_, token)) => {
-                if let Some(ev) = self.events.remove(&token) {
+                if let Some(ev) = self.take_event(token) {
                     self.dispatch(ev);
                 }
                 true
@@ -436,14 +448,18 @@ impl Machine {
     /// Schedules `cb` to run after `delay`.
     pub fn after(&mut self, delay: SimSpan, cb: impl FnOnce(&mut Machine) + 'static) -> Token {
         let token = self.cal.schedule_after(delay);
-        self.events.insert(token, Ev::Timer(Box::new(cb)));
+        self.set_event(token, Ev::Timer(Box::new(cb)));
         token
     }
 
     /// Cancels a timer scheduled with [`Machine::after`].
     pub fn cancel_timer(&mut self, token: Token) -> bool {
-        self.events.remove(&token);
-        self.cal.cancel(token)
+        if self.cal.cancel(token) {
+            self.take_event(token);
+            true
+        } else {
+            false
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -511,13 +527,13 @@ impl Machine {
     /// "only one DSP available" multi-tenancy bottleneck, Fig. 9).
     pub fn submit_dsp_raw(
         &mut self,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
         exec: SimSpan,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
         let trace_id = self.fresh_obj_id();
         let job = AccelJob {
-            label: label.into(),
+            label: self.trace.intern(label.as_ref()),
             exec,
             on_done: Box::new(on_done),
             trace_id,
@@ -536,7 +552,7 @@ impl Machine {
         let exec = self.spec.gpu.launch_overhead + job.exec;
         let trace_id = self.fresh_obj_id();
         self.gpu.queue.push_back(AccelJob {
-            label: job.label,
+            label: self.trace.intern(&job.label),
             exec,
             on_done: Box::new(on_done),
             trace_id,
@@ -559,7 +575,7 @@ impl Machine {
     /// Panics if the SoC has no NPU.
     pub fn submit_npu_raw(
         &mut self,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
         exec: SimSpan,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
@@ -570,7 +586,7 @@ impl Machine {
         );
         let trace_id = self.fresh_obj_id();
         self.npu.queue.push_back(AccelJob {
-            label: label.into(),
+            label: self.trace.intern(label.as_ref()),
             exec,
             on_done: Box::new(on_done),
             trace_id,
@@ -603,10 +619,10 @@ impl Machine {
         };
         let exec = job.exec;
         let trace_id = job.trace_id;
-        let label = job.label.clone();
+        let label = job.label;
         state.running = Some(job);
         let token = self.cal.schedule_after(exec);
-        self.events.insert(
+        self.set_event(
             token,
             match kind {
                 AccelKind::Dsp => Ev::DspDone,
@@ -620,7 +636,7 @@ impl Machine {
             Self::accel_resource(kind),
             TraceKind::ExecStart {
                 task: trace_id,
-                label: label.into(),
+                label,
             },
         );
     }
@@ -792,6 +808,6 @@ mod tests {
         let ivs = m.trace.exec_intervals();
         assert_eq!(ivs.len(), 1);
         assert_eq!(ivs[0].resource, TraceResource::Dsp);
-        assert_eq!(&*ivs[0].label, "traced");
+        assert_eq!(m.trace.resolve(ivs[0].label), "traced");
     }
 }

@@ -80,13 +80,9 @@ impl Machine {
         let median = config.irq_jitter_median.as_us();
         let us = self.rng_mut().lognormal(median, config.irq_jitter_sigma);
         let now = self.now();
-        self.trace.record(
-            now,
-            TraceResource::CpuCore(0),
-            TraceKind::Irq {
-                source: "sensor".into(),
-            },
-        );
+        let source = self.trace.intern("sensor");
+        self.trace
+            .record(now, TraceResource::CpuCore(0), TraceKind::Irq { source });
         SimSpan::from_us(us)
     }
 }

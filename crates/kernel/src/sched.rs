@@ -48,8 +48,9 @@ impl Machine {
             .unwrap_or_else(|| self.default_affinity(spec.class));
         let id = TaskId(self.fresh_obj_id());
         let idx = self.task_slot(id);
+        let label = self.trace.intern(&spec.name);
         self.tasks[idx] = Some(Task {
-            name: spec.name,
+            label,
             work_kind: spec.work,
             remaining: spec.work.amount().max(0.0),
             class: spec.class,
@@ -206,13 +207,13 @@ impl Machine {
             let run_secs = (task.remaining / rate).max(0.0);
             let slice = SimSpan::from_secs(run_secs).min(quantum).max(MIN_SLICE);
             task.last_core = Some(core);
-            (rate, slice, task.name.clone(), penalty)
+            (rate, slice, task.label, penalty)
         };
         overhead += penalty;
 
         let work_start = now + overhead;
         let token = self.cal.schedule_at(work_start + slice);
-        self.events.insert(token, Ev::SliceEnd { core });
+        self.set_event(token, Ev::SliceEnd { core });
         self.cores[core].running = Some(Running {
             task: id,
             work_start,
@@ -222,10 +223,7 @@ impl Machine {
         self.trace.record(
             now,
             TraceResource::CpuCore(core as u8),
-            TraceKind::ExecStart {
-                task: id.0,
-                label: label.into(),
-            },
+            TraceKind::ExecStart { task: id.0, label },
         );
     }
 
@@ -307,13 +305,21 @@ impl Machine {
             Some(t) => t.affinity,
             None => return false,
         };
-        let candidates: Vec<usize> = (0..self.cores.len())
-            .filter(|&c| c != from && affinity.allows(c))
-            .collect();
-        if candidates.is_empty() {
+        let n = self.cores.len();
+        let eligible = |c: usize| c != from && affinity.allows(c);
+        let count = (0..n).filter(|&c| eligible(c)).count();
+        if count == 0 {
             return false;
         }
-        let to = *self.rng.pick(&candidates);
+        // Same draw `SimRng::pick` would make on the materialized candidate
+        // list (uniform index, then select), without building the list —
+        // the RNG stream, and therefore the event sequence, is unchanged.
+        let k = self.rng.uniform_u64(0, count as u64) as usize;
+        let to = (0..n)
+            .filter(|&c| eligible(c))
+            .nth(k)
+            // aitax-allow(panic-path): k < count over the same predicate by construction
+            .expect("k-th eligible core exists");
         self.migrate(id, from, to);
         true
     }

@@ -1,0 +1,79 @@
+//! Pins the steady-state event loop at **zero heap allocations per
+//! event** with a counting global allocator — the probe-effect guarantee
+//! `BENCH_sim.json` tracks (`steady_allocs`) and the `hot-path-alloc`
+//! lint protects at review time.
+//!
+//! The scenario mirrors the benchmark's `machine-hot`: long foreground
+//! tasks time-slicing over the big cores with tracing enabled. After
+//! warmup every structure has reached steady capacity — the calendar's
+//! slot slab and heap, the per-slot event table, the pre-reserved trace
+//! buffer — so `Machine::step` must never touch the allocator again.
+//!
+//! This file intentionally holds a single `#[test]`: the allocation
+//! counters are process-global, and a sibling test running on another
+//! thread would bleed its allocations into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aitax_kernel::{Machine, TaskSpec, Work};
+use aitax_soc::{SocCatalog, SocId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_loop_never_allocates() {
+    const WARMUP: u64 = 20_000;
+    const MEASURED: u64 = 100_000;
+
+    let mut m = Machine::new(SocCatalog::get(SocId::Sd845), 42);
+    m.set_tracing(true);
+    // ~3 trace events per step; size once so recording never reallocates.
+    m.trace.reserve_events(4 * (WARMUP + MEASURED) as usize);
+    for i in 0..8 {
+        // Work far larger than the run: no task completes mid-measurement,
+        // so the loop is pure SliceEnd dispatch — the hot path.
+        m.submit_cpu(
+            TaskSpec::foreground(format!("fg{i}"), Work::Fp32Flops(1e18)),
+            |_| {},
+        );
+    }
+    for _ in 0..WARMUP {
+        assert!(m.step(), "workload drained during warmup");
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED {
+        assert!(m.step(), "workload drained during measurement");
+    }
+    let steady = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        steady, 0,
+        "steady-state Machine::step allocated {steady} time(s) over \
+         {MEASURED} events; the hot path must be allocation-free"
+    );
+    assert!(
+        m.stats().context_switches > 0,
+        "scenario must actually exercise the dispatcher"
+    );
+}

@@ -78,7 +78,7 @@ pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
             tid(iv.resource),
             ts_us(iv.start),
             span_us(iv.start, iv.end),
-            json_escape(&iv.label),
+            json_escape(trace.resolve(iv.label)),
             iv.task,
         ));
     }
@@ -97,7 +97,7 @@ pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
                 "{{\"ph\":\"i\",\"pid\":1,\"tid\":{t},\"ts\":{},\"s\":\"t\",\"cat\":\"irq\",\
                  \"name\":\"irq:{}\"}}",
                 ts_us(ev.time),
-                json_escape(source),
+                json_escape(trace.resolve(*source)),
             )),
             TraceKind::ContextSwitch => lines.push(format!(
                 "{{\"ph\":\"i\",\"pid\":1,\"tid\":{t},\"ts\":{},\"s\":\"t\",\"cat\":\"sched\",\
@@ -113,7 +113,7 @@ pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
                 "{{\"ph\":\"i\",\"pid\":1,\"tid\":{t},\"ts\":{},\"s\":\"t\",\"cat\":\"marker\",\
                  \"name\":\"{}\"}}",
                 ts_us(ev.time),
-                json_escape(label),
+                json_escape(trace.resolve(*label)),
             )),
             TraceKind::Dvfs { core, freq_hz } => lines.push(format!(
                 "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"cpu{core}-freq\",\
@@ -152,12 +152,13 @@ mod tests {
     fn sample_trace() -> TraceBuffer {
         let mut buf = TraceBuffer::enabled();
         let c0 = TraceResource::CpuCore(0);
+        let preprocess = buf.intern("preprocess \"frame\"");
         buf.record(
             SimTime::from_ns(1_000),
             c0,
             TraceKind::ExecStart {
                 task: 1,
-                label: "preprocess \"frame\"".into(),
+                label: preprocess,
             },
         );
         buf.record(
@@ -174,12 +175,13 @@ mod tests {
             },
         );
         buf.record(SimTime::from_ns(5_250), c0, TraceKind::ExecEnd { task: 1 });
+        let dsp_kernel = buf.intern("dsp-kernel");
         buf.record(
             SimTime::from_ns(6_000),
             TraceResource::Dsp,
             TraceKind::ExecStart {
                 task: 2,
-                label: "dsp-kernel".into(),
+                label: dsp_kernel,
             },
         );
         buf

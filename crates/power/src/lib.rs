@@ -37,8 +37,9 @@
 //!     interconnect: InterconnectPowerSpec { energy_per_byte_j: 80e-12, uncore_w: 0.9 },
 //! };
 //! let mut trace = TraceBuffer::enabled();
+//! let label = trace.intern("inference");
 //! trace.record(SimTime::from_ns(0), TraceResource::CpuCore(0),
-//!              TraceKind::ExecStart { task: 1, label: "inference".into() });
+//!              TraceKind::ExecStart { task: 1, label });
 //! trace.record(SimTime::from_ns(10_000_000), TraceResource::CpuCore(0),
 //!              TraceKind::ExecEnd { task: 1 });
 //! let energy = EnergyMeter::new(&spec)

@@ -420,13 +420,11 @@ mod tests {
     }
 
     fn exec(buf: &mut TraceBuffer, r: TraceResource, task: u64, s_ms: u64, e_ms: u64) {
+        let label = buf.intern("t");
         buf.record(
             SimTime::from_ns(s_ms * 1_000_000),
             r,
-            TraceKind::ExecStart {
-                task,
-                label: "t".into(),
-            },
+            TraceKind::ExecStart { task, label },
         );
         buf.record(
             SimTime::from_ns(e_ms * 1_000_000),

@@ -18,7 +18,8 @@
 //!
 //! let mut buf = TraceBuffer::enabled();
 //! let r = TraceResource::CpuCore(0);
-//! buf.record(SimTime::from_ns(0), r, TraceKind::ExecStart { task: 1, label: "job".into() });
+//! let label = buf.intern("job");
+//! buf.record(SimTime::from_ns(0), r, TraceKind::ExecStart { task: 1, label });
 //! buf.record(SimTime::from_ns(1_000_000), r, TraceKind::ExecEnd { task: 1 });
 //! let report = ProfileReport::from_trace(&buf, SimSpan::from_ms(0.5));
 //! assert!(report.utilization_of(r, 0) > 0.99);
@@ -271,13 +272,11 @@ mod tests {
         start_ns: u64,
         end_ns: u64,
     ) {
+        let label = buf.intern("t");
         buf.record(
             SimTime::from_ns(start_ns),
             r,
-            TraceKind::ExecStart {
-                task,
-                label: "t".into(),
-            },
+            TraceKind::ExecStart { task, label },
         );
         buf.record(SimTime::from_ns(end_ns), r, TraceKind::ExecEnd { task });
     }
@@ -433,12 +432,13 @@ mod tests {
         // A closed interval fixes the trace end at 4000 ns; the dangling
         // task starts at 1000 ns and never ends.
         record_interval(&mut buf, TraceResource::Dsp, 9, 3800, 4000);
+        let hung = buf.intern("hung");
         buf.record(
             SimTime::from_ns(1000),
             r,
             TraceKind::ExecStart {
                 task: 1,
-                label: "hung".into(),
+                label: hung,
             },
         );
         let rep = ProfileReport::from_trace(&buf, SimSpan::from_ns(1000));

@@ -96,8 +96,8 @@ fn violation(inv: TraceInvariant, message: String) -> Violation {
 
 fn check_single_occupancy(trace: &TraceBuffer) -> Vec<Violation> {
     let mut out = Vec::new();
-    // resource -> currently executing task (id, label).
-    let mut open: HashMap<TraceResource, (u64, Box<str>)> = HashMap::new();
+    // resource -> currently executing task (id, label symbol).
+    let mut open: HashMap<TraceResource, (u64, aitax_des::Symbol)> = HashMap::new();
     for ev in trace.events() {
         match &ev.kind {
             TraceKind::ExecStart { task, label } => {
@@ -105,13 +105,16 @@ fn check_single_occupancy(trace: &TraceBuffer) -> Vec<Violation> {
                     out.push(violation(
                         TraceInvariant::SingleOccupancy,
                         format!(
-                            "{} starts task {task} ({label}) at {} while task \
-                             {other} ({other_label}) is still executing",
-                            ev.resource, ev.time
+                            "{} starts task {task} ({}) at {} while task \
+                             {other} ({}) is still executing",
+                            ev.resource,
+                            trace.resolve(*label),
+                            ev.time,
+                            trace.resolve(*other_label),
                         ),
                     ));
                 }
-                open.insert(ev.resource, (*task, label.clone()));
+                open.insert(ev.resource, (*task, *label));
             }
             TraceKind::ExecEnd { task }
                 if open.get(&ev.resource).is_some_and(|(t, _)| t == task) =>
@@ -318,10 +321,10 @@ mod tests {
     use super::*;
     use aitax_des::SimTime;
 
-    fn start(task: u64, label: &str) -> TraceKind {
+    fn start(buf: &mut TraceBuffer, task: u64, label: &str) -> TraceKind {
         TraceKind::ExecStart {
             task,
-            label: label.into(),
+            label: buf.intern(label),
         }
     }
 
@@ -329,10 +332,12 @@ mod tests {
     fn clean_trace_passes_all_invariants() {
         let mut buf = TraceBuffer::enabled();
         let c0 = TraceResource::CpuCore(0);
-        buf.record(SimTime::from_ns(0), c0, start(1, "a"));
+        let a = start(&mut buf, 1, "a");
+        buf.record(SimTime::from_ns(0), c0, a);
         buf.record(SimTime::from_ns(10), c0, TraceKind::ExecEnd { task: 1 });
         buf.record(SimTime::from_ns(10), c0, TraceKind::ContextSwitch);
-        buf.record(SimTime::from_ns(10), c0, start(2, "b"));
+        let b = start(&mut buf, 2, "b");
+        buf.record(SimTime::from_ns(10), c0, b);
         buf.record(SimTime::from_ns(25), c0, TraceKind::ExecEnd { task: 2 });
         assert!(check_trace(&buf).is_empty());
     }
@@ -341,8 +346,10 @@ mod tests {
     fn overlapping_tasks_violate_single_occupancy() {
         let mut buf = TraceBuffer::enabled();
         let c0 = TraceResource::CpuCore(0);
-        buf.record(SimTime::from_ns(0), c0, start(1, "a"));
-        buf.record(SimTime::from_ns(5), c0, start(2, "b"));
+        let a = start(&mut buf, 1, "a");
+        buf.record(SimTime::from_ns(0), c0, a);
+        let b = start(&mut buf, 2, "b");
+        buf.record(SimTime::from_ns(5), c0, b);
         let v = TraceInvariant::SingleOccupancy.check(&buf);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].invariant, "single-occupancy");
@@ -369,7 +376,8 @@ mod tests {
         let mut buf = TraceBuffer::enabled();
         let c1 = TraceResource::CpuCore(1);
         buf.record(SimTime::from_ns(0), c1, TraceKind::ExecEnd { task: 9 });
-        buf.record(SimTime::from_ns(5), c1, start(3, "hung"));
+        let hung = start(&mut buf, 3, "hung");
+        buf.record(SimTime::from_ns(5), c1, hung);
         let v = TraceInvariant::ExecPairing.check(&buf);
         assert_eq!(v.len(), 1, "only the orphan end: {v:?}");
         assert!(v[0].message.contains("orphan"));
@@ -387,11 +395,8 @@ mod tests {
                 to: 2,
             },
         );
-        buf.record(
-            SimTime::from_ns(5),
-            TraceResource::CpuCore(3),
-            start(4, "t"),
-        );
+        let t = start(&mut buf, 4, "t");
+        buf.record(SimTime::from_ns(5), TraceResource::CpuCore(3), t);
         let v = TraceInvariant::MigrationEvidence.check(&buf);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("cpu2"));
@@ -418,11 +423,8 @@ mod tests {
         let mig = |from, to| TraceKind::Migration { task: 4, from, to };
         buf.record(SimTime::from_ns(0), TraceResource::CpuCore(2), mig(1, 2));
         buf.record(SimTime::from_ns(3), TraceResource::CpuCore(3), mig(2, 3));
-        buf.record(
-            SimTime::from_ns(5),
-            TraceResource::CpuCore(3),
-            start(4, "t"),
-        );
+        let t = start(&mut buf, 4, "t");
+        buf.record(SimTime::from_ns(5), TraceResource::CpuCore(3), t);
         assert!(TraceInvariant::MigrationEvidence.check(&buf).is_empty());
     }
 
