@@ -23,11 +23,12 @@ pub trait Lint {
 /// Crates whose library code must be deterministic: they run inside the
 /// simulation, so any wall-clock read, environment dependence or
 /// unordered iteration can leak into artifacts and break byte-identity.
-pub const SIM_CRATES: [&str; 13] = [
+pub const SIM_CRATES: [&str; 14] = [
     "aitax",
     "capture",
     "core",
     "des",
+    "fleet",
     "framework",
     "kernel",
     "lab",

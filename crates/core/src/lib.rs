@@ -12,7 +12,11 @@
 //!   breakdowns over the Fig. 1 taxonomy (Algorithms / Frameworks /
 //!   Hardware),
 //! * [`stats`] — distribution summaries (the paper's Fig. 11 argues a
-//!   single number misrepresents mobile AI performance),
+//!   single number misrepresents mobile AI performance) plus mergeable
+//!   streaming accumulators ([`StreamDist`], [`LogHistogram`]) for
+//!   population-scale aggregation,
+//! * [`artifact`] — canonical JSON rendering primitives shared by every
+//!   artifact writer in the workspace,
 //! * [`runmode`] — CLI benchmark vs benchmark app vs real Android app,
 //!   the three packagings whose divergence Fig. 3 demonstrates,
 //! * [`pipeline`] — the end-to-end runner driving a
@@ -45,6 +49,7 @@
 //! assert!(report.summary(Stage::Inference).mean_ms() > 1.0);
 //! ```
 
+pub mod artifact;
 pub mod degradation;
 pub mod energy;
 pub mod experiment;
@@ -61,4 +66,4 @@ pub use energy::EnergyReport;
 pub use pipeline::{E2eConfig, E2eReport};
 pub use runmode::RunMode;
 pub use stage::{Stage, TaxonomyCategory};
-pub use stats::{Summary, Welford};
+pub use stats::{DistStats, LogHistogram, StreamDist, Summary, Welford, CDF_BUCKETS};

@@ -226,6 +226,326 @@ impl Summary {
     }
 }
 
+/// CDF resolution used by [`DistStats`] artifacts.
+pub const CDF_BUCKETS: usize = 16;
+
+/// Distribution statistics of one metric, pooled across repeats.
+///
+/// Built from a full sample vector, so percentiles are exact; for
+/// population-scale streaming aggregation (where no sample vector ever
+/// materializes) use [`StreamDist`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistStats {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean (ms).
+    pub mean: f64,
+    /// Population standard deviation (ms).
+    pub stddev: f64,
+    /// Coefficient of variation.
+    pub cv: f64,
+    /// Smallest sample (ms).
+    pub min: f64,
+    /// Median (ms).
+    pub p50: f64,
+    /// 95th percentile (ms).
+    pub p95: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+    /// Largest sample (ms).
+    pub max: f64,
+    /// The Fig. 11 metric: worst relative deviation from the median.
+    pub max_dev_from_median: f64,
+    /// Empirical CDF: `(upper_edge_ms, cumulative_fraction)` per bucket.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+impl DistStats {
+    /// Builds the statistics from raw millisecond samples.
+    pub fn from_ms(samples: &[f64]) -> Self {
+        let s = Summary::from_ms(samples.iter().copied());
+        if s.is_empty() {
+            return DistStats {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                cv: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                max_dev_from_median: 0.0,
+                cdf: Vec::new(),
+            };
+        }
+        DistStats {
+            n: s.len(),
+            mean: s.mean_ms(),
+            stddev: s.stddev_ms(),
+            cv: s.cv(),
+            min: s.min_ms(),
+            p50: s.p50_ms(),
+            p95: s.p95_ms(),
+            p99: s.p99_ms(),
+            max: s.max_ms(),
+            max_dev_from_median: s.max_deviation_from_median(),
+            cdf: s.cdf(CDF_BUCKETS),
+        }
+    }
+}
+
+/// Number of histogram bins per decade in a [`LogHistogram`].
+pub const LOG_HIST_BINS_PER_DECADE: usize = 16;
+
+/// Lower edge of the first [`LogHistogram`] bin, in milliseconds (1 µs).
+pub const LOG_HIST_LO_MS: f64 = 1e-3;
+
+/// Number of decades a [`LogHistogram`] spans (1 µs .. 100 s).
+pub const LOG_HIST_DECADES: usize = 8;
+
+/// Total bin count of a [`LogHistogram`].
+pub const LOG_HIST_BINS: usize = LOG_HIST_BINS_PER_DECADE * LOG_HIST_DECADES;
+
+/// Fixed-bin log-latency histogram with an exactly mergeable
+/// representation.
+///
+/// Every histogram shares the same global binning — `LOG_HIST_BINS`
+/// log-spaced bins covering `LOG_HIST_LO_MS` to 100 s, with samples
+/// outside the range clamped into the edge bins — so merging two
+/// histograms is a pure `u64` bin-count addition: **exactly**
+/// associative and commutative, unlike any floating-point accumulator.
+/// This is what lets the fleet aggregator fold per-device results in a
+/// canonical order and produce byte-identical artifacts for any shard
+/// split or thread count.
+///
+/// Quantiles are estimated by walking the cumulative counts and
+/// interpolating geometrically inside the hit bin; with 16 bins per
+/// decade the bin ratio is `10^(1/16) ≈ 1.155`, bounding the estimate
+/// error at ~7% of the true value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_HIST_BINS],
+            n: 0,
+        }
+    }
+
+    /// The bin index a sample falls into (clamped into range).
+    fn bin_of(ms: f64) -> usize {
+        if ms.is_nan() || ms <= LOG_HIST_LO_MS {
+            return 0;
+        }
+        let idx = ((ms / LOG_HIST_LO_MS).log10() * LOG_HIST_BINS_PER_DECADE as f64) as usize;
+        idx.min(LOG_HIST_BINS - 1)
+    }
+
+    /// Lower edge of bin `i` in ms.
+    pub fn bin_lo_ms(i: usize) -> f64 {
+        LOG_HIST_LO_MS * 10f64.powf(i as f64 / LOG_HIST_BINS_PER_DECADE as f64)
+    }
+
+    /// Upper edge of bin `i` in ms.
+    pub fn bin_hi_ms(i: usize) -> f64 {
+        Self::bin_lo_ms(i + 1)
+    }
+
+    /// Records one millisecond sample.
+    pub fn record(&mut self, ms: f64) {
+        self.counts[Self::bin_of(ms)] += 1;
+        self.n += 1;
+    }
+
+    /// Merges another histogram in (exact, order-independent).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// `(bin_index, count)` for every non-empty bin, ascending.
+    pub fn nonzero_bins(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) in ms; 0 when empty.
+    ///
+    /// Walks the cumulative counts to the bin containing the target rank
+    /// and interpolates geometrically within it — a pure function of the
+    /// (integer) bin counts, so estimates are identical for any merge
+    /// history that produced the same counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = q * self.n as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= target {
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let lo = Self::bin_lo_ms(i);
+                let hi = Self::bin_hi_ms(i);
+                // Geometric interpolation: log-linear within the bin.
+                return lo * (hi / lo).powf(frac);
+            }
+            cum = next;
+        }
+        // All mass below target (q == 1 with rounding): top non-empty bin.
+        let top = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        Self::bin_hi_ms(top)
+    }
+}
+
+/// Mergeable streaming distribution: Welford moments + exact min/max +
+/// a [`LogHistogram`] for tail quantiles.
+///
+/// The fleet's population aggregation runs on these: each device folds
+/// its own request latencies into a `StreamDist`, and the aggregator
+/// merges per-device partials **in device order** — a canonical
+/// sequence, independent of shard split and thread count, so the merged
+/// result (and every artifact byte rendered from it) is identical for
+/// any parallel execution. The histogram half is exactly
+/// order-independent; the Welford half is kept deterministic by that
+/// canonical merge order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDist {
+    w: Welford,
+    min: f64,
+    max: f64,
+    hist: LogHistogram,
+}
+
+impl Default for StreamDist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamDist {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamDist {
+            w: Welford::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: LogHistogram::new(),
+        }
+    }
+
+    /// Folds one millisecond sample in.
+    pub fn record(&mut self, ms: f64) {
+        self.w.push(ms);
+        self.min = self.min.min(ms);
+        self.max = self.max.max(ms);
+        self.hist.record(ms);
+    }
+
+    /// Merges another accumulator in.
+    ///
+    /// Counts, min/max and histogram bins merge exactly; the Welford
+    /// moments merge via Chan's parallel update, which is order-sensitive
+    /// in the last float bits — callers that need byte-identical output
+    /// must merge partials in a canonical order (the fleet aggregator
+    /// merges in device order).
+    pub fn merge(&mut self, other: &StreamDist) {
+        self.w.merge(&other.w);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.w.count()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.w.mean()
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.w.stddev()
+    }
+
+    /// Coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        self.w.cv()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min_ms(&self) -> f64 {
+        if self.w.count() == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max_ms(&self) -> f64 {
+        if self.w.count() == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Histogram-estimated median.
+    pub fn p50_ms(&self) -> f64 {
+        self.hist.quantile_ms(0.50)
+    }
+
+    /// Histogram-estimated 95th percentile.
+    pub fn p95_ms(&self) -> f64 {
+        self.hist.quantile_ms(0.95)
+    }
+
+    /// Histogram-estimated 99th percentile.
+    pub fn p99_ms(&self) -> f64 {
+        self.hist.quantile_ms(0.99)
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+}
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
 /// The lab aggregator folds per-job statistics without materializing a
@@ -431,6 +751,208 @@ mod tests {
         assert!((w.mean() - sum.mean_ms()).abs() < 1e-12);
         assert!((w.stddev() - sum.stddev_ms()).abs() < 1e-12);
         assert!((w.cv() - sum.cv()).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random sample stream for merge properties.
+    fn stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = aitax_des::SimRng::seed_from(seed);
+        (0..n).map(|_| rng.lognormal(25.0, 0.8)).collect()
+    }
+
+    /// Splits `data` into contiguous chunks at pseudo-random boundaries.
+    fn random_split(data: &[f64], pieces: usize, seed: u64) -> Vec<&[f64]> {
+        let mut rng = aitax_des::SimRng::seed_from(seed);
+        let mut cuts: Vec<usize> = (0..pieces - 1)
+            .map(|_| rng.uniform_u64(0, data.len() as u64 + 1) as usize)
+            .collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        cuts.windows(2).map(|w| &data[w[0]..w[1]]).collect()
+    }
+
+    #[test]
+    fn dist_stats_pools_samples() {
+        let d = DistStats::from_ms(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.n, 4);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert_eq!(d.cdf.len(), CDF_BUCKETS);
+        assert_eq!(d.cdf.last().unwrap().1, 1.0);
+        let empty = DistStats::from_ms(&[]);
+        assert_eq!(empty.n, 0);
+        assert!(empty.cdf.is_empty());
+    }
+
+    #[test]
+    fn log_histogram_bins_cover_range_and_clamp() {
+        let mut h = LogHistogram::new();
+        h.record(0.0); // clamps into bin 0
+        h.record(1e-9);
+        h.record(1e9); // clamps into the top bin
+        h.record(25.0);
+        assert_eq!(h.count(), 4);
+        let nz = h.nonzero_bins();
+        assert_eq!(nz.first().unwrap().0, 0);
+        assert_eq!(nz.last().unwrap().0, LOG_HIST_BINS - 1);
+        assert_eq!(nz.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        // Bin edges are log-spaced: each decade spans BINS_PER_DECADE bins.
+        let ratio = LogHistogram::bin_hi_ms(3) / LogHistogram::bin_lo_ms(3);
+        assert!((ratio - 10f64.powf(1.0 / LOG_HIST_BINS_PER_DECADE as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_track_true_percentiles() {
+        let data = stream(20_000, 42);
+        let mut h = LogHistogram::new();
+        for &x in &data {
+            h.record(x);
+        }
+        let sum = s(&data);
+        for (q, p) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let est = h.quantile_ms(q);
+            let exact = sum.percentile_ms(p);
+            assert!(
+                (est - exact).abs() / exact < 0.08,
+                "q{q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(LogHistogram::new().quantile_ms(0.5), 0.0);
+        assert!(h.quantile_ms(0.0) <= h.quantile_ms(1.0));
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exactly_associative_and_commutative() {
+        let data = stream(3_000, 7);
+        // Whole-stream reference.
+        let mut whole = LogHistogram::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        for (pieces, seed) in [(2, 1), (3, 2), (7, 3), (16, 4)] {
+            let parts: Vec<LogHistogram> = random_split(&data, pieces, seed)
+                .into_iter()
+                .map(|chunk| {
+                    let mut h = LogHistogram::new();
+                    for &x in chunk {
+                        h.record(x);
+                    }
+                    h
+                })
+                .collect();
+            // Left-to-right fold == whole stream, exactly.
+            let mut fold = LogHistogram::new();
+            for p in &parts {
+                fold.merge(p);
+            }
+            assert_eq!(fold, whole, "{pieces}-way split must merge exactly");
+            // Reverse order == same result (commutativity).
+            let mut rev = LogHistogram::new();
+            for p in parts.iter().rev() {
+                rev.merge(p);
+            }
+            assert_eq!(rev, whole);
+            // Arbitrary regrouping (associativity): pairwise tree merge.
+            let mut tree = parts;
+            while tree.len() > 1 {
+                let mut next = Vec::new();
+                for pair in tree.chunks(2) {
+                    let mut m = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        m.merge(b);
+                    }
+                    next.push(m);
+                }
+                tree = next;
+            }
+            assert_eq!(tree[0], whole);
+        }
+    }
+
+    #[test]
+    fn stream_dist_matches_batch_summary() {
+        let data = stream(5_000, 11);
+        let mut d = StreamDist::new();
+        for &x in &data {
+            d.record(x);
+        }
+        let sum = s(&data);
+        assert_eq!(d.count() as usize, sum.len());
+        assert!((d.mean() - sum.mean_ms()).abs() < 1e-9);
+        assert!((d.stddev() - sum.stddev_ms()).abs() < 1e-9);
+        assert_eq!(d.min_ms(), sum.min_ms());
+        assert_eq!(d.max_ms(), sum.max_ms());
+        assert!((d.p50_ms() - sum.p50_ms()).abs() / sum.p50_ms() < 0.08);
+        assert!((d.p99_ms() - sum.p99_ms()).abs() / sum.p99_ms() < 0.08);
+        let empty = StreamDist::new();
+        assert_eq!(empty.min_ms(), 0.0);
+        assert_eq!(empty.max_ms(), 0.0);
+        assert_eq!(empty.p50_ms(), 0.0);
+    }
+
+    #[test]
+    fn stream_dist_canonical_fold_is_split_invariant() {
+        // The fleet determinism contract: per-device partials merged in
+        // device order give bit-identical results for ANY shard split,
+        // because the merge sequence never changes — only which worker
+        // computed each partial. Model that here: fixed per-device
+        // partials, arbitrary contiguous shard groupings, canonical fold.
+        let data = stream(2_000, 23);
+        let devices: Vec<StreamDist> = data
+            .chunks(40)
+            .map(|chunk| {
+                let mut d = StreamDist::new();
+                for &x in chunk {
+                    d.record(x);
+                }
+                d
+            })
+            .collect();
+        let fold_all = |parts: &[StreamDist]| {
+            let mut acc = StreamDist::new();
+            for p in parts {
+                acc.merge(p);
+            }
+            acc
+        };
+        let reference = fold_all(&devices);
+        for shards in [1, 2, 3, 7, 13, devices.len()] {
+            // Contiguous shard ranges, exactly how the fleet splits work.
+            let per = devices.len().div_ceil(shards);
+            let grouped: Vec<&[StreamDist]> = devices.chunks(per).collect();
+            // The aggregator folds device partials in device order,
+            // ignoring shard boundaries entirely.
+            let mut acc = StreamDist::new();
+            for shard in &grouped {
+                for d in *shard {
+                    acc.merge(d);
+                }
+            }
+            assert_eq!(acc, reference, "{shards}-shard fold must be identical");
+        }
+    }
+
+    #[test]
+    fn stream_dist_merge_commutes_within_float_tolerance() {
+        let data = stream(4_000, 31);
+        let (a, b) = data.split_at(1_234);
+        let build = |chunk: &[f64]| {
+            let mut d = StreamDist::new();
+            for &x in chunk {
+                d.record(x);
+            }
+            d
+        };
+        let (da, db) = (build(a), build(b));
+        let mut ab = da.clone();
+        ab.merge(&db);
+        let mut ba = db.clone();
+        ba.merge(&da);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.histogram(), ba.histogram(), "histogram half is exact");
+        assert_eq!(ab.min_ms(), ba.min_ms());
+        assert_eq!(ab.max_ms(), ba.max_ms());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        assert!((ab.stddev() - ba.stddev()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Per-device execution: one latency run plus one traced energy probe.
+//!
+//! A device's share of the fleet's requests runs as a single
+//! [`E2eConfig`] invocation in `AndroidApp` mode (the packaging real
+//! fleets ship, and the only one whose frame pacing keeps million-request
+//! populations CI-runnable). Tracing is off for the main run — traced
+//! runs reserve event buffers per iteration and would make large request
+//! counts memory-bound — so energy metrics come from a second, tiny
+//! traced probe run ([`PROBE_ITERS`] iterations) under an independent
+//! derived seed.
+
+use aitax_core::pipeline::E2eConfig;
+use aitax_core::{RunMode, StreamDist};
+use aitax_des::fault::FaultPlan;
+use aitax_des::SimTime;
+use aitax_framework::Engine;
+use aitax_lab::agg::DegradationTotals;
+use aitax_soc::SocId;
+
+use crate::population::{DeviceSpec, ThermalBand};
+
+/// Iterations of the traced energy-probe run.
+pub const PROBE_ITERS: usize = 5;
+
+/// Background inference loops run the light CPU engine.
+pub const BACKGROUND_ENGINE: Engine = Engine::TfLiteCpu { threads: 2 };
+
+/// Everything one device contributes to the aggregation — plain owned
+/// data (`Send`), **never pre-merged across devices** so the aggregator
+/// can fold partials in canonical device order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePartial {
+    /// Population index of the device.
+    pub device_id: usize,
+    /// Chipset cohort key.
+    pub soc: SocId,
+    /// Thermal cohort key.
+    pub band: ThermalBand,
+    /// Engine cohort key.
+    pub engine_label: String,
+    /// Requests this device served.
+    pub requests: u64,
+    /// Per-request end-to-end latency distribution.
+    pub latency: StreamDist,
+    /// Mean AI-tax fraction of the main run.
+    pub tax_fraction: f64,
+    /// One-time model-initialization latency (ms).
+    pub model_init_ms: f64,
+    /// Energy per inference from the probe run (mJ).
+    pub energy_mj: f64,
+    /// Non-inference share of the probe run's energy.
+    pub energy_tax: f64,
+    /// Mean power draw of the probe run (W).
+    pub mean_power_w: f64,
+    /// Fault/retry/fallback counters of the main run.
+    pub degradation: DegradationTotals,
+}
+
+fn base_config(spec: &DeviceSpec, iterations: usize, seed: u64) -> E2eConfig {
+    let mut cfg = E2eConfig::new(spec.model, spec.dtype)
+        .engine(spec.engine)
+        .run_mode(RunMode::AndroidApp)
+        .soc(spec.soc)
+        .iterations(iterations)
+        .seed(seed)
+        .initial_temp(spec.ambient_c);
+    if spec.background_loops > 0 {
+        cfg = cfg.background(spec.background_loops, BACKGROUND_ENGINE);
+    }
+    if let Some((kind, start_ns)) = spec.fault {
+        cfg = cfg.fault_plan(FaultPlan::new(seed).sustained(kind, SimTime::from_ns(start_ns)));
+    }
+    cfg
+}
+
+/// Runs device `spec` for `requests` requests.
+///
+/// Deterministic: the partial depends only on the spec and request
+/// count, never on the thread, shard, or time it ran. Devices with zero
+/// requests (populations larger than the request budget) return an empty
+/// partial without simulating anything.
+pub fn run_device(spec: &DeviceSpec, requests: u64) -> DevicePartial {
+    let mut latency = StreamDist::new();
+    let mut tax_fraction = 0.0;
+    let mut model_init_ms = 0.0;
+    let mut degradation = DegradationTotals::default();
+    let mut energy_mj = 0.0;
+    let mut energy_tax = 0.0;
+    let mut mean_power_w = 0.0;
+
+    if requests > 0 {
+        let main = base_config(spec, requests as usize, spec.run_seed).run();
+        for &ms in main.e2e_summary().samples_ms() {
+            latency.record(ms);
+        }
+        tax_fraction = main.ai_tax_fraction();
+        model_init_ms = main.model_init.as_ms();
+        let stats = &main.degradation.stats;
+        degradation.faults_injected = stats.faults_injected;
+        degradation.rpc_retries = stats.rpc_retries;
+        degradation.rpc_giveups = stats.rpc_giveups;
+        degradation.cpu_fallbacks = stats.cpu_fallbacks;
+        degradation.added_tax_ms = main.degradation.added_tax_ms;
+
+        let probe = base_config(spec, PROBE_ITERS, spec.probe_seed)
+            .tracing(true)
+            .run();
+        if let Some(e) = probe.energy.as_ref() {
+            energy_mj = e.energy_per_inference_j() * 1e3;
+            energy_tax = e.energy_tax_fraction();
+            mean_power_w = e.mean_power_w();
+        }
+    }
+
+    DevicePartial {
+        device_id: spec.id,
+        soc: spec.soc,
+        band: spec.band,
+        engine_label: spec.engine.label(),
+        requests,
+        latency,
+        tax_fraction,
+        model_init_ms,
+        energy_mj,
+        energy_tax,
+        mean_power_w,
+        degradation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationSpec;
+
+    fn any_device() -> DeviceSpec {
+        PopulationSpec::new("t").devices(8).seed(4).device(3)
+    }
+
+    #[test]
+    fn device_run_is_deterministic() {
+        let spec = any_device();
+        let a = run_device(&spec, 12);
+        let b = run_device(&spec, 12);
+        assert_eq!(a, b, "same spec must produce identical partials");
+        assert_eq!(a.latency.count(), 12);
+        assert!(a.latency.min_ms() > 0.0);
+        assert!(a.tax_fraction > 0.0 && a.tax_fraction < 1.0);
+        assert!(a.model_init_ms > 0.0);
+    }
+
+    #[test]
+    fn probe_supplies_energy_metrics() {
+        let p = run_device(&any_device(), 6);
+        assert!(p.energy_mj > 0.0, "probe run must meter energy");
+        assert!(p.mean_power_w > 0.0);
+        assert!((0.0..=1.0).contains(&p.energy_tax));
+    }
+
+    #[test]
+    fn zero_requests_is_an_empty_partial() {
+        let p = run_device(&any_device(), 0);
+        assert_eq!(p.requests, 0);
+        assert_eq!(p.latency.count(), 0);
+        assert_eq!(p.energy_mj, 0.0);
+        assert_eq!(p.degradation, DegradationTotals::default());
+    }
+
+    #[test]
+    fn faulty_device_records_degradation() {
+        // Find a sampled device that carries a fault and runs on an
+        // accelerated path (where DSP faults actually bite), then check
+        // its counters move.
+        let pop = PopulationSpec::new("t")
+            .devices(512)
+            .seed(9)
+            .fault_rate(1.0);
+        let spec = (0..pop.devices)
+            .map(|k| pop.device(k))
+            .find(|d| d.fault.is_some())
+            .expect("fault_rate 1.0 must fault every device");
+        let p = run_device(&spec, 8);
+        assert!(p.degradation.faults_injected > 0);
+    }
+}

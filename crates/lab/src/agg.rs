@@ -6,76 +6,15 @@
 //! counters and energy/EDP. Aggregation walks results in job-id order
 //! only, so its output is independent of execution interleaving.
 
-use aitax_core::stats::{Summary, Welford};
+use aitax_core::stats::Welford;
 use aitax_core::Stage;
 
 use crate::job::JobResult;
 use crate::scenario::Grid;
 
-/// CDF resolution in the artifacts.
-pub const CDF_BUCKETS: usize = 16;
-
-/// Distribution statistics of one metric, pooled across repeats.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DistStats {
-    /// Sample count.
-    pub n: usize,
-    /// Arithmetic mean (ms).
-    pub mean: f64,
-    /// Population standard deviation (ms).
-    pub stddev: f64,
-    /// Coefficient of variation.
-    pub cv: f64,
-    /// Smallest sample (ms).
-    pub min: f64,
-    /// Median (ms).
-    pub p50: f64,
-    /// 95th percentile (ms).
-    pub p95: f64,
-    /// 99th percentile (ms).
-    pub p99: f64,
-    /// Largest sample (ms).
-    pub max: f64,
-    /// The Fig. 11 metric: worst relative deviation from the median.
-    pub max_dev_from_median: f64,
-    /// Empirical CDF: `(upper_edge_ms, cumulative_fraction)` per bucket.
-    pub cdf: Vec<(f64, f64)>,
-}
-
-impl DistStats {
-    /// Builds the statistics from raw millisecond samples.
-    pub fn from_ms(samples: &[f64]) -> Self {
-        let s = Summary::from_ms(samples.iter().copied());
-        if s.is_empty() {
-            return DistStats {
-                n: 0,
-                mean: 0.0,
-                stddev: 0.0,
-                cv: 0.0,
-                min: 0.0,
-                p50: 0.0,
-                p95: 0.0,
-                p99: 0.0,
-                max: 0.0,
-                max_dev_from_median: 0.0,
-                cdf: Vec::new(),
-            };
-        }
-        DistStats {
-            n: s.len(),
-            mean: s.mean_ms(),
-            stddev: s.stddev_ms(),
-            cv: s.cv(),
-            min: s.min_ms(),
-            p50: s.p50_ms(),
-            p95: s.p95_ms(),
-            p99: s.p99_ms(),
-            max: s.max_ms(),
-            max_dev_from_median: s.max_deviation_from_median(),
-            cdf: s.cdf(CDF_BUCKETS),
-        }
-    }
-}
+// `DistStats` moved to aitax-core so the fleet aggregator shares it;
+// re-exported here for API (and artifact byte) compatibility.
+pub use aitax_core::stats::{DistStats, CDF_BUCKETS};
 
 /// Summed fault/degradation counters over a scenario's jobs.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

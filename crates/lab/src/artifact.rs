@@ -19,59 +19,9 @@ use std::path::{Path, PathBuf};
 
 use crate::agg::{ScenarioStats, SweepReport};
 
-/// Escapes a string for a JSON literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Canonical float formatting for artifacts: six decimal places, `0` for
-/// non-finite values (which deterministic sweeps never produce anyway).
-pub fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        "0".into()
-    }
-}
-
-fn dist_json(out: &mut String, d: &crate::agg::DistStats) {
-    let _ = write!(
-        out,
-        "{{\"n\":{},\"mean_ms\":{},\"stddev_ms\":{},\"cv\":{},\"min_ms\":{},\"p50_ms\":{},\
-         \"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"max_dev_from_median\":{},\"cdf\":[",
-        d.n,
-        json_num(d.mean),
-        json_num(d.stddev),
-        json_num(d.cv),
-        json_num(d.min),
-        json_num(d.p50),
-        json_num(d.p95),
-        json_num(d.p99),
-        json_num(d.max),
-        json_num(d.max_dev_from_median),
-    );
-    for (i, (edge, frac)) in d.cdf.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "[{},{}]", json_num(*edge), json_num(*frac));
-    }
-    out.push_str("]}");
-}
+// The canonical JSON primitives moved to aitax-core so the fleet
+// artifact writer shares them; re-exported here for API compatibility.
+pub use aitax_core::artifact::{dist_json, json_escape, json_num};
 
 fn scenario_json(out: &mut String, s: &ScenarioStats) {
     let _ = write!(

@@ -1,15 +1,20 @@
 //! The work-stealing execution pool.
 //!
-//! Jobs are dealt round-robin into per-worker deques; each worker drains
-//! its own deque from the front and, when empty, steals from the back of
-//! its neighbours'. Workers only consume (jobs never spawn jobs), so a
-//! worker may exit once every deque is empty.
+//! Tasks are dealt round-robin into per-worker deques; each worker
+//! drains its own deque from the front and, when empty, steals from the
+//! back of its neighbours'. Workers only consume (tasks never spawn
+//! tasks), so a worker may exit once every deque is empty.
 //!
 //! **Determinism contract:** results are written into a slot indexed by
-//! job id and aggregated in id order, and every job's randomness is a
-//! pure function of its spec (see [`Grid::expand`]). Aggregate output is
-//! therefore byte-identical for any thread count — the property
-//! `tests/lab_determinism.rs` pins at 1, 2 and 8 threads.
+//! the task's position in the input and returned in that order, and
+//! every job's randomness is a pure function of its spec (see
+//! [`Grid::expand`]). Aggregate output is therefore byte-identical for
+//! any thread count — the property `tests/lab_determinism.rs` pins at
+//! 1, 2 and 8 threads.
+//!
+//! The pool is generic ([`run_tasks`]) so both the lab's sweep jobs and
+//! the fleet's device shards run on the same scheduler; [`run_jobs`] is
+//! the sweep-specific wrapper.
 //!
 //! [`Grid::expand`]: crate::scenario::Grid::expand
 
@@ -21,7 +26,7 @@ use crate::job::{JobResult, JobSpec};
 /// Worker-thread count to use by default: the `AITAX_THREADS` environment
 /// variable when set, otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
-    // aitax-allow(env-read): AITAX_THREADS picks the worker count only; the job-id-ordered merge keeps artifacts identical for any value
+    // aitax-allow(env-read): AITAX_THREADS picks the worker count only; the input-ordered merge keeps artifacts identical for any value
     if let Ok(v) = std::env::var("AITAX_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -32,56 +37,64 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs every job and returns the results **in job-id order**.
+/// Runs `run` over every task and returns the results **in input
+/// order**, regardless of which worker executed what.
 ///
 /// `threads == 1` executes inline on the caller's thread (the serial
 /// reference path); any other count spins up a scoped work-stealing
-/// pool. Both paths produce identical output by construction.
+/// pool. Both paths produce identical output by construction when `run`
+/// is a pure function of its task.
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job after the pool unwinds.
-pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
-    let n = jobs.len();
+/// Propagates a panic from any task after the pool unwinds.
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, threads: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = tasks.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return jobs.iter().map(JobSpec::run).collect();
+        return tasks.iter().map(run).collect();
     }
 
-    // Deal jobs round-robin so every worker starts with local work and
-    // long scenarios interleave across workers.
-    let mut queues: Vec<VecDeque<JobSpec>> = (0..threads).map(|_| VecDeque::new()).collect();
-    for (i, job) in jobs.into_iter().enumerate() {
-        queues[i % threads].push_back(job);
+    // Deal tasks round-robin so every worker starts with local work and
+    // long tasks interleave across workers. Each queue entry carries the
+    // task's input position, which indexes its result slot.
+    let mut queues: Vec<VecDeque<(usize, T)>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        queues[i % threads].push_back((i, task));
     }
-    let queues: Vec<Mutex<VecDeque<JobSpec>>> = queues.into_iter().map(Mutex::new).collect();
-    let results: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> = queues.into_iter().map(Mutex::new).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for me in 0..threads {
             let queues = &queues;
             let results = &results;
+            let run = &run;
             scope.spawn(move || loop {
                 // Own deque first (front), then steal (back) round-robin.
                 // The own-queue guard must drop before stealing: holding
                 // it while locking a victim's queue would let a ring of
                 // stealing workers deadlock.
-                // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
-                let mut job = queues[me].lock().unwrap().pop_front();
-                if job.is_none() {
-                    job = (1..threads)
-                        // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
+                // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
+                let mut task = queues[me].lock().unwrap().pop_front();
+                if task.is_none() {
+                    task = (1..threads)
+                        // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
                         .find_map(|d| queues[(me + d) % threads].lock().unwrap().pop_back());
                 }
-                match job {
-                    Some(job) => {
-                        let result = job.run();
-                        let id = result.id;
-                        // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
-                        *results[id].lock().unwrap() = Some(result);
+                match task {
+                    Some((idx, task)) => {
+                        let result = run(&task);
+                        // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
+                        *results[idx].lock().unwrap() = Some(result);
                     }
                     None => break,
                 }
@@ -94,12 +107,26 @@ pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                // aitax-allow(panic-path): mutex poisoning only follows a job panic, which the pool propagates anyway
+                // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
                 .unwrap()
-                // aitax-allow(panic-path): the scope join guarantees every job slot was filled
-                .unwrap_or_else(|| panic!("job {i} produced no result"))
+                // aitax-allow(panic-path): the scope join guarantees every task slot was filled
+                .unwrap_or_else(|| panic!("task {i} produced no result"))
         })
         .collect()
+}
+
+/// Runs every sweep job and returns the results **in job-id order**.
+///
+/// Thin wrapper over [`run_tasks`]: [`Grid::expand`] numbers jobs by
+/// position, so input order and job-id order coincide.
+///
+/// [`Grid::expand`]: crate::scenario::Grid::expand
+pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
+    debug_assert!(
+        jobs.iter().enumerate().all(|(i, j)| j.id == i),
+        "job ids must match input positions"
+    );
+    run_tasks(jobs, threads, JobSpec::run)
 }
 
 #[cfg(test)]
@@ -143,5 +170,16 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn generic_tasks_preserve_input_order() {
+        let tasks: Vec<u64> = (0..37).collect();
+        let serial = run_tasks(tasks.clone(), 1, |&t| t * t);
+        for threads in [2, 5, 16] {
+            let parallel = run_tasks(tasks.clone(), threads, |&t| t * t);
+            assert_eq!(serial, parallel, "{threads} threads must match serial");
+        }
+        assert_eq!(serial, (0..37).map(|t| t * t).collect::<Vec<u64>>());
     }
 }

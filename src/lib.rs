@@ -24,6 +24,7 @@
 //! | [`profiler`] | `aitax-profiler` | utilization timelines, Fig. 6 profiles |
 //! | [`power`] | `aitax-power` | per-rail power specs, energy metering, battery |
 //! | [`lab`] | `aitax-lab` | parallel deterministic sweeps, distribution stats, Chrome traces |
+//! | [`fleet`] | `aitax-fleet` | population-scale fleets, streaming cohort aggregation |
 //! | [`testkit`] | `aitax-testkit` | trace invariants, shape asserts, golden snapshots |
 //!
 //! # Quickstart
@@ -53,6 +54,7 @@
 pub use aitax_capture as capture;
 pub use aitax_core as core;
 pub use aitax_des as des;
+pub use aitax_fleet as fleet;
 pub use aitax_framework as framework;
 pub use aitax_kernel as kernel;
 pub use aitax_lab as lab;
