@@ -57,10 +57,14 @@ pub const HOT_PATH_CRATES: [&str; 3] = ["aitax", "des", "kernel"];
 /// reachable from `Machine::step` / `Calendar::next` /
 /// `TraceBuffer::record` on the steady-state path that
 /// `sim_throughput`'s `steady_allocs` counter pins at zero.
-pub const HOT_PATH_FNS: [&str; 18] = [
+pub const HOT_PATH_FNS: [&str; 25] = [
+    "advance_clock",
+    "bucket_has_live",
     "cancel",
     "cancel_timer",
     "dispatch_next",
+    "drain_dead",
+    "first_due",
     "gov_observe",
     "gov_retarget",
     "maybe_start_accel",
@@ -69,11 +73,14 @@ pub const HOT_PATH_FNS: [&str; 18] = [
     "on_accel_done",
     "on_slice_end",
     "peek_time",
+    "place",
+    "push_bucket",
     "record",
     "schedule_after",
     "schedule_at",
     "steal_if_idle",
     "step",
+    "take_head",
     "touch_thermal",
     "try_wander",
 ];

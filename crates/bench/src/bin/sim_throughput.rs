@@ -7,12 +7,17 @@
 //! `BENCH_sim.json` (schema `aitax-sim-bench/v1`) so the perf trajectory
 //! is tracked in version control.
 //!
-//! Four scenarios, all seeded and deterministic:
+//! Six scenarios, all seeded and deterministic:
 //!
 //! * `calendar-churn` — schedule/fire/cancel churn through [`Calendar`]
 //!   with a rolling population of pending events,
+//! * `wheel-churn`   — the same churn with ~10% far-future timers, so
+//!   events land at high timing-wheel levels and cascade down as the
+//!   clock crosses slot boundaries (the wheel's worst case),
 //! * `trace-record`  — [`TraceBuffer`] append throughput plus one
 //!   `exec_intervals` extraction,
+//! * `trace-stream`  — the same append loop through a bounded ring
+//!   (streaming mode): constant memory, oldest events overwritten,
 //! * `machine-hot`   — the steady-state `Machine::step` loop (time-sliced
 //!   foreground tasks, tracing on): the loop that must stay
 //!   allocation-free,
@@ -79,7 +84,9 @@ fn allocs_now() -> u64 {
 struct Sizes {
     mode: &'static str,
     calendar_iters: u64,
+    wheel_iters: u64,
     trace_events: u64,
+    stream_events: u64,
     hot_events: u64,
     mixed_events: u64,
 }
@@ -87,7 +94,9 @@ struct Sizes {
 const FULL: Sizes = Sizes {
     mode: "full",
     calendar_iters: 3_000_000,
+    wheel_iters: 2_000_000,
     trace_events: 4_000_000,
+    stream_events: 4_000_000,
     hot_events: 1_000_000,
     mixed_events: 600_000,
 };
@@ -95,10 +104,16 @@ const FULL: Sizes = Sizes {
 const QUICK: Sizes = Sizes {
     mode: "quick",
     calendar_iters: 300_000,
+    wheel_iters: 200_000,
     trace_events: 400_000,
+    stream_events: 400_000,
     hot_events: 120_000,
     mixed_events: 80_000,
 };
+
+/// Ring capacity for the `trace-stream` scenario — same in both modes so
+/// the window mechanics (wraparound, eviction accounting) are identical.
+const STREAM_RING_CAP: usize = 65_536;
 
 // --------------------------------------------------------------- baseline
 
@@ -180,6 +195,63 @@ fn calendar_churn(iters: u64) -> ScenarioResult {
     }
 }
 
+/// Calendar churn with ~10% far-future timers: the wheel's worst case.
+/// Far events land at levels 2-4 of the hierarchy and cascade down slot
+/// by slot as near-term fires drag the clock across level boundaries;
+/// cancels hit the far population too, retiring tombstones mid-cascade.
+fn wheel_churn(iters: u64) -> ScenarioResult {
+    let mut cal = Calendar::new();
+    let mut rng = SimRng::seed_from(0x57EE_1CDA);
+    let mut ring = [None; 32];
+    let mut scheduled = 0u64;
+    let mut fired = 0u64;
+    let mut cancelled = 0u64;
+    let pick = |rng: &mut SimRng| {
+        if rng.chance(0.1) {
+            // Far future: high wheel levels, fires only after cascading.
+            SimSpan::from_ns(rng.uniform_u64(1 << 16, 1 << 28))
+        } else {
+            SimSpan::from_ns(rng.uniform_u64(1, 5_000))
+        }
+    };
+    for _ in 0..64 {
+        let tok = cal.schedule_after(pick(&mut rng));
+        ring[(scheduled % 32) as usize] = Some(tok);
+        scheduled += 1;
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        let (_, _tok) = cal.next().expect("population never drains");
+        fired += 1;
+        let tok = cal.schedule_after(pick(&mut rng));
+        ring[(scheduled % 32) as usize] = Some(tok);
+        scheduled += 1;
+        if i % 3 == 0 {
+            let extra = cal.schedule_after(pick(&mut rng));
+            ring[(scheduled % 32) as usize] = Some(extra);
+            scheduled += 1;
+            let victim = ring[rng.uniform_u64(0, 32) as usize];
+            if let Some(v) = victim {
+                if cal.cancel(v) {
+                    cancelled += 1;
+                }
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: "wheel-churn",
+        events: fired,
+        events_per_sec: fired as f64 / secs,
+        counters: vec![
+            ("scheduled", scheduled),
+            ("fired", fired),
+            ("cancelled", cancelled),
+            ("pending_after", cal.pending() as u64),
+        ],
+    }
+}
+
 /// Trace-append throughput: paired ExecStart/ExecEnd across ten resources
 /// with periodic AXI bursts and IRQs, then one `exec_intervals` pass.
 fn trace_record(n: u64) -> ScenarioResult {
@@ -239,7 +311,7 @@ fn trace_record(n: u64) -> ScenarioResult {
     }
     let record_secs = start.elapsed().as_secs_f64();
     let intervals = buf.exec_intervals();
-    let total = buf.events().len() as u64;
+    let total = buf.len() as u64;
     ScenarioResult {
         name: "trace-record",
         events: total,
@@ -250,6 +322,73 @@ fn trace_record(n: u64) -> ScenarioResult {
             (
                 "bytes_traced",
                 total * std::mem::size_of::<aitax_des::TraceEvent>() as u64,
+            ),
+        ],
+    }
+}
+
+/// Streaming-mode trace append: the same event mix as `trace-record`,
+/// but through a bounded ring ([`STREAM_RING_CAP`] events). Memory stays
+/// constant no matter how long the recording runs; the oldest events are
+/// overwritten in place and interval extraction sees only the window.
+fn trace_stream(n: u64) -> ScenarioResult {
+    const RESOURCES: [TraceResource; 10] = [
+        TraceResource::CpuCore(0),
+        TraceResource::CpuCore(1),
+        TraceResource::CpuCore(2),
+        TraceResource::CpuCore(3),
+        TraceResource::CpuCore(4),
+        TraceResource::CpuCore(5),
+        TraceResource::CpuCore(6),
+        TraceResource::CpuCore(7),
+        TraceResource::Dsp,
+        TraceResource::Gpu,
+    ];
+    let mut buf = TraceBuffer::enabled_ring(STREAM_RING_CAP);
+    let label = buf.intern("inference");
+    let mut open = [None::<u64>; 10];
+    let mut next_task = 1u64;
+    let start = Instant::now();
+    for i in 0..n {
+        let t = aitax_des::SimTime::from_ns(100 * i);
+        let slot = (i % 10) as usize;
+        match open[slot] {
+            Some(task) => {
+                buf.record(t, RESOURCES[slot], TraceKind::ExecEnd { task });
+                open[slot] = None;
+            }
+            None => {
+                buf.record(
+                    t,
+                    RESOURCES[slot],
+                    TraceKind::ExecStart {
+                        task: next_task,
+                        label,
+                    },
+                );
+                open[slot] = Some(next_task);
+                next_task += 1;
+            }
+        }
+        if i % 16 == 0 {
+            buf.record(t, TraceResource::Axi, TraceKind::AxiBurst { bytes: 4096 });
+        }
+    }
+    let record_secs = start.elapsed().as_secs_f64();
+    let intervals = buf.exec_intervals();
+    let total = buf.len() as u64 + buf.dropped();
+    ScenarioResult {
+        name: "trace-stream",
+        events: total,
+        events_per_sec: total as f64 / record_secs,
+        counters: vec![
+            ("recorded", total),
+            ("window", buf.len() as u64),
+            ("dropped", buf.dropped()),
+            ("window_intervals", intervals.len() as u64),
+            (
+                "window_bytes",
+                buf.len() as u64 * std::mem::size_of::<aitax_des::TraceEvent>() as u64,
             ),
         ],
     }
@@ -294,7 +433,7 @@ fn machine_hot(n: u64) -> ScenarioResult {
             ("events", measured),
             ("steady_allocs", steady_allocs),
             ("context_switches", m.stats().context_switches),
-            ("trace_events", m.trace.events().len() as u64),
+            ("trace_events", m.trace.len() as u64),
         ],
     }
 }
@@ -337,7 +476,7 @@ fn machine_mixed(n: u64) -> ScenarioResult {
             ("events", events),
             ("migrations", m.stats().migrations),
             ("dsp_jobs", m.stats().dsp_jobs),
-            ("trace_events", m.trace.events().len() as u64),
+            ("trace_events", m.trace.len() as u64),
         ],
     }
 }
@@ -347,7 +486,9 @@ fn machine_mixed(n: u64) -> ScenarioResult {
 fn run_all(sizes: Sizes) -> Vec<ScenarioResult> {
     vec![
         calendar_churn(sizes.calendar_iters),
+        wheel_churn(sizes.wheel_iters),
         trace_record(sizes.trace_events),
+        trace_stream(sizes.stream_events),
         machine_hot(sizes.hot_events),
         machine_mixed(sizes.mixed_events),
     ]

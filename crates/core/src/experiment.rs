@@ -320,7 +320,7 @@ pub fn fig7() -> Table {
     let (trace, t0) = fig7_trace();
     let mut t = Table::new(vec!["phase", "t_ms", "delta_ms"]);
     let mut last = 0.0;
-    for ev in trace.events() {
+    for ev in trace.iter() {
         if let TraceKind::Rpc { phase } = ev.kind {
             let at = (ev.time - t0).as_ms();
             t.row(vec![phase.to_string(), fmt_ms(at), fmt_ms(at - last)]);

@@ -36,6 +36,7 @@ pub struct E2eConfig {
     background_loops: usize,
     background_engine: Option<Engine>,
     tracing: bool,
+    trace_bound: Option<usize>,
     stdlib: StdlibFlavor,
     camera: CameraConfig,
     initial_temp_c: Option<f64>,
@@ -59,6 +60,7 @@ impl E2eConfig {
             background_loops: 0,
             background_engine: None,
             tracing: false,
+            trace_bound: None,
             stdlib: StdlibFlavor::LibCxx,
             camera: CameraConfig::vga_preview(),
             initial_temp_c: None,
@@ -109,6 +111,17 @@ impl E2eConfig {
     /// Enables structured tracing (for profiler views).
     pub fn tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Bounds the traced-event window to the most recent `cap` events
+    /// (the des ring-buffer streaming mode), capping trace memory for
+    /// long runs. A bound large enough that nothing is evicted is
+    /// observationally identical to an unbounded trace; when eviction
+    /// does occur, profiler views cover the retained window and
+    /// [`TraceBuffer::dropped`] reports how much history was shed.
+    pub fn trace_bound(mut self, cap: usize) -> Self {
+        self.trace_bound = Some(cap);
         self
     }
 
@@ -181,9 +194,11 @@ impl E2eConfig {
         }
         if self.tracing {
             m.set_tracing(true);
+            m.trace.set_capacity(self.trace_bound);
             // Size the event storage once, up front, so steady-state
             // recording never reallocates mid-run; capacity is reused
             // across iterations because the buffer is never dropped.
+            // (A bounded ring never reserves past its capacity.)
             m.trace.reserve_events(8192 * self.iterations.max(1));
         }
         if let Some(plan) = &self.fault_plan {
@@ -704,7 +719,7 @@ mod tests {
             .tracing(true)
             .run();
         let trace = r.trace.expect("trace present");
-        assert!(!trace.events().is_empty());
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod symbol;
 pub mod time;
 pub mod trace;
 
+#[cfg(any(test, feature = "legacy-oracle"))]
+pub use calendar::legacy::LegacyCalendar;
 pub use calendar::{Calendar, Token};
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use rng::SimRng;

@@ -23,6 +23,14 @@ impl Symbol {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a symbol from its raw index — the inverse of
+    /// [`Symbol::index`], used by the columnar trace store to decode
+    /// label columns back into symbols. The index must have come from
+    /// the same table the symbol will be resolved against.
+    pub(crate) fn from_index(index: u32) -> Symbol {
+        Symbol(index)
+    }
 }
 
 /// A deduplicating string table mapping labels to [`Symbol`]s.

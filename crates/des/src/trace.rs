@@ -1,4 +1,4 @@
-//! Structured trace vocabulary.
+//! Structured trace vocabulary and the columnar trace store.
 //!
 //! The simulated kernel and frameworks emit these events while running;
 //! `aitax-profiler` consumes them to build Snapdragon-Profiler-style views
@@ -8,9 +8,31 @@
 //! Tracing is opt-in: a disabled [`TraceBuffer`] drops events with a single
 //! branch, keeping the probe effect of the *simulator itself* at zero, in the
 //! spirit of the paper's §III-D probe-effect discussion. When enabled, the
-//! probe effect is one `Vec` push per event: labels are interned
-//! [`Symbol`]s, so recording never touches the heap once the event storage
-//! is warm (see [`TraceBuffer::intern`] and [`TraceBuffer::reserve_events`]).
+//! probe effect is one append per event: labels are interned [`Symbol`]s, so
+//! recording never touches the heap once the event storage is warm (see
+//! [`TraceBuffer::intern`] and [`TraceBuffer::reserve_events`]).
+//!
+//! # Columnar storage
+//!
+//! Events are stored struct-of-arrays: one dense column each for the
+//! timestamp, resource code, kind tag, and two payload words, rather than a
+//! `Vec` of [`TraceEvent`] structs. Columns pack to 23 bytes per event
+//! (versus 32 for the array-of-structs layout) and keep each field
+//! sequentially prefetchable for the O(n) scans the profiler and interval
+//! extractor run. [`TraceEvent`] survives as the *view* type: recording
+//! takes its fields apart, iteration reassembles them, and nothing outside
+//! this module sees the encoding.
+//!
+//! # Bounded streaming mode
+//!
+//! A buffer created with [`TraceBuffer::enabled_ring`] (or bounded later
+//! via [`TraceBuffer::set_capacity`]) keeps only the most recent `cap`
+//! events, overwriting the oldest in place — constant memory no matter how
+//! long the run. [`TraceBuffer::dropped`] counts evictions so consumers
+//! can tell a complete trace from a retained window. Fleet-scale runs use
+//! this to cap probe memory; analyses over the retained window (e.g.
+//! [`TraceBuffer::exec_intervals`]) see exactly the events an unbounded
+//! buffer would have kept for that window.
 
 use std::fmt;
 
@@ -46,7 +68,7 @@ impl fmt::Display for TraceResource {
 
 /// Dense slot for a resource in per-resource scratch tables: CPU cores map
 /// to their own index, accelerators and the interconnect to fixed slots
-/// past the 8-bit core space.
+/// past the 8-bit core space. Doubles as the trace column encoding.
 fn res_slot(r: TraceResource) -> usize {
     match r {
         TraceResource::CpuCore(i) => i as usize,
@@ -54,6 +76,19 @@ fn res_slot(r: TraceResource) -> usize {
         TraceResource::Gpu => 257,
         TraceResource::Npu => 258,
         TraceResource::Axi => 259,
+    }
+}
+
+/// Inverse of [`res_slot`] for decoding the resource column.
+fn res_unslot(code: u16) -> TraceResource {
+    match code {
+        0..=255 => TraceResource::CpuCore(code as u8),
+        256 => TraceResource::Dsp,
+        257 => TraceResource::Gpu,
+        258 => TraceResource::Npu,
+        259 => TraceResource::Axi,
+        // aitax-allow(panic-path): only res_slot writes this column; other codes are memory corruption
+        _ => panic!("corrupt trace resource code {code}"),
     }
 }
 
@@ -163,7 +198,66 @@ pub enum TraceKind {
     },
 }
 
-/// A single trace record.
+/// Column encoding of a [`TraceKind`]: a 1-byte tag plus a wide (`u64`)
+/// and a narrow (`u32`) payload word. Unused payloads encode as zero.
+fn encode_kind(kind: TraceKind) -> (u8, u64, u32) {
+    match kind {
+        TraceKind::ExecStart { task, label } => (0, task, label.index()),
+        TraceKind::ExecEnd { task } => (1, task, 0),
+        TraceKind::ContextSwitch => (2, 0, 0),
+        TraceKind::Migration { task, from, to } => {
+            (3, task, (u32::from(from) << 8) | u32::from(to))
+        }
+        TraceKind::Irq { source } => (4, 0, source.index()),
+        TraceKind::Rpc { phase } => {
+            let idx = RpcPhase::ALL
+                .iter()
+                .position(|&p| p == phase)
+                // aitax-allow(panic-path): ALL is exhaustive by definition
+                .expect("RpcPhase missing from ALL") as u32;
+            (5, 0, idx)
+        }
+        TraceKind::AxiBurst { bytes } => (6, bytes, 0),
+        TraceKind::Dvfs { core, freq_hz } => (7, freq_hz, u32::from(core)),
+        TraceKind::Marker { label } => (8, 0, label.index()),
+    }
+}
+
+/// Inverse of [`encode_kind`].
+fn decode_kind(tag: u8, pa: u64, pb: u32) -> TraceKind {
+    match tag {
+        0 => TraceKind::ExecStart {
+            task: pa,
+            label: Symbol::from_index(pb),
+        },
+        1 => TraceKind::ExecEnd { task: pa },
+        2 => TraceKind::ContextSwitch,
+        3 => TraceKind::Migration {
+            task: pa,
+            from: (pb >> 8) as u8,
+            to: pb as u8,
+        },
+        4 => TraceKind::Irq {
+            source: Symbol::from_index(pb),
+        },
+        5 => TraceKind::Rpc {
+            phase: RpcPhase::ALL[pb as usize],
+        },
+        6 => TraceKind::AxiBurst { bytes: pa },
+        7 => TraceKind::Dvfs {
+            core: pb as u8,
+            freq_hz: pa,
+        },
+        8 => TraceKind::Marker {
+            label: Symbol::from_index(pb),
+        },
+        // aitax-allow(panic-path): only encode_kind writes this column; other tags are memory corruption
+        _ => panic!("corrupt trace kind tag {tag}"),
+    }
+}
+
+/// A single trace record — the *view* type assembled from the columnar
+/// store on iteration (events are not stored as this struct).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When it happened.
@@ -174,8 +268,8 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// An append-only buffer of trace events plus the symbol table their
-/// labels are interned into.
+/// A columnar, optionally ring-bounded buffer of trace events plus the
+/// symbol table their labels are interned into.
 ///
 /// # Example
 ///
@@ -191,33 +285,52 @@ pub struct TraceEvent {
 ///     TraceResource::Dsp,
 ///     TraceKind::ExecStart { task: 1, label },
 /// );
-/// assert_eq!(buf.events().len(), 2);
+/// assert_eq!(buf.len(), 2);
 /// assert_eq!(buf.resolve(label), "inference");
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceBuffer {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    /// Ring capacity in events; 0 means unbounded.
+    cap: usize,
+    /// Physical index of the logically oldest event. Non-zero only once
+    /// a bounded buffer has wrapped (columns full at `cap`).
+    head: usize,
+    /// Events evicted by ring wraparound.
+    dropped: u64,
+    times: Vec<u64>,
+    res: Vec<u16>,
+    tags: Vec<u8>,
+    pa: Vec<u64>,
+    pb: Vec<u32>,
     symbols: SymbolTable,
 }
 
 impl TraceBuffer {
     /// Creates a buffer that drops all events (zero probe effect).
     pub fn disabled() -> Self {
-        TraceBuffer {
-            enabled: false,
-            events: Vec::new(),
-            symbols: SymbolTable::new(),
-        }
+        TraceBuffer::default()
     }
 
-    /// Creates a buffer that records events.
+    /// Creates an unbounded buffer that records events.
     pub fn enabled() -> Self {
         TraceBuffer {
             enabled: true,
-            events: Vec::new(),
-            symbols: SymbolTable::new(),
+            ..TraceBuffer::default()
         }
+    }
+
+    /// Creates a recording buffer that retains only the most recent
+    /// `cap` events (bounded streaming mode; see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero — a zero-capacity ring can never hold an
+    /// event, which is what [`TraceBuffer::disabled`] is for.
+    pub fn enabled_ring(cap: usize) -> Self {
+        let mut buf = TraceBuffer::enabled();
+        buf.set_capacity(Some(cap));
+        buf
     }
 
     /// Whether events are being recorded.
@@ -229,18 +342,79 @@ impl TraceBuffer {
     ///
     /// Disabling drops any recorded events; the symbol table (and thus
     /// every previously minted [`Symbol`]) survives, so labels interned
-    /// while tracing was off stay valid when it is re-enabled.
+    /// while tracing was off stay valid when it is re-enabled. The
+    /// capacity bound also survives the toggle.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
         if !enabled {
-            self.events.clear();
+            self.clear();
         }
+    }
+
+    /// Bounds (or, with `None`, unbounds) the retained-event window.
+    ///
+    /// Already-recorded events are kept; if more than the new capacity
+    /// are present, the oldest are evicted (counted in
+    /// [`TraceBuffer::dropped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is `Some(0)`.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        if let Some(cap) = cap {
+            assert!(cap > 0, "a zero-capacity trace ring cannot hold events");
+        }
+        // Un-wrap the ring first so logical order survives the new bound.
+        if self.head != 0 {
+            let kept: Vec<usize> = (0..self.len()).map(|i| self.phys(i)).collect();
+            self.compact(&kept);
+        }
+        self.cap = cap.unwrap_or(0);
+        if self.cap > 0 && self.len() > self.cap {
+            let evict = self.len() - self.cap;
+            let kept: Vec<usize> = (evict..self.len()).collect();
+            self.compact(&kept);
+            self.dropped += evict as u64;
+        }
+    }
+
+    /// The ring capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        if self.cap == 0 {
+            None
+        } else {
+            Some(self.cap)
+        }
+    }
+
+    /// Events evicted by ring wraparound since the last
+    /// [`TraceBuffer::clear`]. Zero means the retained window is the
+    /// complete trace.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Rewrites the columns to hold exactly the physical indices in
+    /// `kept`, in the given order, restoring `head == 0`.
+    fn compact(&mut self, kept: &[usize]) {
+        let times: Vec<u64> = kept.iter().map(|&p| self.times[p]).collect();
+        let res: Vec<u16> = kept.iter().map(|&p| self.res[p]).collect();
+        let tags: Vec<u8> = kept.iter().map(|&p| self.tags[p]).collect();
+        let pa: Vec<u64> = kept.iter().map(|&p| self.pa[p]).collect();
+        let pb: Vec<u32> = kept.iter().map(|&p| self.pb[p]).collect();
+        self.times = times;
+        self.res = res;
+        self.tags = tags;
+        self.pa = pa;
+        self.pb = pb;
+        self.head = 0;
     }
 
     /// Interns `label`, returning a [`Symbol`] valid for this buffer.
     ///
     /// Works whether or not tracing is enabled — callers intern labels
     /// once at object-creation time and record cheap symbols thereafter.
+    /// Symbols are never evicted, even when the event ring wraps.
     pub fn intern(&mut self, label: &str) -> Symbol {
         self.symbols.intern(label)
     }
@@ -255,52 +429,126 @@ impl TraceBuffer {
         &self.symbols
     }
 
-    /// Pre-sizes event storage so steady-state recording never reallocates.
+    /// Pre-sizes event storage so steady-state recording never
+    /// reallocates. Bounded buffers never reserve past their capacity.
     pub fn reserve_events(&mut self, additional: usize) {
-        self.events.reserve(additional);
+        let additional = if self.cap > 0 {
+            additional.min(self.cap.saturating_sub(self.times.len()))
+        } else {
+            additional
+        };
+        self.times.reserve(additional);
+        self.res.reserve(additional);
+        self.tags.reserve(additional);
+        self.pa.reserve(additional);
+        self.pb.reserve(additional);
     }
 
-    /// Records one event (no-op when disabled).
+    /// Records one event (no-op when disabled). When a bounded buffer is
+    /// full, the oldest event is overwritten in place — no allocation,
+    /// no shifting.
     pub fn record(&mut self, time: SimTime, resource: TraceResource, kind: TraceKind) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                time,
-                resource,
-                kind,
-            });
+        if !self.enabled {
+            return;
+        }
+        let (tag, pa, pb) = encode_kind(kind);
+        let code = res_slot(resource) as u16;
+        if self.cap > 0 && self.times.len() == self.cap {
+            let p = self.head;
+            self.times[p] = time.as_ns();
+            self.res[p] = code;
+            self.tags[p] = tag;
+            self.pa[p] = pa;
+            self.pb[p] = pb;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        } else {
+            self.times.push(time.as_ns());
+            self.res.push(code);
+            self.tags.push(tag);
+            self.pa.push(pa);
+            self.pb.push(pb);
         }
     }
 
-    /// All recorded events in emission order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.times.len()
     }
 
-    /// Consumes the buffer, yielding the recorded events.
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Physical column index of logical event `i` (0 = oldest).
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        if self.head == 0 {
+            i
+        } else {
+            (self.head + i) % self.times.len()
+        }
+    }
+
+    /// Reassembles logical event `i` (0 = oldest) from the columns.
+    fn get(&self, i: usize) -> TraceEvent {
+        let p = self.phys(i);
+        TraceEvent {
+            time: SimTime::from_ns(self.times[p]),
+            resource: res_unslot(self.res[p]),
+            kind: decode_kind(self.tags[p], self.pa[p], self.pb[p]),
+        }
+    }
+
+    /// Iterates retained events oldest → newest.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter {
+            buf: self,
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// The most recently recorded event, if any.
+    pub fn last(&self) -> Option<TraceEvent> {
+        self.len().checked_sub(1).map(|i| self.get(i))
+    }
+
+    /// Consumes the buffer, materializing the retained events.
     pub fn into_events(self) -> Vec<TraceEvent> {
-        self.events
+        self.iter().collect()
     }
 
-    /// Drops all recorded events, keeping the enabled flag, the symbol
-    /// table, and the event storage capacity (so a reused buffer records
-    /// its next run allocation-free).
+    /// Drops all recorded events (and the dropped-event count), keeping
+    /// the enabled flag, capacity bound, symbol table, and column
+    /// capacity (so a reused buffer records its next run allocation-free).
     pub fn clear(&mut self) {
-        self.events.clear();
+        self.times.clear();
+        self.res.clear();
+        self.tags.clear();
+        self.pa.clear();
+        self.pb.clear();
+        self.head = 0;
+        self.dropped = 0;
     }
 
-    /// Total bytes of recorded event storage.
+    /// Total bytes of retained event records, priced at the size of the
+    /// [`TraceEvent`] view struct (the unit profiler reports are
+    /// denominated in, independent of the columnar packing).
     pub fn traced_bytes(&self) -> u64 {
-        (self.events.len() * std::mem::size_of::<TraceEvent>()) as u64
+        (self.len() * std::mem::size_of::<TraceEvent>()) as u64
     }
 
     /// Extracts closed execution intervals per resource.
     ///
     /// Pairs each `ExecStart` with the next `ExecEnd` for the same task on
     /// the same resource. Unclosed intervals (still running at trace end)
-    /// are dropped.
+    /// are dropped — as are intervals whose `ExecStart` was evicted by
+    /// ring wraparound (their `ExecEnd` finds no matching open start).
     pub fn exec_intervals(&self) -> Vec<ExecInterval> {
         let (out, _open) = self.collect_intervals();
-        self.sort_intervals(out)
+        sort_intervals(out)
     }
 
     /// Like [`TraceBuffer::exec_intervals`], but treats tasks still
@@ -323,7 +571,7 @@ impl TraceBuffer {
                 });
             }
         }
-        self.sort_intervals(out)
+        sort_intervals(out)
     }
 
     /// Single O(n) pass pairing starts with ends via per-resource open
@@ -338,7 +586,7 @@ impl TraceBuffer {
     ) {
         let mut open: Vec<Vec<(TraceResource, u64, SimTime, Symbol)>> = Vec::new();
         let mut out = Vec::new();
-        for ev in &self.events {
+        for ev in self.iter() {
             match ev.kind {
                 TraceKind::ExecStart { task, label } => {
                     let slot = res_slot(ev.resource);
@@ -368,14 +616,51 @@ impl TraceBuffer {
         }
         (out, open)
     }
+}
 
-    /// The public interval ordering: by start time, resources breaking
-    /// ties. The sort is stable, so same-(start, resource) intervals keep
-    /// their emission order.
-    fn sort_intervals(&self, mut out: Vec<ExecInterval>) -> Vec<ExecInterval> {
-        out.sort_by_key(|iv| (iv.start, iv.resource));
-        out
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = TraceEvent;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> TraceIter<'a> {
+        self.iter()
     }
+}
+
+/// Iterator over a [`TraceBuffer`]'s retained events, oldest → newest.
+#[derive(Debug, Clone)]
+pub struct TraceIter<'a> {
+    buf: &'a TraceBuffer,
+    next: usize,
+    len: usize,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.next == self.len {
+            return None;
+        }
+        let ev = self.buf.get(self.next);
+        self.next += 1;
+        Some(ev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+/// The public interval ordering: by start time, resources breaking
+/// ties. The sort is stable, so same-(start, resource) intervals keep
+/// their emission order.
+fn sort_intervals(mut out: Vec<ExecInterval>) -> Vec<ExecInterval> {
+    out.sort_by_key(|iv| (iv.start, iv.resource));
+    out
 }
 
 /// A closed execution interval extracted from a trace.
@@ -417,7 +702,7 @@ mod tests {
     fn disabled_buffer_drops_events() {
         let mut buf = TraceBuffer::disabled();
         buf.record(SimTime::ZERO, TraceResource::Dsp, TraceKind::ContextSwitch);
-        assert!(buf.events().is_empty());
+        assert!(buf.is_empty());
         assert!(!buf.is_enabled());
     }
 
@@ -557,7 +842,7 @@ mod tests {
             TraceKind::AxiBurst { bytes: 64 },
         );
         buf.clear();
-        assert!(buf.events().is_empty());
+        assert!(buf.is_empty());
         assert!(buf.is_enabled());
         assert_eq!(buf.resolve(label), "stage");
     }
@@ -568,7 +853,7 @@ mod tests {
         let label = buf.intern("kept");
         buf.record(SimTime::ZERO, TraceResource::Dsp, TraceKind::ContextSwitch);
         buf.set_enabled(false);
-        assert!(buf.events().is_empty());
+        assert!(buf.is_empty());
         assert!(!buf.is_enabled());
         buf.set_enabled(true);
         assert!(buf.is_enabled());
@@ -587,10 +872,125 @@ mod tests {
                 TraceKind::ExecStart { task: i, label },
             );
         }
-        assert_eq!(buf.events().len(), 128);
+        assert_eq!(buf.len(), 128);
         assert_eq!(
             buf.traced_bytes(),
             128 * std::mem::size_of::<TraceEvent>() as u64
         );
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_the_columns() {
+        let mut buf = TraceBuffer::enabled();
+        let label = buf.intern("k");
+        let source = buf.intern("irq0");
+        let kinds = [
+            TraceKind::ExecStart { task: 7, label },
+            TraceKind::ExecEnd { task: u64::MAX },
+            TraceKind::ContextSwitch,
+            TraceKind::Migration {
+                task: 3,
+                from: 255,
+                to: 1,
+            },
+            TraceKind::Irq { source },
+            TraceKind::Rpc {
+                phase: RpcPhase::CompletionSignal,
+            },
+            TraceKind::AxiBurst { bytes: u64::MAX },
+            TraceKind::Dvfs {
+                core: 7,
+                freq_hz: 2_841_600_000,
+            },
+            TraceKind::Marker { label },
+        ];
+        let resources = [
+            TraceResource::CpuCore(0),
+            TraceResource::CpuCore(255),
+            TraceResource::Dsp,
+            TraceResource::Gpu,
+            TraceResource::Npu,
+            TraceResource::Axi,
+        ];
+        for (i, &kind) in kinds.iter().enumerate() {
+            buf.record(
+                SimTime::from_ns(i as u64),
+                resources[i % resources.len()],
+                kind,
+            );
+        }
+        let back: Vec<TraceEvent> = buf.iter().collect();
+        assert_eq!(back.len(), kinds.len());
+        for (i, ev) in back.iter().enumerate() {
+            assert_eq!(ev.time, SimTime::from_ns(i as u64));
+            assert_eq!(ev.resource, resources[i % resources.len()]);
+            assert_eq!(ev.kind, kinds[i], "kind {i} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let mut buf = TraceBuffer::enabled_ring(4);
+        assert_eq!(buf.capacity(), Some(4));
+        for i in 0..10u64 {
+            buf.record(
+                SimTime::from_ns(i),
+                TraceResource::Axi,
+                TraceKind::AxiBurst { bytes: i },
+            );
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 6);
+        let times: Vec<u64> = buf.iter().map(|e| e.time.as_ns()).collect();
+        assert_eq!(times, vec![6, 7, 8, 9], "oldest evicted, order preserved");
+        assert_eq!(buf.last().unwrap().time.as_ns(), 9);
+    }
+
+    #[test]
+    fn ring_clear_resets_window_and_dropped_count() {
+        let mut buf = TraceBuffer::enabled_ring(2);
+        for i in 0..5u64 {
+            buf.record(
+                SimTime::from_ns(i),
+                TraceResource::Dsp,
+                TraceKind::ContextSwitch,
+            );
+        }
+        assert_eq!(buf.dropped(), 3);
+        buf.clear();
+        assert_eq!(buf.dropped(), 0);
+        assert!(buf.is_empty());
+        buf.record(
+            SimTime::from_ns(9),
+            TraceResource::Dsp,
+            TraceKind::ContextSwitch,
+        );
+        assert_eq!(buf.iter().next().unwrap().time.as_ns(), 9);
+        assert_eq!(buf.dropped(), 0, "within capacity nothing drops");
+    }
+
+    #[test]
+    fn bounding_a_full_buffer_evicts_the_oldest() {
+        let mut buf = TraceBuffer::enabled();
+        for i in 0..6u64 {
+            buf.record(
+                SimTime::from_ns(i),
+                TraceResource::Gpu,
+                TraceKind::AxiBurst { bytes: i },
+            );
+        }
+        buf.set_capacity(Some(3));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 3);
+        let times: Vec<u64> = buf.iter().map(|e| e.time.as_ns()).collect();
+        assert_eq!(times, vec![3, 4, 5]);
+        // And the ring keeps rolling from the compacted state.
+        buf.record(
+            SimTime::from_ns(6),
+            TraceResource::Gpu,
+            TraceKind::AxiBurst { bytes: 6 },
+        );
+        let times: Vec<u64> = buf.iter().map(|e| e.time.as_ns()).collect();
+        assert_eq!(times, vec![4, 5, 6]);
     }
 }

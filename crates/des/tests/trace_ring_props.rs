@@ -1,0 +1,261 @@
+//! Property tests for the columnar ring-buffer trace sink.
+//!
+//! The bounded streaming mode must be a pure *window* over the event
+//! stream: for any recording, a ring of capacity `cap` retains exactly
+//! the last `cap` events an unbounded buffer would hold, and every
+//! analysis over that retained window (interval extraction, symbol
+//! resolution) gives the same answer it would on an unbounded buffer fed
+//! only those events. Randomized cases are driven by the crate's own
+//! deterministic [`SimRng`], so failures reproduce bit-exactly.
+
+use aitax_des::trace::{RpcPhase, TraceKind, TraceResource};
+use aitax_des::{SimRng, SimTime, TraceBuffer};
+
+/// A random but valid-ish event stream: interleaved exec start/end pairs
+/// across resources plus instants and counters, times non-decreasing.
+fn random_stream(rng: &mut SimRng, n: usize) -> Vec<(u64, TraceResource, &'static str)> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += rng.uniform_u64(0, 1_000);
+        let r = match rng.uniform_u64(0, 6) {
+            0 => TraceResource::CpuCore(rng.uniform_u64(0, 8) as u8),
+            1 => TraceResource::CpuCore(0),
+            2 => TraceResource::Dsp,
+            3 => TraceResource::Gpu,
+            4 => TraceResource::Npu,
+            _ => TraceResource::Axi,
+        };
+        let op = match rng.uniform_u64(0, 8) {
+            0..=2 => "start",
+            3 | 4 => "end",
+            5 => "irq",
+            6 => "axi",
+            _ => "switch",
+        };
+        out.push((t, r, op));
+    }
+    out
+}
+
+/// Replays `stream` into `buf`, interning labels through the buffer so
+/// symbols are minted identically regardless of capacity.
+fn replay(buf: &mut TraceBuffer, stream: &[(u64, TraceResource, &'static str)]) {
+    let mut task_seq = 0u64;
+    let mut open: Vec<(TraceResource, u64)> = Vec::new();
+    for &(t, r, op) in stream {
+        let time = SimTime::from_ns(t);
+        match op {
+            "start" => {
+                let label = buf.intern(["infer", "preproc", "postproc"][task_seq as usize % 3]);
+                buf.record(
+                    time,
+                    r,
+                    TraceKind::ExecStart {
+                        task: task_seq,
+                        label,
+                    },
+                );
+                open.push((r, task_seq));
+                task_seq += 1;
+            }
+            "end" => {
+                // Close the oldest open interval (on its own resource).
+                if !open.is_empty() {
+                    let (res, task) = open.remove(0);
+                    buf.record(time, res, TraceKind::ExecEnd { task });
+                }
+            }
+            "irq" => {
+                let source = buf.intern("dsp-irq");
+                buf.record(time, r, TraceKind::Irq { source });
+            }
+            "axi" => buf.record(
+                time,
+                TraceResource::Axi,
+                TraceKind::AxiBurst {
+                    bytes: 64 + t % 4096,
+                },
+            ),
+            _ => buf.record(time, r, TraceKind::ContextSwitch),
+        }
+    }
+}
+
+/// Ring wraparound is a pure suffix window: iteration yields exactly the
+/// events an unbounded recording ends with, and `exec_intervals` over
+/// the ring equals `exec_intervals` of an unbounded buffer fed only the
+/// retained window (compared through resolved labels, so the property
+/// holds even though the two buffers mint different symbol tables).
+#[test]
+fn ring_window_preserves_exec_intervals() {
+    let mut rng = SimRng::seed_from(0x41B6_0001);
+    for case in 0..48 {
+        let n = rng.uniform_u64(1, 400) as usize;
+        let cap = rng.uniform_u64(1, 128) as usize;
+        let stream = random_stream(&mut rng, n);
+
+        let mut full = TraceBuffer::enabled();
+        replay(&mut full, &stream);
+        let mut ring = TraceBuffer::enabled_ring(cap);
+        replay(&mut ring, &stream);
+
+        // The ring holds exactly the unbounded buffer's suffix. (Not
+        // every stream item records — "end" with nothing open is a
+        // no-op — so size against what was actually recorded.)
+        let recorded = full.len();
+        let expect_len = recorded.min(cap);
+        assert_eq!(ring.len(), expect_len, "case {case}");
+        assert_eq!(
+            ring.dropped(),
+            (recorded - expect_len) as u64,
+            "case {case}"
+        );
+        assert!(
+            ring.iter().eq(full.iter().skip(recorded - expect_len)),
+            "case {case}: ring window is not the stream suffix"
+        );
+
+        // Re-record only the retained window into a fresh unbounded
+        // buffer; interval extraction must agree event for event.
+        let mut window = TraceBuffer::enabled();
+        for ev in ring.iter() {
+            // Re-intern label-carrying kinds through the window buffer.
+            let kind = match ev.kind {
+                TraceKind::ExecStart { task, label } => TraceKind::ExecStart {
+                    task,
+                    label: window.intern(ring.resolve(label)),
+                },
+                TraceKind::Irq { source } => TraceKind::Irq {
+                    source: window.intern(ring.resolve(source)),
+                },
+                k => k,
+            };
+            window.record(ev.time, ev.resource, kind);
+        }
+        let a = ring.exec_intervals();
+        let b = window.exec_intervals();
+        assert_eq!(a.len(), b.len(), "case {case}: interval count diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.resource, x.task, x.start, x.end),
+                (y.resource, y.task, y.start, y.end),
+                "case {case}: interval diverged"
+            );
+            assert_eq!(
+                ring.resolve(x.label),
+                window.resolve(y.label),
+                "case {case}: interval label diverged"
+            );
+        }
+        // Same for the window-closing variant.
+        let end = SimTime::from_ns(rng.uniform_u64(0, 500_000));
+        let a = ring.exec_intervals_until(end);
+        let b = window.exec_intervals_until(end);
+        assert_eq!(a.len(), b.len(), "case {case}: until-intervals diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.resource, x.task, x.start, x.end),
+                (y.resource, y.task, y.start, y.end),
+                "case {case}: until-interval diverged"
+            );
+        }
+    }
+}
+
+/// Symbols are never evicted: after arbitrary wraparound, every symbol
+/// ever minted still resolves to its original string — including labels
+/// whose every carrying event has been overwritten.
+#[test]
+fn resolve_roundtrips_every_symbol_after_wrap() {
+    let mut rng = SimRng::seed_from(0x41B6_0002);
+    for case in 0..32 {
+        let cap = rng.uniform_u64(1, 32) as usize;
+        let mut ring = TraceBuffer::enabled_ring(cap);
+        let labels: Vec<String> = (0..rng.uniform_u64(1, 64))
+            .map(|i| format!("label-{case}-{i}"))
+            .collect();
+        let syms: Vec<_> = labels.iter().map(|l| ring.intern(l)).collect();
+        // Record far more events than capacity, cycling the labels.
+        let rounds = cap * 4 + 7;
+        for i in 0..rounds {
+            ring.record(
+                SimTime::from_ns(i as u64),
+                TraceResource::CpuCore(0),
+                TraceKind::ExecStart {
+                    task: i as u64,
+                    label: syms[i % syms.len()],
+                },
+            );
+        }
+        assert_eq!(ring.len(), cap.min(rounds), "case {case}");
+        assert!(ring.dropped() > 0 || rounds <= cap, "case {case}");
+        for (l, s) in labels.iter().zip(&syms) {
+            assert_eq!(ring.resolve(*s), l, "case {case}: symbol lost after wrap");
+        }
+        // Symbols decoded out of retained events resolve, too.
+        for ev in ring.iter() {
+            if let TraceKind::ExecStart { label, .. } = ev.kind {
+                assert!(
+                    labels.iter().any(|l| l == ring.resolve(label)),
+                    "case {case}: decoded symbol resolves to a foreign string"
+                );
+            }
+        }
+    }
+}
+
+/// Instants (Rpc/Dvfs/Migration/Marker) survive eviction boundaries with
+/// payloads intact — the columnar codec is wraparound-oblivious.
+#[test]
+fn payloads_survive_wraparound() {
+    let mut ring = TraceBuffer::enabled_ring(3);
+    let m = ring.intern("m");
+    ring.record(
+        SimTime::from_ns(1),
+        TraceResource::CpuCore(2),
+        TraceKind::Dvfs {
+            core: 2,
+            freq_hz: 1_766_000_000,
+        },
+    );
+    ring.record(
+        SimTime::from_ns(2),
+        TraceResource::CpuCore(1),
+        TraceKind::Migration {
+            task: 9,
+            from: 1,
+            to: 6,
+        },
+    );
+    ring.record(
+        SimTime::from_ns(3),
+        TraceResource::Dsp,
+        TraceKind::Rpc {
+            phase: RpcPhase::DoorbellRing,
+        },
+    );
+    ring.record(
+        SimTime::from_ns(4),
+        TraceResource::Gpu,
+        TraceKind::Marker { label: m },
+    );
+    let got: Vec<_> = ring.iter().collect();
+    assert_eq!(got.len(), 3);
+    assert_eq!(
+        got[0].kind,
+        TraceKind::Migration {
+            task: 9,
+            from: 1,
+            to: 6
+        }
+    );
+    assert_eq!(
+        got[1].kind,
+        TraceKind::Rpc {
+            phase: RpcPhase::DoorbellRing
+        }
+    );
+    assert_eq!(got[2].kind, TraceKind::Marker { label: m });
+    assert_eq!(ring.dropped(), 1);
+}

@@ -22,6 +22,13 @@ use crate::population::{DeviceSpec, ThermalBand};
 /// Iterations of the traced energy-probe run.
 pub const PROBE_ITERS: usize = 5;
 
+/// Ring capacity (events) for the probe's trace — bounds probe memory no
+/// matter how the workload mix lands, while staying far above what
+/// [`PROBE_ITERS`] iterations can emit, so nothing is ever evicted and
+/// the probe's energy report is byte-identical to an unbounded trace
+/// (asserted by `bounded_probe_ring_never_evicts`).
+pub const PROBE_TRACE_EVENTS: usize = 1 << 20;
+
 /// Background inference loops run the light CPU engine.
 pub const BACKGROUND_ENGINE: Engine = Engine::TfLiteCpu { threads: 2 };
 
@@ -104,6 +111,7 @@ pub fn run_device(spec: &DeviceSpec, requests: u64) -> DevicePartial {
 
         let probe = base_config(spec, PROBE_ITERS, spec.probe_seed)
             .tracing(true)
+            .trace_bound(PROBE_TRACE_EVENTS)
             .run();
         if let Some(e) = probe.energy.as_ref() {
             energy_mj = e.energy_per_inference_j() * 1e3;
@@ -155,6 +163,31 @@ mod tests {
         assert!(p.energy_mj > 0.0, "probe run must meter energy");
         assert!(p.mean_power_w > 0.0);
         assert!((0.0..=1.0).contains(&p.energy_tax));
+    }
+
+    #[test]
+    fn bounded_probe_ring_never_evicts() {
+        // The probe's trace bound is a memory cap, not a window: it must
+        // be generous enough that no event is ever dropped, keeping the
+        // energy report identical to an unbounded trace.
+        let spec = any_device();
+        let bounded = base_config(&spec, PROBE_ITERS, spec.probe_seed)
+            .tracing(true)
+            .trace_bound(PROBE_TRACE_EVENTS)
+            .run();
+        let unbounded = base_config(&spec, PROBE_ITERS, spec.probe_seed)
+            .tracing(true)
+            .run();
+        let tr = bounded.trace.as_ref().expect("probe trace present");
+        assert_eq!(tr.dropped(), 0, "probe bound must never evict");
+        assert!(tr.iter().eq(unbounded.trace.as_ref().unwrap().iter()));
+        let (be, ue) = (bounded.energy.unwrap(), unbounded.energy.unwrap());
+        assert_eq!(
+            be.energy_per_inference_j().to_bits(),
+            ue.energy_per_inference_j().to_bits(),
+            "bounded probe energy must be bit-identical"
+        );
+        assert_eq!(be.mean_power_w().to_bits(), ue.mean_power_w().to_bits());
     }
 
     #[test]

@@ -186,7 +186,6 @@ mod tests {
         );
         let dvfs_events = m
             .trace
-            .events()
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::Dvfs { .. }))
             .count();

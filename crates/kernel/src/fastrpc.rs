@@ -393,7 +393,6 @@ mod tests {
         run_one(&mut m, invoke("traced", 2.0));
         let phases: Vec<RpcPhase> = m
             .trace
-            .events()
             .iter()
             .filter_map(|e| match e.kind {
                 TraceKind::Rpc { phase } => Some(phase),

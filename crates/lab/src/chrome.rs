@@ -45,8 +45,7 @@ fn span_us(start: SimTime, end: SimTime) -> String {
 /// `process_name` labels the single process (pid 1) — conventionally the
 /// SoC / scenario, e.g. `"sd845 · nnapi app"`.
 pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
-    let events = trace.events();
-    let end = events.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+    let end = trace.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
 
     let mut lines: Vec<String> = Vec::new();
     lines.push(format!(
@@ -55,7 +54,7 @@ pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
     ));
 
     // Name one thread per resource that appears, in tid order.
-    let resources: BTreeSet<TraceResource> = events.iter().map(|e| e.resource).collect();
+    let resources: BTreeSet<TraceResource> = trace.iter().map(|e| e.resource).collect();
     for r in &resources {
         lines.push(format!(
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"name\":\"thread_name\",\
@@ -85,7 +84,7 @@ pub fn chrome_trace(trace: &TraceBuffer, process_name: &str) -> String {
 
     // Instants and counters, in trace emission order.
     let mut axi_total: u64 = 0;
-    for ev in events {
+    for ev in trace.iter() {
         let t = tid(ev.resource);
         match &ev.kind {
             TraceKind::Rpc { phase } => lines.push(format!(

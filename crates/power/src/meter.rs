@@ -151,7 +151,7 @@ impl FreqTimeline {
             .iter()
             .map(|r| vec![(SimTime::ZERO, r.nominal().freq_hz)])
             .collect();
-        for ev in trace.events() {
+        for ev in trace.iter() {
             if let TraceKind::Dvfs { core, freq_hz } = ev.kind {
                 if let Some(track) = steps.get_mut(core as usize) {
                     track.push((ev.time, freq_hz as f64));
@@ -280,7 +280,7 @@ impl<'a> EnergyMeter<'a> {
 
         // Data movement: every AXI burst inside the window.
         let epb = self.spec.interconnect.energy_per_byte_j;
-        for ev in trace.events() {
+        for ev in trace.iter() {
             if let TraceKind::AxiBurst { bytes } = ev.kind {
                 if ev.time >= from && ev.time < to {
                     out.add(Rail::Axi, bytes as f64 * epb);
@@ -380,7 +380,7 @@ impl<'a> EnergyMeter<'a> {
 
         // AXI bursts land in the bin containing their timestamp.
         let epb = self.spec.interconnect.energy_per_byte_j;
-        for ev in trace.events() {
+        for ev in trace.iter() {
             if let TraceKind::AxiBurst { bytes } = ev.kind {
                 if ev.time < end {
                     deposit(

@@ -97,12 +97,7 @@ impl ProfileReport {
     ///
     /// Panics if `bin_width` is zero.
     pub fn from_trace(trace: &TraceBuffer, bin_width: SimSpan) -> Self {
-        let end = trace
-            .events()
-            .iter()
-            .map(|e| e.time)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let end = trace.iter().map(|e| e.time).max().unwrap_or(SimTime::ZERO);
         Self::from_trace_until(trace, bin_width, end)
     }
 
@@ -149,7 +144,7 @@ impl ProfileReport {
         let mut irqs = 0;
         let mut axi_bytes = 0;
         let mut axi_per_bin = vec![0u64; nbins];
-        for ev in trace.events() {
+        for ev in trace.iter() {
             if ev.time > end {
                 continue;
             }

@@ -98,7 +98,7 @@ fn check_single_occupancy(trace: &TraceBuffer) -> Vec<Violation> {
     let mut out = Vec::new();
     // resource -> currently executing task (id, label symbol).
     let mut open: HashMap<TraceResource, (u64, aitax_des::Symbol)> = HashMap::new();
-    for ev in trace.events() {
+    for ev in trace.iter() {
         match &ev.kind {
             TraceKind::ExecStart { task, label } => {
                 if let Some((other, other_label)) = open.get(&ev.resource) {
@@ -129,16 +129,20 @@ fn check_single_occupancy(trace: &TraceBuffer) -> Vec<Violation> {
 
 fn check_monotone_time(trace: &TraceBuffer) -> Vec<Violation> {
     let mut out = Vec::new();
-    for pair in trace.events().windows(2) {
-        if pair[1].time < pair[0].time {
-            out.push(violation(
-                TraceInvariant::MonotoneTime,
-                format!(
-                    "event on {} at {} emitted after event on {} at {}",
-                    pair[1].resource, pair[1].time, pair[0].resource, pair[0].time
-                ),
-            ));
+    let mut prev: Option<aitax_des::TraceEvent> = None;
+    for ev in trace.iter() {
+        if let Some(p) = prev {
+            if ev.time < p.time {
+                out.push(violation(
+                    TraceInvariant::MonotoneTime,
+                    format!(
+                        "event on {} at {} emitted after event on {} at {}",
+                        ev.resource, ev.time, p.resource, p.time
+                    ),
+                ));
+            }
         }
+        prev = Some(ev);
     }
     out
 }
@@ -147,7 +151,7 @@ fn check_exec_pairing(trace: &TraceBuffer) -> Vec<Violation> {
     let mut out = Vec::new();
     // (resource, task) -> number of currently open starts.
     let mut open: HashMap<(TraceResource, u64), u64> = HashMap::new();
-    for ev in trace.events() {
+    for ev in trace.iter() {
         match &ev.kind {
             TraceKind::ExecStart { task, .. } => {
                 *open.entry((ev.resource, *task)).or_insert(0) += 1;
@@ -184,7 +188,7 @@ fn check_migration_evidence(trace: &TraceBuffer) -> Vec<Violation> {
     let mut out = Vec::new();
     // task -> destination core of its most recent (unconsumed) migration.
     let mut pending: HashMap<u64, u8> = HashMap::new();
-    for ev in trace.events() {
+    for ev in trace.iter() {
         match &ev.kind {
             TraceKind::Migration { task, from, to } => {
                 if from == to {
@@ -230,7 +234,7 @@ fn check_migration_evidence(trace: &TraceBuffer) -> Vec<Violation> {
 pub fn check_stats_agreement(trace: &TraceBuffer, stats: &MachineStats) -> Vec<Violation> {
     let mut switches = 0u64;
     let mut migrations = 0u64;
-    for ev in trace.events() {
+    for ev in trace.iter() {
         match ev.kind {
             TraceKind::ContextSwitch => switches += 1,
             TraceKind::Migration { .. } => migrations += 1,

@@ -57,7 +57,6 @@ fn explore(name: &str, engine: Engine) -> f64 {
     let spec = SocCatalog::get(SocId::Sd845).power;
     let meter = EnergyMeter::new(&spec);
     let end = trace
-        .events()
         .last()
         .map(|e| e.time)
         .unwrap_or(aitax::des::SimTime::ZERO);
