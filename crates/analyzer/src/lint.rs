@@ -23,7 +23,7 @@ pub trait Lint {
 /// Crates whose library code must be deterministic: they run inside the
 /// simulation, so any wall-clock read, environment dependence or
 /// unordered iteration can leak into artifacts and break byte-identity.
-pub const SIM_CRATES: [&str; 14] = [
+pub const SIM_CRATES: [&str; 15] = [
     "aitax",
     "capture",
     "core",
@@ -36,6 +36,7 @@ pub const SIM_CRATES: [&str; 14] = [
     "pipeline",
     "power",
     "profiler",
+    "serve",
     "soc",
     "tensor",
 ];
@@ -57,7 +58,8 @@ pub const HOT_PATH_CRATES: [&str; 3] = ["aitax", "des", "kernel"];
 /// reachable from `Machine::step` / `Calendar::next` /
 /// `TraceBuffer::record` on the steady-state path that
 /// `sim_throughput`'s `steady_allocs` counter pins at zero.
-pub const HOT_PATH_FNS: [&str; 25] = [
+pub const HOT_PATH_FNS: [&str; 29] = [
+    "accel_enqueue",
     "advance_clock",
     "bucket_has_live",
     "cancel",
@@ -74,13 +76,16 @@ pub const HOT_PATH_FNS: [&str; 25] = [
     "on_slice_end",
     "peek_time",
     "place",
+    "preempt_running",
     "push_bucket",
     "record",
+    "runq_insert",
     "schedule_after",
     "schedule_at",
     "steal_if_idle",
     "step",
     "take_head",
+    "task_priority",
     "touch_thermal",
     "try_wander",
 ];

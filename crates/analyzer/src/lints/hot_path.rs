@@ -7,11 +7,16 @@
 //! with a counting allocator. This lint catches the regression at review
 //! time instead: any string allocation introduced into a record/step-path
 //! function shows up as a warning before it ever reaches the benchmark.
+//!
+//! The scope covers example and binary targets of the hot-path crates as
+//! well as their libraries: examples are copied as idiom, so a hot-path
+//! function pasted into `examples/` with a per-event allocation teaches
+//! the regression even if it never ships.
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::TokKind;
 use crate::lint::{prev_ident, seq_at, Lint, HOT_PATH_CRATES, HOT_PATH_FNS};
-use crate::source::{item_end_line, SourceFile};
+use crate::source::{item_end_line, Section, SourceFile};
 
 /// Identifiers that name string-typed values in the des/kernel hot path;
 /// `.clone()` on one of these is a heap copy the interner made redundant.
@@ -49,11 +54,18 @@ impl Lint for HotPathAlloc {
         if !HOT_PATH_CRATES.contains(&file.krate.as_str()) {
             return;
         }
+        // Library, example and bin targets — but never test code.
+        let in_scope = |line: u32| {
+            matches!(
+                file.section,
+                Section::Lib | Section::Examples | Section::Bin
+            ) && !file.in_test_region(line)
+        };
         let toks = &file.lexed.toks;
-        // Line ranges of hot-path function bodies in library code.
+        // Line ranges of hot-path function bodies in scoped code.
         let mut regions: Vec<(u32, u32)> = Vec::new();
         for (i, t) in toks.iter().enumerate() {
-            if t.text != "fn" || !file.is_lib_code(t.line) {
+            if t.text != "fn" || !in_scope(t.line) {
                 continue;
             }
             let Some(name) = toks.get(i + 1) else {
@@ -70,7 +82,7 @@ impl Lint for HotPathAlloc {
         }
         let in_hot = |line: u32| regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
         for (i, t) in toks.iter().enumerate() {
-            if t.kind != TokKind::Ident || !in_hot(t.line) || !file.is_lib_code(t.line) {
+            if t.kind != TokKind::Ident || !in_hot(t.line) || !in_scope(t.line) {
                 continue;
             }
             let after_dot = i > 0 && toks[i - 1].text == ".";
@@ -147,5 +159,17 @@ mod tests {
     fn test_regions_are_exempt() {
         let src = "#[cfg(test)]\nmod t {\n    fn step() { let s = format!(\"x\"); }\n}\n";
         assert!(run("crates/kernel/src/machine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn example_bins_of_hot_crates_are_covered() {
+        // A hot-path function pasted into a root-package example is still
+        // checked: examples are copied as idiom.
+        let src = "fn record(x: u32) { let s = x.to_string(); }\nfn main() { record(1); }\n";
+        let d = run("examples/trace_replay.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("to_string"));
+        // Non-hot crates' examples stay out of scope.
+        assert!(run("crates/lab/examples/sweep.rs", src).is_empty());
     }
 }

@@ -1,0 +1,52 @@
+//! Multi-tenant serving experiment: the contention scenario the paper's
+//! single-app methodology cannot see.
+//!
+//! Runs every committed `aitax-serve` scenario — an interactive
+//! viewfinder, a best-effort photo enhancer and a background indexer
+//! sharing one SoC — through the attribution pass (N solo baselines plus
+//! the mix) and prints, per tenant, what multi-tenancy cost it and who
+//! paid. `AITAX_ITERS` caps per-tenant request counts for quick runs
+//! (the committed scenarios already stay under the default).
+
+use aitax_core::report::Table;
+use aitax_serve::{run_report, scenarios};
+
+fn main() {
+    let opts = aitax_bench::opts_from_env();
+    for name in scenarios::NAMES {
+        let mut cfg = scenarios::by_name(name)
+            .expect("committed scenario")
+            .seed(opts.seed);
+        for t in &mut cfg.tenants {
+            t.requests = t.requests.min(opts.iterations);
+        }
+        let (report, _) = run_report(&cfg, aitax_lab::default_threads());
+
+        let mut table = Table::new(vec![
+            "tenant", "qos", "engine", "done", "shed", "solo p99", "mix p99", "infl", "suffered",
+            "caused", "self",
+        ]);
+        for t in &report.tenants {
+            table.row(vec![
+                t.label.clone(),
+                t.qos.label().to_string(),
+                t.engine.clone(),
+                t.completed.to_string(),
+                t.shed.to_string(),
+                format!("{:.2}", t.solo.p99),
+                format!("{:.2}", t.multi.p99),
+                format!("{:.2}x", t.multi.p99 / t.solo.p99.max(1e-9)),
+                format!("{:.1}", t.suffered_ms),
+                format!("{:.1}", t.caused_ms),
+                format!("{:.1}", t.self_ms),
+            ]);
+        }
+        aitax_bench::emit(
+            &format!(
+                "serving '{}' — mix added {:.1} ms over solo (all attributed)",
+                report.scenario, report.added_ms
+            ),
+            &table,
+        );
+    }
+}

@@ -294,6 +294,7 @@ pub fn fig7_trace() -> (aitax_des::TraceBuffer, aitax_des::SimTime) {
             out_bytes: 64,
             dsp_work: SimSpan::from_ms(1.0),
             device: RpcDevice::Dsp,
+            ..Default::default()
         },
         |_| {},
     );
@@ -307,6 +308,7 @@ pub fn fig7_trace() -> (aitax_des::TraceBuffer, aitax_des::SimTime) {
             out_bytes: 1_001,
             dsp_work: cost::dsp_exec_span(&m.spec().dsp, 569_000_000, cost::NNAPI_DSP_EFFICIENCY),
             device: RpcDevice::Dsp,
+            ..Default::default()
         },
         |_| {},
     );

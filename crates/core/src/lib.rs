@@ -26,6 +26,8 @@
 //!   inference, EDP),
 //! * [`experiment`] — one pre-configured experiment per table/figure of
 //!   the paper,
+//! * [`tenant`] — QoS classes and per-tenant tax attribution for the
+//!   multi-tenant serving layer (`aitax-serve`),
 //! * [`report`] — plain-text / TSV rendering.
 //!
 //! # Example
@@ -60,6 +62,7 @@ pub mod runmode;
 pub mod stage;
 pub mod stats;
 pub mod taxonomy;
+pub mod tenant;
 
 pub use degradation::DegradationReport;
 pub use energy::EnergyReport;
@@ -67,3 +70,4 @@ pub use pipeline::{E2eConfig, E2eReport};
 pub use runmode::RunMode;
 pub use stage::{Stage, TaxonomyCategory};
 pub use stats::{DistStats, LogHistogram, StreamDist, Summary, Welford, CDF_BUCKETS};
+pub use tenant::{QosClass, TenantTax};

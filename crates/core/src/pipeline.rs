@@ -466,6 +466,7 @@ impl Driver {
                 out_bytes: self.graph.input_bytes(),
                 dsp_work: span,
                 device: aitax_kernel::RpcDevice::Dsp,
+                ..Default::default()
             };
             m.fastrpc_invoke_result(invoke, move |m, outcome| {
                 if outcome.is_ok() {

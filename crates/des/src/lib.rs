@@ -30,6 +30,7 @@
 //! # let _ = a;
 //! ```
 
+pub mod arbiter;
 pub mod calendar;
 pub mod fault;
 pub mod rng;
@@ -37,6 +38,7 @@ pub mod symbol;
 pub mod time;
 pub mod trace;
 
+pub use arbiter::{Acquired, Arbiter, ArbiterEvent, HoldId, Ticket};
 #[cfg(any(test, feature = "legacy-oracle"))]
 pub use calendar::legacy::LegacyCalendar;
 pub use calendar::{Calendar, Token};

@@ -22,6 +22,7 @@ use std::time::Instant;
 use aitax_fleet::{artifact, FleetReport, PopulationSpec};
 
 struct Opts {
+    help: bool,
     name: String,
     population: usize,
     requests: u64,
@@ -29,6 +30,7 @@ struct Opts {
     threads: usize,
     seed: u64,
     fault_rate: f64,
+    multi_tenant_rate: f64,
     out: PathBuf,
     bench: PathBuf,
     verify: bool,
@@ -43,12 +45,30 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
 
 fn usage() -> &'static str {
     "usage: fleet [--population N] [--requests N] [--shards N] [--threads N] [--seed N]\n\
-     \x20            [--name S] [--fault-rate F] [--out DIR] [--bench PATH]\n\
-     \x20            [--verify-determinism]"
+     \x20            [--name S] [--fault-rate F] [--multi-tenant-rate F] [--out DIR]\n\
+     \x20            [--bench PATH] [--verify-determinism] [--help]\n\
+     \n\
+     options:\n\
+     \x20 --population N        devices to sample (default 256)\n\
+     \x20 --requests N          total requests across the fleet (default 100000)\n\
+     \x20 --shards N            deterministic work split (default 64); artifact bytes\n\
+     \x20                       do not depend on this\n\
+     \x20 --threads N           worker threads (default: AITAX_THREADS or all cores)\n\
+     \x20 --seed N              root seed (default: AITAX_SEED or 1)\n\
+     \x20 --name S              population name for artifacts (default 'default')\n\
+     \x20 --fault-rate F        per-request fault probability in [0,1] (default 0.03)\n\
+     \x20 --multi-tenant-rate F probability a device runs a co-resident tenant\n\
+     \x20                       workload, in [0,1] (default 0: single-tenant)\n\
+     \x20 --out DIR             artifact directory (default target/fleet)\n\
+     \x20 --bench PATH          trajectory file (default BENCH_fleet.json)\n\
+     \x20 --verify-determinism  re-run serially under a different shard split and\n\
+     \x20                       byte-compare artifacts (roughly doubles the runtime)\n\
+     \x20 --help, -h            print this help"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
+        help: false,
         name: "default".into(),
         population: 256,
         requests: 100_000,
@@ -56,6 +76,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         threads: aitax_lab::default_threads(),
         seed: env_parse("AITAX_SEED", 1),
         fault_rate: 0.03,
+        multi_tenant_rate: 0.0,
         out: PathBuf::from("target/fleet"),
         bench: PathBuf::from("BENCH_fleet.json"),
         verify: false,
@@ -68,6 +89,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
             "--name" => opts.name = value("--name")?,
             "--population" => {
                 opts.population = value("--population")?
@@ -109,6 +134,14 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "--fault-rate must be a number in [0,1]".to_string())?;
                 if !(0.0..=1.0).contains(&opts.fault_rate) {
                     return Err("--fault-rate must be in [0,1]".into());
+                }
+            }
+            "--multi-tenant-rate" => {
+                opts.multi_tenant_rate = value("--multi-tenant-rate")?
+                    .parse()
+                    .map_err(|_| "--multi-tenant-rate must be a number in [0,1]".to_string())?;
+                if !(0.0..=1.0).contains(&opts.multi_tenant_rate) {
+                    return Err("--multi-tenant-rate must be in [0,1]".into());
                 }
             }
             "--out" => opts.out = PathBuf::from(value("--out")?),
@@ -180,10 +213,16 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
     let spec = PopulationSpec::new(opts.name.clone())
         .devices(opts.population)
         .seed(opts.seed)
-        .fault_rate(opts.fault_rate);
+        .fault_rate(opts.fault_rate)
+        .multi_tenant_rate(opts.multi_tenant_rate);
 
     let (report, secs) = simulate(&spec, opts.requests, opts.shards, opts.threads);
     eprintln!(

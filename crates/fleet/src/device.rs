@@ -71,7 +71,12 @@ fn base_config(spec: &DeviceSpec, iterations: usize, seed: u64) -> E2eConfig {
         .iterations(iterations)
         .seed(seed)
         .initial_temp(spec.ambient_c);
-    if spec.background_loops > 0 {
+    if let Some(co) = spec.co_tenant {
+        // The co-resident tenant contends for the whole run: one loop
+        // for the tenant itself, on its own routed engine, absorbing the
+        // sampled background pressure.
+        cfg = cfg.background(spec.background_loops + 1, co.engine);
+    } else if spec.background_loops > 0 {
         cfg = cfg.background(spec.background_loops, BACKGROUND_ENGINE);
     }
     if let Some((kind, start_ns)) = spec.fault {
@@ -188,6 +193,72 @@ mod tests {
             "bounded probe energy must be bit-identical"
         );
         assert_eq!(be.mean_power_w().to_bits(), ue.mean_power_w().to_bits());
+    }
+
+    #[test]
+    fn co_tenant_contention_slows_the_main_workload() {
+        use crate::population::CoTenant;
+        let solo = any_device();
+        let shared = DeviceSpec {
+            co_tenant: Some(CoTenant {
+                workload: "classifier-inc3-cpu",
+                engine: Engine::tflite_cpu(4),
+            }),
+            ..solo.clone()
+        };
+        let a = run_device(&solo, 8);
+        let b = run_device(&shared, 8);
+        assert!(
+            b.latency.mean() > a.latency.mean(),
+            "a co-resident CPU tenant must contend: {} vs {} ms",
+            b.latency.mean(),
+            a.latency.mean()
+        );
+    }
+
+    #[test]
+    fn every_sampled_co_tenant_engine_runs_the_host_graph() {
+        use aitax_framework::Session;
+        use aitax_models::zoo::Zoo;
+        use aitax_soc::SocCatalog;
+        use std::rc::Rc;
+        // At rate 1.0 the mix crosses float hosts with accelerator
+        // co-tenant draws; the sampler must route those to an engine the
+        // host graph compiles on (quant-only DSP delegates reject fp32),
+        // or the fleet run panics mid-population.
+        let pop = PopulationSpec::new("t")
+            .devices(256)
+            .seed(11)
+            .multi_tenant_rate(1.0);
+        let mut float_accel_crossings = 0;
+        for k in 0..pop.devices {
+            let d = pop.device(k);
+            let Some(co) = d.co_tenant else { continue };
+            let graph = Rc::new(Zoo::entry(d.model).build_graph_with(d.dtype));
+            assert!(
+                Session::compile(co.engine, graph, &SocCatalog::get(d.soc)).is_ok(),
+                "device {k}: co-tenant engine {} cannot run the {:?} host graph",
+                co.engine.label(),
+                d.dtype
+            );
+            if !d.dtype.is_quantized() && co.workload.ends_with("-accel") {
+                float_accel_crossings += 1;
+            }
+        }
+        assert!(
+            float_accel_crossings > 0,
+            "the sample never crossed a float host with an accelerator co-tenant"
+        );
+        // And one such device runs end to end.
+        let spec = (0..pop.devices)
+            .map(|k| pop.device(k))
+            .find(|d| {
+                !d.dtype.is_quantized()
+                    && d.co_tenant.is_some_and(|c| c.workload.ends_with("-accel"))
+            })
+            .expect("crossing exists per the count above");
+        let p = run_device(&spec, 2);
+        assert_eq!(p.latency.count(), 2);
     }
 
     #[test]

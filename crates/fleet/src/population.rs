@@ -23,6 +23,11 @@ pub const STREAM_DEVICE: u64 = 1;
 pub const STREAM_RUN: u64 = 2;
 /// High-level stream id for the traced energy-probe run of a device.
 pub const STREAM_PROBE: u64 = 3;
+/// High-level stream id for co-resident tenant sampling. A separate
+/// stream so enabling multi-tenancy never perturbs the device fields the
+/// other streams sample — artifacts at `multi_tenant_rate` 0 stay
+/// byte-identical to populations sampled before the knob existed.
+pub const STREAM_TENANT: u64 = 4;
 
 /// Ambient thermal cohort a device falls into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -204,6 +209,18 @@ pub const BACKGROUND_MIX: [u64; 4] = [45, 30, 17, 8];
 /// loops off, CPU interpreter capped at 2 threads).
 pub const BATTERY_SAVER_BELOW: f64 = 0.20;
 
+/// A second, co-resident serving tenant sampled onto a device: the
+/// `aitax-serve` mix seen at population scale. The co-tenant's engine
+/// contends with the device's main workload for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoTenant {
+    /// Workload label of the co-resident tenant (cohort key).
+    pub workload: &'static str,
+    /// The engine the co-tenant's loop runs, routed for the device's
+    /// chipset.
+    pub engine: Engine,
+}
+
 /// A fleet described as weighted distributions plus a seed.
 #[derive(Debug, Clone)]
 pub struct PopulationSpec {
@@ -215,16 +232,21 @@ pub struct PopulationSpec {
     pub seed: u64,
     /// Probability that a device carries a sustained fault.
     pub fault_rate: f64,
+    /// Probability that a device runs a co-resident tenant workload
+    /// (default 0: single-tenant, the pre-serve population).
+    pub multi_tenant_rate: f64,
 }
 
 impl PopulationSpec {
-    /// The default population: 256 devices, seed 1, 3% faulty.
+    /// The default population: 256 devices, seed 1, 3% faulty,
+    /// single-tenant.
     pub fn new(name: impl Into<String>) -> Self {
         PopulationSpec {
             name: name.into(),
             devices: 256,
             seed: 1,
             fault_rate: 0.03,
+            multi_tenant_rate: 0.0,
         }
     }
 
@@ -248,6 +270,20 @@ impl PopulationSpec {
     pub fn fault_rate(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "fault rate must be in [0,1]");
         self.fault_rate = p;
+        self
+    }
+
+    /// Sets the probability that a device runs a co-resident tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn multi_tenant_rate(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "multi-tenant rate must be in [0,1]"
+        );
+        self.multi_tenant_rate = p;
         self
     }
 
@@ -282,6 +318,30 @@ impl PopulationSpec {
         } else {
             None
         };
+        // Co-tenant sampling draws from its own stream (see
+        // [`STREAM_TENANT`]) and saver mode defers it like any other
+        // non-foreground work.
+        let mut trng = root.derive2(STREAM_TENANT, k as u64);
+        let co_tenant = if !battery_saver && trng.chance(self.multi_tenant_rate) {
+            let w = WORKLOADS[weighted_index(&mut trng, &WORKLOADS.map(|w| w.weight))];
+            // The co-tenant loop re-runs the host graph on its own engine
+            // (`E2eConfig::background` takes one graph); quant-only DSP
+            // delegates reject float graphs, so on a float host those
+            // co-tenants fall back to the CPU interpreter the way a real
+            // delegate rejection does.
+            let mut engine = w.path.engine_for(soc);
+            if !workload.dtype.is_quantized()
+                && matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp)
+            {
+                engine = Engine::tflite_cpu(2);
+            }
+            Some(CoTenant {
+                workload: w.label,
+                engine,
+            })
+        } else {
+            None
+        };
 
         DeviceSpec {
             id: k,
@@ -296,6 +356,7 @@ impl PopulationSpec {
             dtype: workload.dtype,
             engine: path.engine_for(soc),
             fault,
+            co_tenant,
             run_seed: root.derive2(STREAM_RUN, k as u64).next_u64(),
             probe_seed: root.derive2(STREAM_PROBE, k as u64).next_u64(),
         }
@@ -357,6 +418,8 @@ pub struct DeviceSpec {
     pub engine: Engine,
     /// Sustained fault this device carries: `(kind, start_ns)`.
     pub fault: Option<(FaultKind, u64)>,
+    /// Co-resident tenant workload, if one was sampled.
+    pub co_tenant: Option<CoTenant>,
     /// Seed of the main latency run.
     pub run_seed: u64,
     /// Seed of the traced energy-probe run.
@@ -424,6 +487,35 @@ mod tests {
                 assert!(w.dtype.is_quantized(), "{} must be I8", w.label);
             }
         }
+    }
+
+    #[test]
+    fn co_tenants_sample_only_when_enabled_and_never_perturb_devices() {
+        let p = spec();
+        let multi = spec().multi_tenant_rate(0.6);
+        let mut with_co = 0usize;
+        for k in 0..p.devices {
+            let base = p.device(k);
+            assert!(base.co_tenant.is_none(), "default rate is single-tenant");
+            let m = multi.device(k);
+            // The tenant stream is separate: every other sampled field
+            // is identical whether or not multi-tenancy is enabled.
+            assert_eq!(
+                DeviceSpec {
+                    co_tenant: None,
+                    ..m.clone()
+                },
+                base
+            );
+            if let Some(co) = m.co_tenant {
+                with_co += 1;
+                assert!(!m.battery_saver, "saver mode defers co-tenants");
+                assert!(WORKLOADS.iter().any(|w| w.label == co.workload));
+            }
+        }
+        assert!(with_co > 100, "rate 0.6 of 512 devices: got {with_co}");
+        // Purity holds for the tenant stream too.
+        assert_eq!(multi.device(17), multi.device(17));
     }
 
     #[test]

@@ -241,6 +241,30 @@ struct Inner {
     /// partition straight to the CPU reference path (the real NNAPI
     /// behavior behind Fig. 6's fallback profile).
     accel_broken: Cell<bool>,
+    /// QoS priority stamped on every CPU task and FastRPC invocation this
+    /// session submits. Zero (the default) reproduces the legacy schedule
+    /// byte-for-byte.
+    qos_priority: Cell<i8>,
+    /// Whether an NNAPI-style burst object is open (see
+    /// [`Session::begin_burst`]).
+    burst_active: Cell<bool>,
+    /// Whether the open burst has already paid its full-cost first
+    /// invocation; later ones amortize the ioctl setup.
+    burst_warm: Cell<bool>,
+}
+
+impl Inner {
+    /// Burst flag for the next FastRPC invocation: the first call inside
+    /// an open burst pays full ioctl cost and warms the burst; subsequent
+    /// calls ride the amortized path.
+    fn burst_flag(&self) -> bool {
+        if !self.burst_active.get() {
+            return false;
+        }
+        let warm = self.burst_warm.get();
+        self.burst_warm.set(true);
+        warm
+    }
 }
 
 /// A model compiled for a specific engine and SoC, ready to invoke.
@@ -299,6 +323,9 @@ impl Session {
                 plan,
                 dsp_probe_done: Cell::new(false),
                 accel_broken: Cell::new(false),
+                qos_priority: Cell::new(0),
+                burst_active: Cell::new(false),
+                burst_warm: Cell::new(false),
             }),
             engine,
         })
@@ -319,6 +346,38 @@ impl Session {
         &self.inner.graph
     }
 
+    /// Sets the QoS priority stamped on every CPU task and FastRPC
+    /// invocation this session submits from now on. Zero (the default)
+    /// reproduces the legacy schedule byte-for-byte; positive priorities
+    /// order ahead in run queues, may preempt lower-priority CPU work,
+    /// and jump the accelerator queue.
+    pub fn set_priority(&self, priority: i8) {
+        self.inner.qos_priority.set(priority);
+    }
+
+    /// The session's current QoS priority.
+    pub fn priority(&self) -> i8 {
+        self.inner.qos_priority.get()
+    }
+
+    /// Opens an NNAPI-style burst object: the first invocation after this
+    /// call pays the full FastRPC ioctl setup, and every back-to-back
+    /// invocation until [`Session::end_burst`] amortizes it down to
+    /// [`BURST_IOCTL_FACTOR`](aitax_kernel::fastrpc::BURST_IOCTL_FACTOR)
+    /// of the entry/return cycles. Cache maintenance, doorbells, and
+    /// completion signals stay at full price — they are physical per-call
+    /// costs a burst cannot amortize.
+    pub fn begin_burst(&self) {
+        self.inner.burst_active.set(true);
+        self.inner.burst_warm.set(false);
+    }
+
+    /// Closes the burst object; the next invocation pays full setup again.
+    pub fn end_burst(&self) {
+        self.inner.burst_active.set(false);
+        self.inner.burst_warm.set(false);
+    }
+
     /// Runs the one-time model-initialization work (load, compile,
     /// partition, driver prepare) on the machine, then fires `on_done`.
     pub fn initialize(&self, m: &mut Machine, on_done: impl FnOnce(&mut Machine) + 'static) {
@@ -326,7 +385,8 @@ impl Session {
         let task = TaskSpec::foreground(
             format!("model-init:{}", self.inner.graph.name()),
             Work::Span(span),
-        );
+        )
+        .with_priority(self.inner.qos_priority.get());
         m.submit_cpu(task, on_done);
     }
 
@@ -344,6 +404,8 @@ impl Session {
                 out_bytes: 64,
                 dsp_work: SimSpan::from_us(400.0),
                 device: RpcDevice::Dsp,
+                priority: inner.qos_priority.get(),
+                burst: inner.burst_flag(),
             };
             let chain_inner = inner.clone();
             let done: DoneCb = Box::new(on_done);
@@ -382,7 +444,8 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
             let task = TaskSpec::nnapi_fallback(
                 format!("nnapi-ref:{}", inner.graph.name()),
                 Work::Cycles(cycles),
-            );
+            )
+            .with_priority(inner.qos_priority.get());
             m.submit_cpu(task, next);
         }
         ExecTarget::Dsp { efficiency } => {
@@ -397,6 +460,8 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 out_bytes: part.out_bytes,
                 dsp_work: work,
                 device: RpcDevice::Dsp,
+                priority: inner.qos_priority.get(),
+                burst: inner.burst_flag(),
             };
             let macs = part.macs;
             m.fastrpc_invoke_result(invoke, move |m, outcome| match outcome {
@@ -425,6 +490,8 @@ fn run_partition(inner: Rc<Inner>, idx: usize, m: &mut Machine, done: DoneCb) {
                 out_bytes: part.out_bytes,
                 dsp_work: work,
                 device: RpcDevice::Npu,
+                priority: inner.qos_priority.get(),
+                burst: inner.burst_flag(),
             };
             let macs = part.macs;
             m.fastrpc_invoke_result(invoke, move |m, outcome| match outcome {
@@ -460,7 +527,8 @@ fn run_cpu_fallback(inner: Rc<Inner>, macs: u64, planned: SimSpan, m: &mut Machi
     let task = TaskSpec::nnapi_fallback(
         format!("fallback:{}", inner.graph.name()),
         Work::Cycles(cycles),
-    );
+    )
+    .with_priority(inner.qos_priority.get());
     let start = m.now();
     m.submit_cpu(task, move |m| {
         let actual = m.now() - start;
@@ -498,8 +566,9 @@ fn run_cpu_op(
     } else {
         Work::Fp32Flops(per_thread)
     };
+    let prio = inner.qos_priority.get();
     let specs: Vec<TaskSpec> = (0..threads)
-        .map(|t| TaskSpec::foreground(format!("{}#{t}", node.name), work))
+        .map(|t| TaskSpec::foreground(format!("{}#{t}", node.name), work).with_priority(prio))
         .collect();
     let next_inner = inner.clone();
     m.submit_cpu_parallel(specs, move |m| {

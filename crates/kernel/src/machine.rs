@@ -22,6 +22,8 @@ pub struct MachineStats {
     pub context_switches: u64,
     /// Task migrations between cores (idle steals + wandering).
     pub migrations: u64,
+    /// Running tasks displaced mid-slice by a higher-priority arrival.
+    pub preemptions: u64,
     /// CPU tasks completed.
     pub tasks_completed: u64,
     /// DSP jobs completed.
@@ -90,6 +92,9 @@ pub(crate) struct Task {
     pub remaining: f64,
     pub class: TaskClass,
     pub affinity: CoreMask,
+    /// QoS priority band (zero = legacy default; see
+    /// [`TaskSpec::priority`](crate::TaskSpec::priority)).
+    pub priority: i8,
     pub on_done: Option<Callback>,
     /// Extra delay to pay before the next slice (migration penalty).
     pub pending_penalty: SimSpan,
@@ -103,6 +108,9 @@ pub(crate) struct Running {
     pub work_start: SimTime,
     /// Work units retired per second during this slice.
     pub rate: f64,
+    /// Calendar token of the pending `SliceEnd`, so a preemption can
+    /// cancel it without disturbing any other scheduled event.
+    pub slice_token: Token,
 }
 
 #[derive(Default)]
@@ -124,6 +132,11 @@ pub(crate) struct AccelJob {
     pub exec: SimSpan,
     pub on_done: Callback,
     pub trace_id: u64,
+    /// QoS priority: higher values order ahead in the wait queue. The
+    /// running job is never preempted — the device is non-preemptible —
+    /// so priority governs grant order only. Zero (the default) keeps
+    /// plain FIFO order byte-identical.
+    pub priority: i8,
 }
 
 #[derive(Default)]
@@ -531,15 +544,43 @@ impl Machine {
         exec: SimSpan,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
+        self.submit_dsp_prio(label, exec, 0, on_done);
+    }
+
+    /// Like [`Machine::submit_dsp_raw`], but with a QoS priority: the job
+    /// is inserted ahead of every strictly-lower-priority waiter (FIFO
+    /// within a band). Priority zero is exactly `submit_dsp_raw`.
+    pub fn submit_dsp_prio(
+        &mut self,
+        label: impl AsRef<str>,
+        exec: SimSpan,
+        priority: i8,
+        on_done: impl FnOnce(&mut Machine) + 'static,
+    ) {
         let trace_id = self.fresh_obj_id();
         let job = AccelJob {
             label: self.trace.intern(label.as_ref()),
             exec,
             on_done: Box::new(on_done),
             trace_id,
+            priority,
         };
-        self.dsp.queue.push_back(job);
+        Self::accel_enqueue(&mut self.dsp, job);
         self.maybe_start_accel(AccelKind::Dsp);
+    }
+
+    /// Priority-ordered insertion into an accelerator wait queue: ahead
+    /// of the first strictly-lower-priority waiter, FIFO within a band.
+    /// A zero-priority job on an all-zero queue lands at the back — the
+    /// legacy FIFO byte-for-byte.
+    fn accel_enqueue(state: &mut AccelState, job: AccelJob) {
+        if job.priority != 0 {
+            if let Some(pos) = state.queue.iter().position(|q| q.priority < job.priority) {
+                state.queue.insert(pos, job);
+                return;
+            }
+        }
+        state.queue.push_back(job);
     }
 
     /// Marks the DSP process mapping as established.
@@ -556,6 +597,7 @@ impl Machine {
             exec,
             on_done: Box::new(on_done),
             trace_id,
+            priority: 0,
         });
         self.maybe_start_accel(AccelKind::Gpu);
     }
@@ -579,18 +621,36 @@ impl Machine {
         exec: SimSpan,
         on_done: impl FnOnce(&mut Machine) + 'static,
     ) {
+        self.submit_npu_prio(label, exec, 0, on_done);
+    }
+
+    /// Like [`Machine::submit_npu_raw`], but with a QoS priority (see
+    /// [`Machine::submit_dsp_prio`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SoC has no NPU.
+    pub fn submit_npu_prio(
+        &mut self,
+        label: impl AsRef<str>,
+        exec: SimSpan,
+        priority: i8,
+        on_done: impl FnOnce(&mut Machine) + 'static,
+    ) {
         assert!(
             self.spec.npu.is_some(),
             "{} has no NPU block",
             self.spec.name
         );
         let trace_id = self.fresh_obj_id();
-        self.npu.queue.push_back(AccelJob {
+        let job = AccelJob {
             label: self.trace.intern(label.as_ref()),
             exec,
             on_done: Box::new(on_done),
             trace_id,
-        });
+            priority,
+        };
+        Self::accel_enqueue(&mut self.npu, job);
         self.maybe_start_accel(AccelKind::Npu);
     }
 

@@ -55,6 +55,7 @@ impl Machine {
             remaining: spec.work.amount().max(0.0),
             class: spec.class,
             affinity,
+            priority: spec.priority,
             on_done: Some(Box::new(on_done)),
             pending_penalty: SimSpan::ZERO,
             last_core: None,
@@ -142,22 +143,99 @@ impl Machine {
         best.expect("affinity mask excludes every core on this SoC")
     }
 
+    /// Priority of a task, zero once its record is gone.
+    fn task_priority(&self, id: TaskId) -> i8 {
+        self.tasks[id.0 as usize]
+            .as_ref()
+            .map(|t| t.priority)
+            .unwrap_or(0)
+    }
+
+    /// Inserts `id` into a core's run queue honoring QoS priority: ahead
+    /// of the first strictly-lower-priority waiter, FIFO within a band.
+    /// A zero-priority task on an all-zero queue lands at the back — the
+    /// legacy order byte-for-byte.
+    fn runq_insert(&mut self, core: usize, id: TaskId) {
+        let prio = self.task_priority(id);
+        if prio != 0 {
+            let pos = self.cores[core]
+                .runq
+                .iter()
+                .position(|&q| self.task_priority(q) < prio);
+            if let Some(pos) = pos {
+                self.cores[core].runq.insert(pos, id);
+                return;
+            }
+        }
+        self.cores[core].runq.push_back(id);
+    }
+
     fn enqueue(&mut self, core: usize, id: TaskId) {
         // Kernel/driver work (ioctl handling, cache maintenance) jumps the
         // queue, as softirq-style work does on a real kernel — this keeps
         // offload round trips responsive even under CPU contention.
-        let is_kernel_work = self.tasks[id.0 as usize]
+        // Within the driver path a QoS priority orders the queue-jumpers
+        // among themselves.
+        let (is_kernel_work, prio) = self.tasks[id.0 as usize]
             .as_ref()
-            .map(|t| t.class == TaskClass::KernelWork)
-            .unwrap_or(false);
+            .map(|t| (t.class == TaskClass::KernelWork, t.priority))
+            .unwrap_or((false, 0));
         if is_kernel_work {
             self.cores[core].runq.push_front(id);
         } else {
-            self.cores[core].runq.push_back(id);
+            self.runq_insert(core, id);
         }
         if self.cores[core].running.is_none() {
             self.dispatch_next(core);
+        } else if prio > 0 {
+            // A strictly-higher-priority arrival displaces the running
+            // task mid-slice; equal priority waits out the slice.
+            let victim_prio = self.cores[core]
+                .running
+                .as_ref()
+                .map(|r| self.task_priority(r.task))
+                .unwrap_or(i8::MAX);
+            if prio > victim_prio {
+                self.preempt_running(core);
+                self.dispatch_next(core);
+            }
         }
+    }
+
+    /// Displaces the running task: cancels its pending slice end, banks
+    /// the work it retired so far, and requeues it by its own priority.
+    /// The caller dispatches next.
+    fn preempt_running(&mut self, core: usize) {
+        // Price the truncated busy slice exactly as a natural slice end
+        // would, so thermal/DVFS accounting cannot tell the difference.
+        self.touch_thermal();
+        self.gov_observe(core, false);
+        let running = self.cores[core]
+            .running
+            .take()
+            // aitax-allow(panic-path): preemption is only triggered while a task is running
+            .expect("preempting an idle core");
+        let cancelled = self.cal.cancel(running.slice_token);
+        debug_assert!(cancelled, "running task must have a live slice end");
+        self.take_event(running.slice_token);
+        let now = self.cal.now();
+        let id = running.task;
+        self.trace.record(
+            now,
+            TraceResource::CpuCore(core as u8),
+            TraceKind::ExecEnd { task: id.0 },
+        );
+        if let Some(task) = self.tasks[id.0 as usize].as_mut() {
+            // The preemption may land inside the switch-cost/penalty
+            // window, before useful work resumed.
+            if now > running.work_start {
+                let ran = now.since(running.work_start);
+                task.cpu_time += ran;
+                task.remaining -= ran.as_secs() * running.rate;
+            }
+        }
+        self.stats_mut().preemptions += 1;
+        self.runq_insert(core, id);
     }
 
     pub(crate) fn dispatch_next(&mut self, core: usize) {
@@ -218,6 +296,7 @@ impl Machine {
             task: id,
             work_start,
             rate,
+            slice_token: token,
         });
         self.cores[core].last_task = Some(id);
         self.trace.record(
@@ -285,14 +364,8 @@ impl Machine {
             }
             return;
         }
-        if self.cores[core].runq.is_empty() {
-            // Sole runnable task: next slice continues without switch cost.
-            self.cores[core].runq.push_back(id);
-            self.dispatch_next(core);
-        } else {
-            self.cores[core].runq.push_back(id);
-            self.dispatch_next(core);
-        }
+        self.runq_insert(core, id);
+        self.dispatch_next(core);
     }
 
     /// Rebalances a wandering task to a random other eligible core.
@@ -340,7 +413,7 @@ impl Machine {
                 to: to as u8,
             },
         );
-        self.cores[to].runq.push_back(id);
+        self.runq_insert(to, id);
         if self.cores[to].running.is_none() {
             self.dispatch_next(to);
         }
@@ -552,6 +625,96 @@ mod tests {
         // With stealing, 3×10ms over 2 cores ≲ 21ms; without, 30ms.
         assert!(m.now().as_ms() < 25.0, "end {}", m.now());
         assert!(m.stats().migrations >= 1);
+    }
+
+    #[test]
+    fn high_priority_arrival_preempts_running_task() {
+        let mut m = machine();
+        let order: Rc<std::cell::RefCell<Vec<&'static str>>> = Rc::default();
+        let mask = CoreMask::of(&[0]);
+        let o = order.clone();
+        m.submit_cpu(
+            TaskSpec::foreground("lo", Work::Fp32Flops(BIG_FLOPS * 0.02)).with_affinity(mask),
+            move |_| o.borrow_mut().push("lo"),
+        );
+        let o = order.clone();
+        // Arrives while "lo" occupies the only eligible core.
+        m.submit_cpu(
+            TaskSpec::foreground("hi", Work::Fp32Flops(BIG_FLOPS * 0.005))
+                .with_affinity(mask)
+                .with_priority(2),
+            move |_| o.borrow_mut().push("hi"),
+        );
+        m.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["hi", "lo"]);
+        assert!(m.stats().preemptions >= 1, "{:?}", m.stats());
+    }
+
+    #[test]
+    fn equal_priority_waits_out_the_slice() {
+        let mut m = machine();
+        let mask = CoreMask::of(&[0]);
+        m.submit_cpu(
+            TaskSpec::foreground("a", Work::Fp32Flops(BIG_FLOPS * 0.02)).with_affinity(mask),
+            |_| {},
+        );
+        m.submit_cpu(
+            TaskSpec::foreground("b", Work::Fp32Flops(BIG_FLOPS * 0.02)).with_affinity(mask),
+            |_| {},
+        );
+        m.run_until_idle();
+        assert_eq!(m.stats().preemptions, 0);
+    }
+
+    #[test]
+    fn priority_orders_waiters_within_one_runq() {
+        let mut m = machine();
+        let order: Rc<std::cell::RefCell<Vec<u32>>> = Rc::default();
+        let mask = CoreMask::of(&[0]);
+        // Occupy the core, then queue prio 0, 1, 2 behind it: the queue
+        // must drain 2, 1, 0 regardless of arrival order.
+        m.submit_cpu(
+            TaskSpec::foreground("busy", Work::Fp32Flops(BIG_FLOPS * 0.001)).with_affinity(mask),
+            |_| {},
+        );
+        for prio in [0i8, 1, 2] {
+            let o = order.clone();
+            m.submit_cpu(
+                TaskSpec::background(format!("p{prio}"), Work::Cycles(1e5))
+                    .with_affinity(mask)
+                    .with_priority(prio),
+                move |_| o.borrow_mut().push(prio as u32),
+            );
+        }
+        m.run_until_idle();
+        assert_eq!(*order.borrow(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn accel_queue_grants_by_priority() {
+        use aitax_des::SimSpan;
+        let mut m = machine();
+        let order: Rc<std::cell::RefCell<Vec<&'static str>>> = Rc::default();
+        let o = order.clone();
+        // First job starts immediately; the rest queue and must drain in
+        // priority order (FIFO within a band), never preempting a runner.
+        m.submit_dsp_prio("first", SimSpan::from_us(100.0), 0, move |_| {
+            o.borrow_mut().push("first")
+        });
+        let o = order.clone();
+        m.submit_dsp_prio("lo", SimSpan::from_us(10.0), 0, move |_| {
+            o.borrow_mut().push("lo")
+        });
+        let o = order.clone();
+        m.submit_dsp_prio("hi", SimSpan::from_us(10.0), 2, move |_| {
+            o.borrow_mut().push("hi")
+        });
+        let o = order.clone();
+        m.submit_dsp_prio("mid", SimSpan::from_us(10.0), 1, move |_| {
+            o.borrow_mut().push("mid")
+        });
+        m.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["first", "hi", "mid", "lo"]);
     }
 
     #[test]

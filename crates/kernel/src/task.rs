@@ -133,6 +133,12 @@ pub struct TaskSpec {
     /// Core affinity. `None` lets the class decide (foreground → big
     /// cores, others → all cores).
     pub affinity: Option<CoreMask>,
+    /// QoS priority. Zero is the default band every pre-existing workload
+    /// runs in; positive priorities order ahead of it in run queues and
+    /// may preempt a strictly-lower-priority running task. All-zero
+    /// priorities reproduce the plain weighted-round-robin schedule
+    /// byte-for-byte.
+    pub priority: i8,
 }
 
 impl TaskSpec {
@@ -143,6 +149,7 @@ impl TaskSpec {
             work,
             class: TaskClass::Foreground,
             affinity: None,
+            priority: 0,
         }
     }
 
@@ -153,6 +160,7 @@ impl TaskSpec {
             work,
             class: TaskClass::Background,
             affinity: None,
+            priority: 0,
         }
     }
 
@@ -163,6 +171,7 @@ impl TaskSpec {
             work,
             class: TaskClass::KernelWork,
             affinity: None,
+            priority: 0,
         }
     }
 
@@ -173,12 +182,19 @@ impl TaskSpec {
             work,
             class: TaskClass::NnapiFallback,
             affinity: None,
+            priority: 0,
         }
     }
 
     /// Overrides the affinity.
     pub fn with_affinity(mut self, mask: CoreMask) -> Self {
         self.affinity = Some(mask);
+        self
+    }
+
+    /// Overrides the QoS priority (see [`TaskSpec::priority`]).
+    pub fn with_priority(mut self, priority: i8) -> Self {
+        self.priority = priority;
         self
     }
 }

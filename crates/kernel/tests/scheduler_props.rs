@@ -100,6 +100,7 @@ fn rpc_monotone_in_inputs() {
                 out_bytes: 16,
                 dsp_work: SimSpan::from_us(1.0),
                 device: RpcDevice::Dsp,
+                ..Default::default()
             },
             |_| {},
         );
@@ -114,6 +115,7 @@ fn rpc_monotone_in_inputs() {
                 out_bytes: 64,
                 dsp_work: SimSpan::from_us(work_us),
                 device: RpcDevice::Dsp,
+                ..Default::default()
             },
             move |mm| d.set(mm.now() - t0),
         );

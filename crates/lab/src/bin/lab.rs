@@ -25,6 +25,7 @@ use aitax_lab::{artifact, chrome, render, scenarios, Grid, SweepReport};
 struct Opts {
     grid: Option<String>,
     list: bool,
+    help: bool,
     threads: usize,
     repeats: Option<usize>,
     iters: usize,
@@ -45,13 +46,28 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
 fn usage() -> &'static str {
     "usage: lab --grid NAME [--threads N] [--repeats N] [--iters N] [--seed N]\n\
      \x20          [--out DIR] [--bench PATH] [--trace PATH] [--verify-determinism]\n\
-     \x20      lab --list"
+     \x20      lab --list\n\
+     \n\
+     options:\n\
+     \x20 --grid NAME           the sweep grid to run (see --list)\n\
+     \x20 --list                print the grid names and sizes and exit\n\
+     \x20 --threads N           worker threads (default: all cores); artifact bytes\n\
+     \x20                       do not depend on this\n\
+     \x20 --repeats N           override the grid's repeat count\n\
+     \x20 --iters N             iterations per scenario (default: AITAX_ITERS or 30)\n\
+     \x20 --seed N              root seed (default: AITAX_SEED or 1)\n\
+     \x20 --out DIR             artifact directory (default target/lab)\n\
+     \x20 --bench PATH          trajectory file (default BENCH_lab.json)\n\
+     \x20 --trace PATH          export a Chrome trace of the grid's first job\n\
+     \x20 --verify-determinism  re-run serially and byte-compare artifacts (~2x runtime)\n\
+     \x20 --help, -h            print this help"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         grid: None,
         list: false,
+        help: false,
         threads: aitax_lab::default_threads(),
         repeats: None,
         iters: env_parse("AITAX_ITERS", 30),
@@ -69,6 +85,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
             "--grid" => opts.grid = Some(value("--grid")?),
             "--list" => opts.list = true,
             "--threads" => {
@@ -176,6 +196,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
 
     if opts.list {
         for name in scenarios::NAMES {

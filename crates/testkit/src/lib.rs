@@ -18,6 +18,11 @@
 //! * [`json`] — a strict, dependency-free JSON syntax validator
 //!   ([`assert_valid_json`]) for the hand-rolled artifact and
 //!   Chrome-trace emitters.
+//! * [`serving`] — multi-tenant invariants: attribution conservation
+//!   (`Σ caused + Σ self == Σ suffered`) over
+//!   [`TenantTax`](aitax_core::tenant::TenantTax) ledgers, and
+//!   admission queue-bound checks reconstructed from request wait
+//!   intervals.
 //!
 //! # Example
 //!
@@ -40,6 +45,7 @@ pub mod assert;
 pub mod golden;
 pub mod invariant;
 pub mod json;
+pub mod serving;
 
 pub use assert::{assert_cv_below, assert_monotone, assert_ratio_within, assert_within, Direction};
 pub use golden::{check_golden, diff_tsv, golden_dir, Tolerance};
@@ -47,3 +53,4 @@ pub use invariant::{
     assert_report_ok, check_energy, check_stats_agreement, check_trace, TraceInvariant, Violation,
 };
 pub use json::{assert_valid_json, validate_json};
+pub use serving::{check_attribution_conservation, check_queue_bound};

@@ -37,13 +37,14 @@ fn explore(name: &str, engine: Engine) -> f64 {
 
     // 1. Stage-by-stage joules, next to the latency split.
     println!("stage              mean_ms      mJ  (share of staged energy)");
-    let staged = energy.staged_j();
+    let staged = energy.staged_j().max(f64::MIN_POSITIVE);
     for stage in Stage::ALL {
+        let stage_j = energy.stage_j(stage);
         println!(
             "{stage:<18} {:>7.2} {:>7.1}  ({:>4.1}%)",
             report.summary(stage).mean_ms(),
-            energy.stage_j(stage) * 1e3,
-            100.0 * energy.stage_j(stage) / staged.max(f64::MIN_POSITIVE),
+            stage_j * 1e3,
+            100.0 * stage_j / staged,
         );
     }
     println!(
@@ -66,10 +67,11 @@ fn explore(name: &str, engine: Engine) -> f64 {
         "power: mean {:.2} W, peak 50ms-bin {peak:.2} W",
         energy.mean_power_w()
     );
+    let peak_floor = peak.max(1e-9);
     let bars: String = (0..timeline.bins().min(60))
         .map(|b| {
             let w = timeline.total_watts(b);
-            match (8.0 * w / peak.max(1e-9)) as u32 {
+            match (8.0 * w / peak_floor) as u32 {
                 0 => ' ',
                 1 => '.',
                 2 | 3 => ':',

@@ -25,6 +25,7 @@
 //! | [`power`] | `aitax-power` | per-rail power specs, energy metering, battery |
 //! | [`lab`] | `aitax-lab` | parallel deterministic sweeps, distribution stats, Chrome traces |
 //! | [`fleet`] | `aitax-fleet` | population-scale fleets, streaming cohort aggregation |
+//! | [`serve`] | `aitax-serve` | multi-tenant QoS serving, admission control, tax attribution |
 //! | [`testkit`] | `aitax-testkit` | trace invariants, shape asserts, golden snapshots |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub use aitax_models as models;
 pub use aitax_pipeline as pipeline;
 pub use aitax_power as power;
 pub use aitax_profiler as profiler;
+pub use aitax_serve as serve;
 pub use aitax_soc as soc;
 pub use aitax_tensor as tensor;
 pub use aitax_testkit as testkit;

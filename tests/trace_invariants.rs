@@ -84,6 +84,7 @@ fn fig7_bare_fastrpc_trace_is_well_formed() {
                 out_bytes: 1_001,
                 dsp_work: SimSpan::from_ms(2.0),
                 device: RpcDevice::Dsp,
+                ..Default::default()
             },
             |_| {},
         );
