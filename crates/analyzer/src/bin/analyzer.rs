@@ -1,19 +1,27 @@
 //! `analyzer` — the workspace static-analysis CLI.
 //!
 //! ```text
-//! analyzer [--root <dir>] [--json] [--deny-warnings] [--explain <lint>] [--list]
+//! analyzer [--root <dir>] [--json] [--deny-warnings] [--explain <lint>]
+//!          [--list] [--graph json|dot]
 //! ```
+//!
+//! `--graph json` emits the deterministic `aitax-analyzer-graph/v1`
+//! call-graph artifact; `--graph dot` emits Graphviz DOT colored by
+//! hot-path (orange) / panic-reachability (purple, both red).
 //!
 //! Exit codes: 0 clean, 1 findings at failing severity, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aitax_analyzer::lint::{known_lint_names, registry};
+use aitax_analyzer::graph::{render_graph_dot, render_graph_json};
+use aitax_analyzer::lint::{known_lint_names, registry, workspace_registry};
+use aitax_analyzer::model::WorkspaceModel;
+use aitax_analyzer::workspace::load_files;
 use aitax_analyzer::{analyze_root, datalint};
 
 const USAGE: &str = "usage: analyzer [--root <dir>] [--json] [--deny-warnings] \
-                     [--explain <lint>] [--list]";
+                     [--explain <lint>] [--list] [--graph json|dot]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +30,7 @@ fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut explain: Option<String> = None;
     let mut list = false;
+    let mut graph: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,6 +45,10 @@ fn main() -> ExitCode {
                 None => return usage_error("--explain needs a lint name"),
             },
             "--list" => list = true,
+            "--graph" => match it.next() {
+                Some(f) if f == "json" || f == "dot" => graph = Some(f),
+                _ => return usage_error("--graph needs a format: json or dot"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -47,6 +60,14 @@ fn main() -> ExitCode {
     if list {
         for l in registry() {
             // to_string first: width specs don't reach the custom Display.
+            println!(
+                "{:<22} {:<8} {}",
+                l.name(),
+                l.severity().to_string(),
+                l.summary()
+            );
+        }
+        for l in workspace_registry() {
             println!(
                 "{:<22} {:<8} {}",
                 l.name(),
@@ -77,6 +98,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(format) = graph {
+        let files = match load_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("analyzer: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let model = WorkspaceModel::build(&files);
+        let exports = model.node_exports();
+        if format == "json" {
+            print!("{}", render_graph_json(&files, &model.graph, &exports));
+        } else {
+            print!("{}", render_graph_dot(&model.graph, &exports));
+        }
+        return ExitCode::SUCCESS;
+    }
     let report = match analyze_root(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -103,6 +141,12 @@ fn usage_error(msg: &str) -> ExitCode {
 
 fn explain_lint(name: &str) -> ExitCode {
     for l in registry() {
+        if l.name() == name {
+            println!("{} ({})\n\n{}", l.name(), l.severity(), l.explain());
+            return ExitCode::SUCCESS;
+        }
+    }
+    for l in workspace_registry() {
         if l.name() == name {
             println!("{} ({})\n\n{}", l.name(), l.severity(), l.explain());
             return ExitCode::SUCCESS;

@@ -1,0 +1,999 @@
+//! The workspace call graph: every parsed function is a node, every
+//! resolved call site an edge, with best-effort resolution and an
+//! explicit unresolved bucket.
+//!
+//! Resolution is deliberately conservative — a wrong edge is worse than
+//! a missing one, because transitive lints walk edges and a false edge
+//! drags cold code into the hot set. The rules, in order:
+//!
+//! 1. `self.name(..)` resolves against the caller's own impl type
+//!    (any impl block of that type in the same crate).
+//! 2. `Type::name(..)` / `path::to::fn(..)` resolve by qualified-path
+//!    suffix match, preferring same-crate candidates.
+//! 3. Bare `name(..)` resolves to a free fn in the same file, then a
+//!    unique free fn in the same crate, then a unique one workspace-wide.
+//! 4. `.name(..)` method calls fall back to a unique workspace method —
+//!    but only when `name` is not a common std method (`next`, `get`,
+//!    `push`, …), which would otherwise alias wholesale.
+//!
+//! Everything else lands in the unresolved bucket (`external` for
+//! plainly-out-of-workspace targets, `ambiguous` when several
+//! candidates tie), which `--json` and the graph artifact report so the
+//! approximation is visible rather than silent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::lint::seq_at;
+use crate::parser::{CallKind, FnDef, ParsedFile};
+use crate::report::json_string;
+use crate::source::SourceFile;
+
+/// Common std/core method names excluded from the unique-name fallback:
+/// a workspace fn that happens to share one of these names must not
+/// capture every `x.get(..)` in the tree.
+const STD_METHODS: [&str; 79] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "binary_search",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "map",
+    "max",
+    "min",
+    "next",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "sqrt",
+    "sum",
+    "take",
+    "to_vec",
+    "trim",
+    "truncate",
+    "values",
+    "windows",
+    "zip",
+];
+
+/// Why a call site did not become an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unresolved {
+    /// Target is outside the workspace (std, or a std-method name).
+    External,
+    /// Several workspace candidates tie and none is preferable.
+    Ambiguous,
+}
+
+/// Aggregate resolution statistics for the whole graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Total call/method sites considered (macros excluded).
+    pub calls: usize,
+    /// Sites that became an edge.
+    pub resolved: usize,
+    /// Sites whose target is outside the workspace.
+    pub external: usize,
+    /// Sites with several tied workspace candidates.
+    pub ambiguous: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All function definitions, one node per fn, in file/source order.
+    pub nodes: Vec<FnDef>,
+    /// `krate` of each node (from its owning file).
+    pub crates: Vec<String>,
+    /// Out-edges per node, deterministic order.
+    pub edges: Vec<BTreeSet<usize>>,
+    /// First call-site line for each edge, for diagnostics.
+    pub edge_lines: BTreeMap<(usize, usize), u32>,
+    /// Resolution statistics.
+    pub stats: ResolutionStats,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files. `files` and `parsed` are
+    /// parallel slices.
+    pub fn build(files: &[SourceFile], parsed: &[ParsedFile]) -> CallGraph {
+        let mut g = CallGraph::default();
+        // Flatten fns to global node ids.
+        let mut fn_ids: Vec<Vec<usize>> = Vec::with_capacity(parsed.len());
+        for (fi, p) in parsed.iter().enumerate() {
+            let mut ids = Vec::with_capacity(p.fns.len());
+            for def in &p.fns {
+                ids.push(g.nodes.len());
+                g.nodes.push(def.clone());
+                g.crates.push(files[fi].krate.clone());
+            }
+            fn_ids.push(ids);
+        }
+        g.edges = vec![BTreeSet::new(); g.nodes.len()];
+
+        // Name indices.
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut segs: Vec<Vec<&str>> = Vec::with_capacity(g.nodes.len());
+        for (id, def) in g.nodes.iter().enumerate() {
+            if let Some(ty) = &def.impl_type {
+                methods_by_name.entry(&def.name).or_default().push(id);
+                by_type_method
+                    .entry((ty.as_str(), def.name.as_str()))
+                    .or_default()
+                    .push(id);
+            } else {
+                free_by_name.entry(&def.name).or_default().push(id);
+            }
+            segs.push(def.qual.split("::").collect());
+        }
+
+        // Resolve every call site.
+        for (fi, p) in parsed.iter().enumerate() {
+            for call in &p.calls {
+                if call.kind == CallKind::Macro {
+                    continue;
+                }
+                let caller = fn_ids[fi][call.caller];
+                g.stats.calls += 1;
+                let resolved = if call.kind == CallKind::Method {
+                    resolve_method(
+                        &g,
+                        caller,
+                        call.path.last().map(String::as_str).unwrap_or(""),
+                        call.self_receiver,
+                        &methods_by_name,
+                        &by_type_method,
+                    )
+                } else {
+                    resolve_path(
+                        &g,
+                        fi,
+                        caller,
+                        files,
+                        parsed,
+                        &call.path,
+                        &free_by_name,
+                        &by_type_method,
+                        &segs,
+                    )
+                };
+                match resolved {
+                    Ok(callee) => {
+                        g.stats.resolved += 1;
+                        g.edges[caller].insert(callee);
+                        g.edge_lines.entry((caller, callee)).or_insert(call.line);
+                    }
+                    Err(Unresolved::External) => g.stats.external += 1,
+                    Err(Unresolved::Ambiguous) => g.stats.ambiguous += 1,
+                }
+            }
+        }
+        g
+    }
+
+    /// All nodes reachable from `roots` (inclusive), following edges.
+    /// With `same_crate`, traversal never leaves that crate.
+    pub fn reachable(&self, roots: &BTreeSet<usize>, same_crate: Option<&str>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut work: Vec<usize> = Vec::new();
+        for &r in roots {
+            if same_crate.is_none_or(|k| self.crates[r] == k) && seen.insert(r) {
+                work.push(r);
+            }
+        }
+        while let Some(n) = work.pop() {
+            for &m in &self.edges[n] {
+                if same_crate.is_none_or(|k| self.crates[m] == k) && seen.insert(m) {
+                    work.push(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// BFS from `roots`, recording each reached node's parent (roots map
+    /// to themselves). Deterministic: roots and neighbors visit in
+    /// sorted order, so every node gets one stable shortest chain.
+    pub fn reachable_with_parents(
+        &self,
+        roots: &BTreeSet<usize>,
+        same_crate: Option<&str>,
+    ) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if same_crate.is_none_or(|k| self.crates[r] == k) && !parent.contains_key(&r) {
+                parent.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if same_crate.is_none_or(|k| self.crates[m] == k) && !parent.contains_key(&m) {
+                    parent.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// A shortest call path `from → … → to` as node ids, for messages.
+    pub fn path_between(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = [from].into();
+        let mut seen: BTreeSet<usize> = [from].into();
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Picks the winner among candidate node ids: prefer the caller's crate;
+/// a unique survivor wins, several tie to ambiguous, none to external.
+fn pick(g: &CallGraph, caller: usize, candidates: &[usize]) -> Result<usize, Unresolved> {
+    match candidates.len() {
+        0 => Err(Unresolved::External),
+        1 => Ok(candidates[0]),
+        _ => {
+            let same: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| g.crates[c] == g.crates[caller])
+                .collect();
+            match same.len() {
+                1 => Ok(same[0]),
+                _ => Err(Unresolved::Ambiguous),
+            }
+        }
+    }
+}
+
+fn resolve_method(
+    g: &CallGraph,
+    caller: usize,
+    name: &str,
+    self_receiver: bool,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Result<usize, Unresolved> {
+    // `self.name(..)`: the caller's own impl type is authoritative.
+    if self_receiver {
+        if let Some(ty) = &g.nodes[caller].impl_type {
+            if let Some(cands) = by_type_method.get(&(ty.as_str(), name)) {
+                return pick(g, caller, cands);
+            }
+        }
+    }
+    // Common std method names alias too broadly for a name-only match.
+    if STD_METHODS.contains(&name) {
+        return Err(Unresolved::External);
+    }
+    match methods_by_name.get(name) {
+        Some(cands) => pick(g, caller, cands),
+        None => Err(Unresolved::External),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    g: &CallGraph,
+    file_idx: usize,
+    caller: usize,
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    path: &[String],
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    segs: &[Vec<&str>],
+) -> Result<usize, Unresolved> {
+    let name = path.last().map(String::as_str).unwrap_or("");
+    if path.len() == 1 {
+        // Bare call: same file first, then unique in crate, then unique
+        // in workspace.
+        let all = free_by_name.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        let in_file: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&c| g.nodes[c].file == file_idx)
+            .collect();
+        if in_file.len() == 1 {
+            return Ok(in_file[0]);
+        }
+        return pick(g, caller, all);
+    }
+    // `Self::name(..)`: the caller's own impl type is authoritative.
+    if path[0] == "Self" {
+        if let Some(ty) = &g.nodes[caller].impl_type {
+            if let Some(cands) = by_type_method.get(&(ty.as_str(), name)) {
+                return pick(g, caller, cands);
+            }
+        }
+        return Err(Unresolved::External);
+    }
+    // Expand a leading `use` alias: `Alias::f(..)` where
+    // `use a::b::Alias;` → `a::b::Alias::f(..)`.
+    let mut expanded: Vec<String> = path.to_vec();
+    if let Some(u) = parsed[file_idx]
+        .uses
+        .iter()
+        .find(|u| u.alias == expanded[0])
+    {
+        let mut full = u.path.clone();
+        full.extend_from_slice(&expanded[1..]);
+        expanded = full;
+    }
+    // Normalize leading crate/self/super markers.
+    while matches!(
+        expanded.first().map(String::as_str),
+        Some("crate") | Some("self") | Some("super") | Some("std") | Some("core") | Some("alloc")
+    ) {
+        let head = expanded.remove(0);
+        if head == "std" || head == "core" || head == "alloc" {
+            return Err(Unresolved::External);
+        }
+        if head == "crate" {
+            expanded.insert(0, files[file_idx].krate.clone());
+            break;
+        }
+        // self/super: fall through to suffix matching without the marker.
+    }
+    // Package names (`aitax_des::…`) vs policy crate names (`des::…`):
+    // node quals use the directory name, so strip the package prefix.
+    if let Some(first) = expanded.first_mut() {
+        if let Some(stripped) = first.strip_prefix("aitax_") {
+            *first = stripped.to_string();
+        }
+    }
+    // `Type::name(..)`: the second-to-last segment names an impl type.
+    if expanded.len() >= 2 {
+        let ty = &expanded[expanded.len() - 2];
+        if let Some(cands) = by_type_method.get(&(ty.as_str(), name)) {
+            return pick(g, caller, cands);
+        }
+    }
+    // Qualified-suffix match over free fns and methods alike.
+    let call_segs: Vec<&str> = expanded.iter().map(String::as_str).collect();
+    let mut cands: Vec<usize> = Vec::new();
+    for (id, nsegs) in segs.iter().enumerate() {
+        if nsegs.len() >= call_segs.len() && nsegs[nsegs.len() - call_segs.len()..] == call_segs[..]
+        {
+            cands.push(id);
+        }
+    }
+    pick(g, caller, &cands)
+}
+
+/// Per-function fact: a token-level property the transitive lints treat
+/// as a taint source, with its line and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// 1-based source line.
+    pub line: u32,
+    /// Short description, e.g. "`format!` allocates".
+    pub what: String,
+}
+
+/// All facts extracted from one function body.
+#[derive(Debug, Clone, Default)]
+pub struct Facts {
+    /// String/Vec allocations (`format!`, `.to_string()`, growth in loop…).
+    pub allocs: Vec<Fact>,
+    /// Wall-clock reads (`Instant`, `SystemTime`, `thread::sleep`).
+    pub wall_clock: Vec<Fact>,
+    /// Environment reads (`env::var` family).
+    pub env_read: Vec<Fact>,
+    /// Thread creation (`thread::spawn`).
+    pub thread_spawn: Vec<Fact>,
+    /// Unordered collections (`HashMap`/`HashSet`).
+    pub unordered: Vec<Fact>,
+    /// Panicking calls (`unwrap`/`expect`/`panic!`…).
+    pub panics: Vec<Fact>,
+}
+
+impl Facts {
+    /// Any determinism-relevant fact present?
+    pub fn has_determinism_taint(&self) -> bool {
+        !self.wall_clock.is_empty()
+            || !self.env_read.is_empty()
+            || !self.thread_spawn.is_empty()
+            || !self.unordered.is_empty()
+    }
+
+    /// Short labels for the graph artifact, stable order.
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if !self.allocs.is_empty() {
+            out.push("alloc");
+        }
+        if !self.env_read.is_empty() {
+            out.push("env-read");
+        }
+        if !self.panics.is_empty() {
+            out.push("panic");
+        }
+        if !self.thread_spawn.is_empty() {
+            out.push("thread-spawn");
+        }
+        if !self.unordered.is_empty() {
+            out.push("unordered");
+        }
+        if !self.wall_clock.is_empty() {
+            out.push("wall-clock");
+        }
+        out
+    }
+}
+
+/// Receivers whose `.clone()` is a string copy in this workspace (same
+/// policy as the point `hot-path-alloc` lint).
+const STRINGY_RECEIVERS: [&str; 3] = ["label", "name", "source"];
+
+/// Macros that panic when reached.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Scans `def`'s body tokens in `file` for taint facts.
+pub fn body_facts(file: &SourceFile, def: &FnDef) -> Facts {
+    let mut f = Facts::default();
+    let Some((start, end)) = def.body else {
+        return f;
+    };
+    let toks = &file.lexed.toks[..];
+    let mut loop_depth = 0usize;
+    // Brace depths at which a loop body opened, to pop loop_depth.
+    let mut loop_opens: Vec<i32> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_loop = false;
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "for" | "while" | "loop" => pending_loop = true,
+            "{" => {
+                depth += 1;
+                if pending_loop {
+                    loop_depth += 1;
+                    loop_opens.push(depth);
+                    pending_loop = false;
+                }
+            }
+            "}" => {
+                if loop_opens.last() == Some(&depth) {
+                    loop_opens.pop();
+                    loop_depth -= 1;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let line = t.line;
+        let prev_dot = i > start && toks[i - 1].text == ".";
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let fact = |what: &str| Fact {
+            line,
+            what: what.to_string(),
+        };
+        match t.text.as_str() {
+            "format" | "vec" if next == Some("!") => {
+                f.allocs.push(fact(&format!("`{}!` allocates", t.text)));
+            }
+            "to_string" | "to_owned" if prev_dot && next == Some("(") => {
+                f.allocs.push(fact(&format!("`.{}()` allocates", t.text)));
+            }
+            "String" if seq_at(toks, i, &["String", "::", "from"]) => {
+                f.allocs.push(fact("`String::from` allocates"));
+            }
+            "clone" if prev_dot && next == Some("(") && i >= 2 => {
+                if let Some(r) = crate::lint::prev_ident(toks, i - 2, 4) {
+                    if STRINGY_RECEIVERS.contains(&r.text.as_str()) {
+                        f.allocs
+                            .push(fact(&format!("`{}.clone()` copies a string", r.text)));
+                    }
+                }
+            }
+            "push" | "extend" if prev_dot && next == Some("(") && loop_depth > 0 => {
+                f.allocs
+                    .push(fact(&format!("`.{}()` grows a Vec inside a loop", t.text)));
+            }
+            "Instant" | "SystemTime" => {
+                f.wall_clock
+                    .push(fact(&format!("`{}` is a wall-clock type", t.text)));
+            }
+            "thread" if seq_at(toks, i, &["thread", "::", "sleep"]) => {
+                f.wall_clock
+                    .push(fact("`thread::sleep` blocks on real time"));
+            }
+            "thread" if seq_at(toks, i, &["thread", "::", "spawn"]) => {
+                f.thread_spawn
+                    .push(fact("`thread::spawn` creates a thread"));
+            }
+            "env" => {
+                for acc in ["var", "var_os", "vars", "args", "args_os"] {
+                    if seq_at(toks, i, &["env", "::", acc]) {
+                        f.env_read
+                            .push(fact(&format!("`env::{acc}` reads ambient state")));
+                        break;
+                    }
+                }
+            }
+            "HashMap" | "HashSet" => {
+                f.unordered
+                    .push(fact(&format!("`{}` iterates in random order", t.text)));
+            }
+            "unwrap" | "expect" if prev_dot && next == Some("(") => {
+                f.panics
+                    .push(fact(&format!("`.{}()` panics on the absent case", t.text)));
+            }
+            m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                f.panics.push(fact(&format!("`{m}!` panics")));
+            }
+            _ => {}
+        }
+    }
+    f
+}
+
+/// Everything the graph artifact exports about one node.
+#[derive(Debug, Clone)]
+pub struct NodeExport {
+    /// Fact labels (see [`Facts::labels`]).
+    pub facts: Vec<&'static str>,
+    /// Reachable from a hot-path root (same-crate).
+    pub hot: bool,
+    /// Reachable from a DES decision point.
+    pub panic_reach: bool,
+}
+
+/// Renders the `aitax-analyzer-graph/v1` JSON artifact. `exports` is
+/// parallel to `graph.nodes`. Output is byte-deterministic: node order
+/// is file/source order, edges are sorted.
+pub fn render_graph_json(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    exports: &[NodeExport],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"aitax-analyzer-graph/v1\",\n");
+    out.push_str(&format!("  \"functions\": {},\n", graph.nodes.len()));
+    let edge_count: usize = graph.edges.iter().map(BTreeSet::len).sum();
+    out.push_str(&format!("  \"edges_count\": {},\n", edge_count));
+    out.push_str(&format!(
+        "  \"resolution\": {{\"calls\": {}, \"resolved\": {}, \"external\": {}, \"ambiguous\": {}}},\n",
+        graph.stats.calls, graph.stats.resolved, graph.stats.external, graph.stats.ambiguous
+    ));
+    out.push_str("  \"nodes\": [");
+    for (id, def) in graph.nodes.iter().enumerate() {
+        if id > 0 {
+            out.push(',');
+        }
+        let e = &exports[id];
+        let facts = e
+            .facts
+            .iter()
+            .map(|f| json_string(f))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "\n    {{\"id\": {id}, \"name\": {}, \"file\": {}, \"line\": {}, \"crate\": {}, \
+             \"pub\": {}, \"test\": {}, \"facts\": [{facts}], \"hot\": {}, \"panic_reach\": {}}}",
+            json_string(&def.qual),
+            json_string(&files[def.file].path),
+            def.line,
+            json_string(&graph.crates[id]),
+            def.is_pub,
+            def.in_test,
+            e.hot,
+            e.panic_reach,
+        ));
+    }
+    if !graph.nodes.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"edges\": [");
+    let mut first = true;
+    for (from, outs) in graph.edges.iter().enumerate() {
+        for &to in outs {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("[{from}, {to}]"));
+        }
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the graph as Graphviz DOT, colored by reachability: hot-path
+/// nodes orange, panic-reachable nodes purple, both red, plain gray.
+/// Test-region nodes and isolated plain nodes are omitted to keep the
+/// rendering tractable.
+pub fn render_graph_dot(graph: &CallGraph, exports: &[NodeExport]) -> String {
+    let mut out = String::from("digraph aitax {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n");
+    let mut keep: Vec<bool> = vec![false; graph.nodes.len()];
+    for (id, def) in graph.nodes.iter().enumerate() {
+        if def.in_test {
+            continue;
+        }
+        let e = &exports[id];
+        let connected =
+            !graph.edges[id].is_empty() || graph.edges.iter().any(|outs| outs.contains(&id));
+        if e.hot || e.panic_reach || connected {
+            keep[id] = true;
+        }
+    }
+    for (id, def) in graph.nodes.iter().enumerate() {
+        if !keep[id] {
+            continue;
+        }
+        let e = &exports[id];
+        let color = match (e.hot, e.panic_reach) {
+            (true, true) => "red",
+            (true, false) => "orange",
+            (false, true) => "purple",
+            (false, false) => "gray80",
+        };
+        out.push_str(&format!(
+            "  n{id} [label={}, color={color}];\n",
+            json_string(&def.qual)
+        ));
+    }
+    for (from, outs) in graph.edges.iter().enumerate() {
+        for &to in outs {
+            if keep[from] && keep[to] {
+                out.push_str(&format!("  n{from} -> n{to};\n"));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Returns `file`'s token slice for `def`'s body (empty if bodiless).
+pub fn body_tokens<'a>(file: &'a SourceFile, def: &FnDef) -> &'a [Tok] {
+    match def.body {
+        Some((start, end)) => &file.lexed.toks[start..end.min(file.lexed.toks.len())],
+        None => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn build(sources: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| parse_file(i, f))
+            .collect();
+        let g = CallGraph::build(&files, &parsed);
+        (files, g)
+    }
+
+    fn id(g: &CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("no node {qual}; have {:?}", quals(g)))
+    }
+
+    fn quals(g: &CallGraph) -> Vec<&str> {
+        g.nodes.iter().map(|n| n.qual.as_str()).collect()
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_own_impl() {
+        let (_, g) = build(&[(
+            "crates/des/src/calendar.rs",
+            "impl Calendar {\n  pub fn next(&mut self) { self.advance(); }\n  fn advance(&mut self) {}\n}\n",
+        )]);
+        let next = id(&g, "des::calendar::Calendar::next");
+        let adv = id(&g, "des::calendar::Calendar::advance");
+        assert!(g.edges[next].contains(&adv));
+        assert_eq!(g.stats.resolved, 1);
+    }
+
+    #[test]
+    fn unique_method_name_resolves_across_files() {
+        let (_, g) = build(&[
+            (
+                "crates/kernel/src/machine.rs",
+                "impl Machine {\n  pub fn step(&mut self) { self.cal.schedule_after(1); }\n}\n",
+            ),
+            (
+                "crates/des/src/calendar.rs",
+                "impl Calendar {\n  pub fn schedule_after(&mut self, d: u64) {}\n}\n",
+            ),
+        ]);
+        let step = id(&g, "kernel::machine::Machine::step");
+        let sched = id(&g, "des::calendar::Calendar::schedule_after");
+        assert!(g.edges[step].contains(&sched));
+    }
+
+    #[test]
+    fn std_method_names_stay_external() {
+        let (_, g) = build(&[
+            (
+                "crates/kernel/src/machine.rs",
+                "impl Machine {\n  pub fn step(&mut self) { self.events.next(); }\n}\n",
+            ),
+            (
+                "crates/des/src/calendar.rs",
+                "impl Calendar {\n  pub fn next(&mut self) {}\n}\n",
+            ),
+        ]);
+        let step = id(&g, "kernel::machine::Machine::step");
+        assert!(g.edges[step].is_empty(), "`.next()` must not alias");
+        assert_eq!(g.stats.external, 1);
+    }
+
+    #[test]
+    fn type_qualified_calls_resolve() {
+        let (_, g) = build(&[
+            (
+                "crates/lab/src/pool.rs",
+                "pub fn run() { SimRng::seed_from(7); }\n",
+            ),
+            (
+                "crates/des/src/rng.rs",
+                "impl SimRng {\n  pub fn seed_from(s: u64) {}\n}\n",
+            ),
+        ]);
+        let run = id(&g, "lab::pool::run");
+        let sf = id(&g, "des::rng::SimRng::seed_from");
+        assert!(g.edges[run].contains(&sf));
+    }
+
+    #[test]
+    fn module_path_calls_resolve_by_suffix() {
+        let (_, g) = build(&[
+            (
+                "crates/lab/src/agg.rs",
+                "pub fn fold() { crate::stats::merge(); }\n",
+            ),
+            ("crates/lab/src/stats.rs", "pub fn merge() {}\n"),
+        ]);
+        let fold = id(&g, "lab::agg::fold");
+        let merge = id(&g, "lab::stats::merge");
+        assert!(g.edges[fold].contains(&merge));
+    }
+
+    #[test]
+    fn ambiguous_free_fns_do_not_resolve() {
+        let (_, g) = build(&[
+            ("crates/des/src/a.rs", "pub fn helper() {}\n"),
+            ("crates/des/src/b.rs", "pub fn helper() {}\n"),
+            ("crates/kernel/src/c.rs", "pub fn go() { helper(); }\n"),
+        ]);
+        let go = id(&g, "kernel::c::go");
+        assert!(g.edges[go].is_empty());
+        assert_eq!(g.stats.ambiguous, 1);
+    }
+
+    #[test]
+    fn same_file_free_fn_wins_over_other_crates() {
+        let (_, g) = build(&[
+            (
+                "crates/des/src/a.rs",
+                "pub fn helper() {}\npub fn go() { helper(); }\n",
+            ),
+            ("crates/kernel/src/b.rs", "pub fn helper() {}\n"),
+        ]);
+        let go = id(&g, "des::a::go");
+        let h = id(&g, "des::a::helper");
+        assert!(g.edges[go].contains(&h));
+    }
+
+    #[test]
+    fn use_alias_expansion_resolves() {
+        let (_, g) = build(&[
+            (
+                "crates/lab/src/pool.rs",
+                "use crate::rng::Mixer as M;\npub fn run() { M::mix(); }\n",
+            ),
+            (
+                "crates/lab/src/rng.rs",
+                "impl Mixer {\n  pub fn mix() {}\n}\n",
+            ),
+        ]);
+        let run = id(&g, "lab::pool::run");
+        let mix = id(&g, "lab::rng::Mixer::mix");
+        assert!(g.edges[run].contains(&mix));
+    }
+
+    #[test]
+    fn std_paths_are_external() {
+        let (_, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn go() { std::mem::take(&mut x); }\n",
+        )]);
+        assert_eq!(g.stats.external, 1);
+        assert_eq!(g.stats.resolved, 0);
+    }
+
+    #[test]
+    fn reachability_walks_transitively_and_respects_crate_bound() {
+        let (_, g) = build(&[
+            (
+                "crates/des/src/a.rs",
+                "pub fn root() { mid(); }\npub fn mid() { leaf(); crate::other::cross(); }\npub fn leaf() {}\n",
+            ),
+            ("crates/kernel/src/b.rs", "pub fn cross() {}\n"),
+        ]);
+        let root = id(&g, "des::a::root");
+        let roots: BTreeSet<usize> = [root].into();
+        let all = g.reachable(&roots, None);
+        assert_eq!(all.len(), 3, "cross-crate call unresolved by design here");
+        let des_only = g.reachable(&roots, Some("des"));
+        assert!(des_only.contains(&id(&g, "des::a::leaf")));
+    }
+
+    #[test]
+    fn path_between_reports_a_chain() {
+        let (_, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn root() { mid(); }\npub fn mid() { leaf(); }\npub fn leaf() {}\n",
+        )]);
+        let path = g
+            .path_between(id(&g, "des::a::root"), id(&g, "des::a::leaf"))
+            .unwrap();
+        let names: Vec<&str> = path.iter().map(|&n| g.nodes[n].name.as_str()).collect();
+        assert_eq!(names, vec!["root", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn facts_extract_allocs_and_panics() {
+        let (files, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn f(&self) {\n  let s = format!(\"x\");\n  let t = self.label.clone();\n  \
+             for i in 0..3 { v.push(i); }\n  x.unwrap();\n}\n",
+        )]);
+        let f = body_facts(&files[0], &g.nodes[0]);
+        assert_eq!(f.allocs.len(), 3, "{:?}", f.allocs);
+        assert_eq!(f.panics.len(), 1);
+        assert!(f.labels().contains(&"alloc"));
+        assert!(f.labels().contains(&"panic"));
+    }
+
+    #[test]
+    fn facts_vec_growth_only_inside_loops() {
+        let (files, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn f() {\n  v.push(1);\n  while x { v.push(2); }\n  v.push(3);\n}\n",
+        )]);
+        let f = body_facts(&files[0], &g.nodes[0]);
+        assert_eq!(f.allocs.len(), 1, "{:?}", f.allocs);
+        assert_eq!(f.allocs[0].line, 3);
+    }
+
+    #[test]
+    fn graph_json_is_valid_and_deterministic() {
+        let (files, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn root() { mid(); }\npub fn mid() {}\n",
+        )]);
+        let exports: Vec<NodeExport> = g
+            .nodes
+            .iter()
+            .map(|_| NodeExport {
+                facts: vec![],
+                hot: false,
+                panic_reach: false,
+            })
+            .collect();
+        let a = render_graph_json(&files, &g, &exports);
+        let b = render_graph_json(&files, &g, &exports);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"aitax-analyzer-graph/v1\""));
+        assert!(a.contains("\"edges\": [[0, 1]]"));
+    }
+
+    #[test]
+    fn graph_dot_colors_hot_nodes() {
+        let (_, g) = build(&[(
+            "crates/des/src/a.rs",
+            "pub fn root() { mid(); }\npub fn mid() {}\n",
+        )]);
+        let exports = vec![
+            NodeExport {
+                facts: vec![],
+                hot: true,
+                panic_reach: false,
+            },
+            NodeExport {
+                facts: vec![],
+                hot: true,
+                panic_reach: true,
+            },
+        ];
+        let dot = render_graph_dot(&g, &exports);
+        assert!(dot.contains("color=orange"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+}

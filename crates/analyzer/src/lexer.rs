@@ -70,9 +70,11 @@ impl Lexed {
 }
 
 /// Multi-char operators, longest first so greedy matching is correct.
-const OPERATORS: [&str; 24] = [
-    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
-    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+/// `::<` (turbofish) is one token so the item parser can skip a generic
+/// argument list without confusing it with a path separator.
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "::<", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
 ];
 
 struct Cursor<'a> {
@@ -266,13 +268,25 @@ fn lex_raw_string(cur: &mut Cursor, toks: &mut Vec<Tok>) {
     });
 }
 
-/// A `'` is either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+/// A `'` is either a lifetime (`'a`, `'outer`) or a char literal (`'x'`,
+/// `'\n'`, `'µ'`).
+///
+/// The rustc rule: after the quote, scan the ident-shaped run; if the
+/// run is terminated by another `'`, the whole thing is a char literal,
+/// otherwise it is a lifetime (or loop label). A one-char peek is not
+/// enough — a multi-byte char literal like `'µ'` has an ident-continue
+/// byte after its first byte, and would otherwise lex as a lifetime
+/// followed by a stray quote that derails the rest of the line.
 fn lex_quote(cur: &mut Cursor, toks: &mut Vec<Tok>) {
     let line = cur.line;
     cur.bump(); // the quote
-    let is_lifetime = cur.peek().is_some_and(is_ident_start)
-        && cur.peek() != Some(b'\\')
-        && cur.peek_at(1) != Some(b'\'');
+    let is_lifetime = cur.peek().is_some_and(is_ident_start) && {
+        let mut k = 0usize;
+        while cur.peek_at(k).is_some_and(is_ident_continue) {
+            k += 1;
+        }
+        cur.peek_at(k) != Some(b'\'')
+    };
     if is_lifetime {
         let start = cur.pos;
         while cur.peek().is_some_and(is_ident_continue) {
@@ -481,6 +495,36 @@ mod tests {
         assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "x"));
         let t = kinds(r"let c = '\n';");
         assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        // 'µ' has an ident-continue second byte; a one-char peek lexes it
+        // as a lifetime and the stray closing quote derails the line.
+        let t = kinds("let c = 'µ'; let x = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "µ"));
+        assert!(t.iter().any(|(_, s)| s == "x"), "rest of line survives");
+        assert!(t.iter().all(|(k, _)| *k != TokKind::Lifetime));
+    }
+
+    #[test]
+    fn labeled_loops_lex_as_lifetimes() {
+        let t = kinds("'outer: loop { break 'outer; }");
+        let lifes: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifes, vec!["outer", "outer"]);
+    }
+
+    #[test]
+    fn turbofish_is_one_token() {
+        let t = kinds("it.collect::<Vec<_>>()");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "::<"));
+        // Plain path separators are untouched.
+        let t = kinds("String::from(x)");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "::"));
     }
 
     #[test]

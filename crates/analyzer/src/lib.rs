@@ -12,6 +12,11 @@
 //! `// aitax-allow(<lint>): <reason>` comments so every exception is
 //! justified in-source.
 //!
+//! On top of the lexer, a lightweight item [parser] and a workspace
+//! call [graph] (best-effort resolution with an explicit
+//! external/ambiguous bucket) let lints reason about *reachability*
+//! instead of relying on hand-maintained scope tables.
+//!
 //! Lint families:
 //! * **determinism** — wall-clock reads, environment reads, unordered
 //!   iteration, thread creation outside the lab pool;
@@ -23,15 +28,27 @@
 //!   `aitax-allow`s;
 //! * **catalog sanity** — monotone OPP ladders, both as const-data
 //!   literals (`opp-monotone`) and over the built catalogs
-//!   (`catalog-sane`).
+//!   (`catalog-sane`);
+//! * **reachability** (call-graph based) — allocations the hot path
+//!   reaches transitively (`transitive-alloc`), nondeterminism in
+//!   non-sim helpers reachable from sim-crate public API
+//!   (`determinism-taint`), panic sites a DES decision point can reach
+//!   (`panic-reach`), and duplicate RNG stream constants
+//!   (`rng-stream-collision`).
 //!
-//! Run it with `cargo run -p aitax-analyzer -- --deny-warnings`.
+//! Run it with `cargo run -p aitax-analyzer -- --deny-warnings`; export
+//! the call graph with `-- --graph json` (deterministic
+//! `aitax-analyzer-graph/v1`) or `-- --graph dot` (Graphviz, colored by
+//! hot-path / panic reachability).
 
 pub mod datalint;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod lint;
 pub mod lints;
+pub mod model;
+pub mod parser;
 pub mod report;
 pub mod source;
 pub mod suppress;

@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn string_clone_fires_but_other_clones_do_not() {
-        let src = "pub fn dispatch_next(&mut self) { let l = self.label.clone(); \
+        let src = "pub fn step(&mut self) { let l = self.label.clone(); \
                    let a = affinity.clone(); }\n";
         let d = run("crates/kernel/src/sched.rs", src);
         assert_eq!(d.len(), 1);

@@ -6,4 +6,6 @@ pub mod determinism;
 pub mod hot_path;
 pub mod numeric;
 pub mod panic_path;
+pub mod reach;
+pub mod rng_stream;
 pub mod stale_allow;

@@ -1,0 +1,346 @@
+//! Reachability lints: checks that walk the workspace call graph
+//! instead of pattern-matching single files.
+//!
+//! The point lints (`hot-path-alloc`, `wall-clock`, `panic-path`, …)
+//! see one file at a time, so their scope had to be maintained by hand
+//! — most visibly the `HOT_PATH_FNS` table, which grew an entry every
+//! time the scheduler gained a helper. The graph kills that treadmill:
+//! the table now names only true entry points, and everything they
+//! reach is found by walking edges.
+//!
+//! * [`TransitiveAlloc`] — an allocation in any function reachable
+//!   same-crate from a hot-path root.
+//! * [`DeterminismTaint`] — a nondeterminism source in a *non-sim*
+//!   helper reachable from a sim-crate `pub fn` (the point determinism
+//!   lints already cover sim-crate code directly).
+//! * [`PanicReach`] — `unwrap`/`expect`/`panic!` reachable from a DES
+//!   decision point, escalated to an error: a panic there takes down
+//!   the event loop mid-simulation.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lint::{is_sim_crate, WorkspaceLint, HOT_PATH_FNS, PANIC_EXEMPT_CRATES};
+use crate::model::WorkspaceModel;
+
+/// `transitive-alloc`: allocation reachable from a hot-path root.
+pub struct TransitiveAlloc;
+
+impl WorkspaceLint for TransitiveAlloc {
+    fn name(&self) -> &'static str {
+        "transitive-alloc"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "allocation in a function the hot path reaches transitively"
+    }
+    fn explain(&self) -> &'static str {
+        "The steady-state event loop must stay allocation-free \
+         (BENCH_sim.json pins steady_allocs at zero), and `hot-path-alloc` \
+         checks the entry points themselves — but an allocation two calls \
+         deep costs exactly the same. This lint walks the workspace call \
+         graph from the hot-path roots (Machine::step, Calendar::next, \
+         TraceBuffer::record and the other HOT_PATH_FNS entries) and flags \
+         format!/to_string/to_owned/String::from/string-clone sites, plus \
+         Vec growth inside a loop, in every same-crate function they reach. \
+         Hoist the allocation to submission/setup time, pass a Symbol or \
+         preallocated buffer, or justify the cold branch with an \
+         aitax-allow reason."
+    }
+    fn check(&self, m: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        let roots = m.hot_roots();
+        for krate in crate::lint::HOT_PATH_CRATES {
+            let parents = m.graph.reachable_with_parents(&roots, Some(krate));
+            let mut reached: Vec<usize> = parents.keys().copied().collect();
+            reached.sort_unstable();
+            for id in reached {
+                // Entry points themselves are the point lint's job; the
+                // name check (not root identity) keeps the two disjoint.
+                if HOT_PATH_FNS.contains(&m.graph.nodes[id].name.as_str()) {
+                    continue;
+                }
+                if !m.is_shipping(id) {
+                    continue;
+                }
+                let chain = m.chain(&parents, id);
+                for fact in &m.facts[id].allocs {
+                    out.push(Diagnostic {
+                        file: m.files[m.graph.nodes[id].file].path.clone(),
+                        line: fact.line,
+                        lint: self.name(),
+                        severity: self.severity(),
+                        message: format!(
+                            "{} on the hot path (reached via `{chain}`); hoist it off \
+                             the per-event path or justify with aitax-allow",
+                            fact.what
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `determinism-taint`: nondeterminism reachable from a sim entry point.
+pub struct DeterminismTaint;
+
+impl WorkspaceLint for DeterminismTaint {
+    fn name(&self) -> &'static str {
+        "determinism-taint"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "nondeterminism source reachable from sim-crate public API"
+    }
+    fn explain(&self) -> &'static str {
+        "The point determinism lints (wall-clock, env-read, thread-spawn, \
+         unordered-collection) scope to simulation crates, so a sim crate \
+         that routes through a helper in a *non-sim* crate could smuggle a \
+         wall-clock read or HashMap iteration past them. This lint closes \
+         the hole: it walks the call graph from every `pub fn` in sim-crate \
+         library code and flags any nondeterminism source in the non-sim \
+         functions that walk reaches — even through several layers of \
+         helpers. Make the helper take the value as a parameter, move it \
+         into the bench harness, or restructure so simulation results \
+         cannot depend on it."
+    }
+    fn check(&self, m: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        let entries = m.sim_entries();
+        let parents = m.graph.reachable_with_parents(&entries, None);
+        let mut reached: Vec<usize> = parents.keys().copied().collect();
+        reached.sort_unstable();
+        for id in reached {
+            // Sim-crate code is the point lints' territory.
+            if is_sim_crate(&m.graph.crates[id]) || !m.is_shipping(id) {
+                continue;
+            }
+            let chain = m.chain(&parents, id);
+            let fx = &m.facts[id];
+            for (fact, kind) in fx
+                .wall_clock
+                .iter()
+                .map(|f| (f, "wall-clock"))
+                .chain(fx.env_read.iter().map(|f| (f, "env-read")))
+                .chain(fx.thread_spawn.iter().map(|f| (f, "thread-spawn")))
+                .chain(fx.unordered.iter().map(|f| (f, "unordered-collection")))
+            {
+                out.push(Diagnostic {
+                    file: m.files[m.graph.nodes[id].file].path.clone(),
+                    line: fact.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "{} ({kind}) is reachable from sim-crate public API via `{chain}`; \
+                         simulation results must not depend on it",
+                        fact.what
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `panic-reach`: a panic site reachable from a DES decision point.
+pub struct PanicReach;
+
+impl WorkspaceLint for PanicReach {
+    fn name(&self) -> &'static str {
+        "panic-reach"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "panic site reachable from a DES decision point"
+    }
+    fn explain(&self) -> &'static str {
+        "`panic-path` warns on any unwrap/expect/panic! in library code; \
+         this lint escalates the subset that a DES decision point \
+         (Machine::step, Calendar::next, TraceBuffer::record, …) can \
+         actually reach, across crate boundaries, to an error: a panic \
+         there aborts the event loop mid-simulation and loses the run. An \
+         existing `aitax-allow(panic-path)` suppression also covers this \
+         lint — the comment's invariant argument is exactly a proof the \
+         panic cannot fire — so one justified exception suffices for both. \
+         The exempt crates (testkit, bench) stay exempt."
+    }
+    fn check(&self, m: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        let roots = m.hot_roots();
+        let parents = m.graph.reachable_with_parents(&roots, None);
+        let mut reached: Vec<usize> = parents.keys().copied().collect();
+        reached.sort_unstable();
+        for id in reached {
+            if PANIC_EXEMPT_CRATES.contains(&m.graph.crates[id].as_str()) || !m.is_shipping(id) {
+                continue;
+            }
+            let chain = m.chain(&parents, id);
+            for fact in &m.facts[id].panics {
+                out.push(Diagnostic {
+                    file: m.files[m.graph.nodes[id].file].path.clone(),
+                    line: fact.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "{} and a DES decision point reaches it (via `{chain}`); a panic \
+                         here aborts the event loop — return the error or prove the \
+                         invariant with aitax-allow(panic-path)",
+                        fact.what
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(lint: &dyn WorkspaceLint, sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let m = WorkspaceModel::build(&files);
+        let mut out = Vec::new();
+        lint.check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn transitive_alloc_fires_one_level_deep() {
+        let d = run(
+            &TransitiveAlloc,
+            &[(
+                "crates/des/src/trace.rs",
+                "pub fn record(x: u32) { emit(x); }\nfn emit(x: u32) { let s = format!(\"{x}\"); }\n",
+            )],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("record -> emit"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn transitive_alloc_skips_entry_points_and_other_crates() {
+        // Alloc directly in the root: hot-path-alloc's job, not ours.
+        let d = run(
+            &TransitiveAlloc,
+            &[(
+                "crates/des/src/trace.rs",
+                "pub fn record(x: u32) { let s = format!(\"{x}\"); }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Reaching across crates does not drag lab code into the hot set.
+        let d = run(
+            &TransitiveAlloc,
+            &[
+                (
+                    "crates/des/src/trace.rs",
+                    "pub fn record(x: u32) { lab::render::emit(x); }\n",
+                ),
+                (
+                    "crates/lab/src/render.rs",
+                    "pub fn emit(x: u32) { let s = format!(\"{x}\"); }\n",
+                ),
+            ],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn determinism_taint_crosses_into_non_sim_helpers() {
+        let d = run(
+            &DeterminismTaint,
+            &[
+                (
+                    "crates/des/src/probe.rs",
+                    "pub fn sample() { util::ticks::now_ms(); }\n",
+                ),
+                (
+                    "crates/util/src/ticks.rs",
+                    "pub fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }\n",
+                ),
+            ],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/util/src/ticks.rs");
+        assert!(
+            d[0].message.contains("sample -> now_ms"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn determinism_taint_leaves_sim_code_to_point_lints() {
+        // Taint inside the sim crate itself: wall-clock fires, we don't.
+        let d = run(
+            &DeterminismTaint,
+            &[(
+                "crates/des/src/probe.rs",
+                "pub fn sample() -> u64 { Instant::now().elapsed().as_millis() as u64 }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Unreachable non-sim taint stays quiet too.
+        let d = run(
+            &DeterminismTaint,
+            &[(
+                "crates/util/src/ticks.rs",
+                "pub fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_reach_fires_across_crates() {
+        let d = run(
+            &PanicReach,
+            &[
+                (
+                    "crates/kernel/src/machine.rs",
+                    "impl Machine {\n  pub fn step(&mut self) { soc::opp::lookup(3); }\n}\n",
+                ),
+                (
+                    "crates/soc/src/opp.rs",
+                    "pub fn lookup(i: usize) -> u64 { TABLE.get(i).unwrap().freq }\n",
+                ),
+            ],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/soc/src/opp.rs");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("step -> lookup"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn panic_reach_honors_panic_path_allows_and_exempt_crates() {
+        let d = run(
+            &PanicReach,
+            &[(
+                "crates/des/src/cal.rs",
+                "pub fn next(&mut self) { take(); }\nfn take() {\n  \
+                 x.unwrap() // aitax-allow(panic-path): head checked non-empty by caller\n}\n",
+            )],
+        );
+        assert!(d.is_empty(), "the allow's invariant covers us: {d:?}");
+        let d = run(
+            &PanicReach,
+            &[
+                (
+                    "crates/des/src/cal.rs",
+                    "pub fn next(&mut self) { aitax_testkit::check(1); }\n",
+                ),
+                (
+                    "crates/testkit/src/lib.rs",
+                    "pub fn check(x: u32) { assert_stuff(x); }\nfn assert_stuff(x: u32) { \
+                     if x == 0 { panic!(\"zero\"); } }\n",
+                ),
+            ],
+        );
+        assert!(d.is_empty(), "testkit is panic-exempt: {d:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! `rng-stream-collision`: two distinct stream constants feed
+//! `SimRng::derive`/`derive2` with the same value.
+//!
+//! Stream derivation is pure arithmetic over the root seed: two call
+//! sites that pass the same hi-stream value draw *the same stream*, so
+//! a collision silently correlates quantities the experiment design
+//! treats as independent (e.g. device placement and tenant mix). The
+//! constants live in different crates (`fleet` owns 1–4, `serve` owns
+//! 11), so no single file review can see a collision — this lint
+//! collects every stream argument workspace-wide.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::lint::WorkspaceLint;
+use crate::model::WorkspaceModel;
+use crate::source::SourceFile;
+
+/// One use of a stream value at a derive call site.
+#[derive(Debug, Clone)]
+struct StreamUse {
+    /// Identity of the constant: the const's name, or `literal@file:line`
+    /// for a bare number.
+    ident: String,
+    /// Resolved numeric value.
+    value: u64,
+    /// Call site.
+    file: String,
+    line: u32,
+}
+
+pub struct RngStreamCollision;
+
+impl WorkspaceLint for RngStreamCollision {
+    fn name(&self) -> &'static str {
+        "rng-stream-collision"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "two stream constants feed SimRng::derive with the same value"
+    }
+    fn explain(&self) -> &'static str {
+        "SimRng streams are addressed by integer: `root.derive(S)` (and the \
+         hi argument of `derive2(S, k)`) selects stream S deterministically, \
+         so two *different* constants that happen to share a value draw the \
+         same stream and silently correlate quantities the experiment treats \
+         as independent. The constants are spread across crates (fleet's \
+         STREAM_DEVICE/RUN/PROBE/TENANT, serve's STREAM_ARRIVAL), so this \
+         lint collects every stream argument workspace-wide — named \
+         constants resolved to their values, bare literals kept per site — \
+         and errors when distinct constants collide. Pick an unused value; \
+         the convention is one decade per crate."
+    }
+    fn check(&self, m: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        // Workspace-wide map of integer consts (any unsigned-int type).
+        let mut consts: BTreeMap<String, u64> = BTreeMap::new();
+        for f in m.files {
+            collect_consts(f, &mut consts);
+        }
+        let mut uses: Vec<StreamUse> = Vec::new();
+        for f in m.files {
+            collect_stream_uses(f, &consts, &mut uses);
+        }
+        // Group identities per value; ≥2 distinct identities collide.
+        let mut by_value: BTreeMap<u64, Vec<&StreamUse>> = BTreeMap::new();
+        for u in &uses {
+            by_value.entry(u.value).or_default().push(u);
+        }
+        for (value, sites) in &by_value {
+            let mut idents: Vec<&str> = sites.iter().map(|u| u.ident.as_str()).collect();
+            idents.sort_unstable();
+            idents.dedup();
+            if idents.len() < 2 {
+                continue;
+            }
+            for u in sites {
+                let others: Vec<&str> = idents.iter().filter(|i| **i != u.ident).copied().collect();
+                out.push(Diagnostic {
+                    file: u.file.clone(),
+                    line: u.line,
+                    lint: self.name(),
+                    severity: self.severity(),
+                    message: format!(
+                        "stream `{}` = {value} collides with {} — colliding constants \
+                         select the same SimRng stream and correlate independent \
+                         quantities; pick an unused value",
+                        u.ident,
+                        others.join(", "),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Scans `const NAME: <uint> = <literal>;` items in shipping code.
+fn collect_consts(f: &SourceFile, out: &mut BTreeMap<String, u64>) {
+    let toks = &f.lexed.toks;
+    for i in 0..toks.len() {
+        if toks[i].text != "const" || !f.is_lib_code(toks[i].line) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // const NAME : ty = LIT ; — the type is 1–3 tokens (u64, usize,
+        // path-qualified at most); find the `=` within a short window.
+        let Some(eq) = (i + 2..(i + 8).min(toks.len())).find(|&k| toks[k].text == "=") else {
+            continue;
+        };
+        let lit_ok = toks.get(eq + 1).map(|t| t.kind) == Some(TokKind::Int)
+            && toks.get(eq + 2).map(|t| t.text.as_str()) == Some(";");
+        if !lit_ok {
+            continue;
+        }
+        if let Some(v) = parse_u64(&toks[eq + 1].text) {
+            out.insert(name.text.clone(), v);
+        }
+    }
+}
+
+/// Finds `.derive(ARG…)` / `.derive2(ARG, …)` call sites in shipping
+/// code and resolves the stream (first) argument when it is a single
+/// integer literal or a known constant name.
+fn collect_stream_uses(f: &SourceFile, consts: &BTreeMap<String, u64>, out: &mut Vec<StreamUse>) {
+    let toks = &f.lexed.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.text == "derive" || t.text == "derive2")
+            || t.kind != TokKind::Ident
+            || !f.is_lib_code(t.line)
+        {
+            continue;
+        }
+        let after_dot = i > 0 && toks[i - 1].text == ".";
+        if !after_dot || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        // First argument = tokens up to a depth-0 `,` or `)`.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let start = j;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" if depth > 0 => depth -= 1,
+                ")" | "," if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j != start + 1 {
+            continue; // multi-token expression (e.g. `id as u64`): not a constant
+        }
+        let arg = &toks[start];
+        let (ident, value) = match arg.kind {
+            TokKind::Int => match parse_u64(&arg.text) {
+                Some(v) => (format!("literal@{}:{}", f.path, arg.line), v),
+                None => continue,
+            },
+            TokKind::Ident => match consts.get(&arg.text) {
+                Some(&v) => (arg.text.clone(), v),
+                None => continue, // loop variable or unknown const: not a stream constant
+            },
+            _ => continue,
+        };
+        out.push(StreamUse {
+            ident,
+            value,
+            file: f.path.clone(),
+            line: t.line,
+        });
+    }
+}
+
+/// Parses a Rust integer literal (underscores allowed, no suffix logic
+/// beyond trimming a trailing type).
+fn parse_u64(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("usize");
+    if let Some(hex) = cleaned.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let m = WorkspaceModel::build(&files);
+        let mut out = Vec::new();
+        RngStreamCollision.check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn distinct_constants_with_same_value_collide_across_crates() {
+        let d = run(&[
+            (
+                "crates/fleet/src/population.rs",
+                "pub const STREAM_DEVICE: u64 = 1;\n\
+                 pub fn seed(root: &SimRng, k: u64) { root.derive2(STREAM_DEVICE, k); }\n",
+            ),
+            (
+                "crates/serve/src/arrival.rs",
+                "const STREAM_ARRIVAL: u64 = 1;\n\
+                 pub fn seed(root: &SimRng, k: u64) { root.derive2(STREAM_ARRIVAL, k); }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("STREAM_ARRIVAL") || d[0].message.contains("STREAM_DEVICE"));
+    }
+
+    #[test]
+    fn unique_values_and_repeated_same_constant_are_fine() {
+        let d = run(&[(
+            "crates/fleet/src/population.rs",
+            "pub const STREAM_DEVICE: u64 = 1;\npub const STREAM_RUN: u64 = 2;\n\
+             pub fn seed(root: &SimRng, k: u64) {\n  root.derive2(STREAM_DEVICE, k);\n  \
+             root.derive2(STREAM_DEVICE, k + 1);\n  root.derive2(STREAM_RUN, k);\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bare_literal_collides_with_a_named_constant() {
+        let d = run(&[(
+            "crates/serve/src/arrival.rs",
+            "const STREAM_ARRIVAL: u64 = 11;\n\
+             pub fn a(root: &SimRng) { root.derive(STREAM_ARRIVAL); }\n\
+             pub fn b(root: &SimRng) { root.derive(11); }\n",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn test_code_and_non_constant_args_are_ignored() {
+        let d = run(&[(
+            "crates/des/src/rng.rs",
+            "pub fn spread(root: &SimRng, id: u64) { root.derive(id as u64); }\n\
+             #[cfg(test)]\nmod t {\n  fn twice(root: &SimRng) { root.derive(7); root.derive(7); }\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

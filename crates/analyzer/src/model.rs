@@ -1,0 +1,227 @@
+//! The workspace model: every file parsed, the call graph built, and
+//! per-function taint facts extracted — constructed once per analyzer
+//! run and shared by the graph-based lints and the `--graph` exports.
+//!
+//! The model also owns the *root sets* the reachability lints walk:
+//!
+//! * **hot-path roots** — shipping functions in [`HOT_PATH_CRATES`]
+//!   named in [`HOT_PATH_FNS`]; the table now holds only true entry
+//!   points (`Machine::step`, `Calendar::next`, `TraceBuffer::record`,
+//!   …) because everything they reach is found here, by graph walk,
+//!   instead of by hand-growing the list.
+//! * **sim entry points** — `pub fn`s in sim-crate library code, the
+//!   surface through which nondeterminism can leak into artifacts.
+//!
+//! Panic facts are pre-filtered against inline `aitax-allow(panic-path)`
+//! suppressions: such a comment asserts the invariant that makes the
+//! panic unreachable, and that assertion covers the transitive lint too
+//! — one justified exception, not two.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{body_facts, CallGraph, Facts, NodeExport};
+use crate::lint::{is_sim_crate, known_lint_names, HOT_PATH_CRATES, HOT_PATH_FNS};
+use crate::parser::{parse_file, ParsedFile};
+use crate::source::{Section, SourceFile};
+use crate::suppress;
+
+/// Parsed files + call graph + facts for one analyzer run.
+pub struct WorkspaceModel<'a> {
+    /// The lexed, classified files (parallel to `parsed`).
+    pub files: &'a [SourceFile],
+    /// Item-level parse of each file.
+    pub parsed: Vec<ParsedFile>,
+    /// The workspace call graph over all parsed functions.
+    pub graph: CallGraph,
+    /// Taint facts per graph node (parallel to `graph.nodes`).
+    pub facts: Vec<Facts>,
+}
+
+impl<'a> WorkspaceModel<'a> {
+    /// Parses every file, builds the graph, and extracts facts.
+    pub fn build(files: &'a [SourceFile]) -> WorkspaceModel<'a> {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| parse_file(i, f))
+            .collect();
+        let graph = CallGraph::build(files, &parsed);
+        // Lines excused by `aitax-allow(panic-path)`, per file: the
+        // suppression's invariant argument covers panic-reach too.
+        let known = known_lint_names();
+        let mut allowed: Vec<BTreeSet<u32>> = Vec::with_capacity(files.len());
+        for f in files {
+            let mut scratch = Vec::new();
+            let sups = suppress::parse(&f.path, &f.lexed, &known, &mut scratch);
+            allowed.push(
+                sups.iter()
+                    .filter(|s| s.lint == "panic-path")
+                    .map(|s| s.target_line)
+                    .collect(),
+            );
+        }
+        let facts = graph
+            .nodes
+            .iter()
+            .map(|def| {
+                let mut fx = body_facts(&files[def.file], def);
+                fx.panics.retain(|p| !allowed[def.file].contains(&p.line));
+                fx
+            })
+            .collect();
+        WorkspaceModel {
+            files,
+            parsed,
+            graph,
+            facts,
+        }
+    }
+
+    /// Does node `id` ship — a lib/bin/example target, outside any test
+    /// region?
+    pub fn is_shipping(&self, id: usize) -> bool {
+        let def = &self.graph.nodes[id];
+        let f = &self.files[def.file];
+        !def.in_test && f.section != Section::Tests
+    }
+
+    /// Hot-path roots: shipping functions in [`HOT_PATH_CRATES`] whose
+    /// name is in [`HOT_PATH_FNS`]. These double as the DES decision
+    /// points `panic-reach` walks from.
+    pub fn hot_roots(&self) -> BTreeSet<usize> {
+        (0..self.graph.nodes.len())
+            .filter(|&id| {
+                HOT_PATH_CRATES.contains(&self.graph.crates[id].as_str())
+                    && self.is_shipping(id)
+                    && HOT_PATH_FNS.contains(&self.graph.nodes[id].name.as_str())
+            })
+            .collect()
+    }
+
+    /// Everything on the hot path: per hot crate, the same-crate
+    /// reachable set from that crate's roots, unioned.
+    pub fn hot_set(&self) -> BTreeSet<usize> {
+        let roots = self.hot_roots();
+        let mut out = BTreeSet::new();
+        for krate in HOT_PATH_CRATES {
+            out.extend(self.graph.reachable(&roots, Some(krate)));
+        }
+        out
+    }
+
+    /// Everything reachable from a DES decision point, across crates.
+    pub fn panic_reach_set(&self) -> BTreeSet<usize> {
+        self.graph.reachable(&self.hot_roots(), None)
+    }
+
+    /// Sim-crate entry points: `pub fn`s in sim-crate library code.
+    pub fn sim_entries(&self) -> BTreeSet<usize> {
+        (0..self.graph.nodes.len())
+            .filter(|&id| {
+                let def = &self.graph.nodes[id];
+                let f = &self.files[def.file];
+                def.is_pub
+                    && !def.in_test
+                    && f.section == Section::Lib
+                    && is_sim_crate(&self.graph.crates[id])
+            })
+            .collect()
+    }
+
+    /// Short-name call chain from a root down to `node`, per `parents`
+    /// (as returned by [`CallGraph::reachable_with_parents`]).
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, node: usize) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        let mut cur = node;
+        loop {
+            names.push(&self.graph.nodes[cur].name);
+            match parents.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+
+    /// Per-node export records for the `--graph` artifacts.
+    pub fn node_exports(&self) -> Vec<NodeExport> {
+        let hot = self.hot_set();
+        let panics = self.panic_reach_set();
+        (0..self.graph.nodes.len())
+            .map(|id| NodeExport {
+                facts: self.facts[id].labels(),
+                hot: hot.contains(&id),
+                panic_reach: panics.contains(&id),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_files(sources: &[(&str, &str)]) -> Vec<SourceFile> {
+        sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect()
+    }
+
+    #[test]
+    fn hot_roots_pick_named_fns_in_hot_crates() {
+        let files = model_files(&[
+            (
+                "crates/des/src/calendar.rs",
+                "impl Calendar {\n  pub fn next(&mut self) { self.drain(); }\n  fn drain(&mut self) {}\n}\n",
+            ),
+            (
+                "crates/lab/src/run.rs",
+                "pub fn step() {}\n", // lab is not a hot-path crate
+            ),
+        ]);
+        let m = WorkspaceModel::build(&files);
+        let roots = m.hot_roots();
+        assert_eq!(roots.len(), 1);
+        let hot = m.hot_set();
+        assert_eq!(hot.len(), 2, "drain is reached same-crate");
+    }
+
+    #[test]
+    fn panic_allow_filters_facts() {
+        let files = model_files(&[(
+            "crates/des/src/a.rs",
+            "pub fn f() {\n  x.unwrap(); // aitax-allow(panic-path): checked above\n  y.unwrap();\n}\n",
+        )]);
+        let m = WorkspaceModel::build(&files);
+        assert_eq!(m.facts[0].panics.len(), 1);
+        assert_eq!(m.facts[0].panics[0].line, 3);
+    }
+
+    #[test]
+    fn sim_entries_are_pub_lib_fns_of_sim_crates() {
+        let files = model_files(&[
+            (
+                "crates/des/src/a.rs",
+                "pub fn entry() {}\nfn private() {}\n",
+            ),
+            ("crates/testkit/src/lib.rs", "pub fn check() {}\n"),
+            ("crates/des/tests/t.rs", "pub fn helper() {}\n"),
+        ]);
+        let m = WorkspaceModel::build(&files);
+        let entries = m.sim_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(m.graph.nodes[*entries.first().unwrap()].name, "entry");
+    }
+
+    #[test]
+    fn chain_renders_root_to_node() {
+        let files = model_files(&[(
+            "crates/des/src/a.rs",
+            "pub fn next() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let m = WorkspaceModel::build(&files);
+        let roots = m.hot_roots();
+        let parents = m.graph.reachable_with_parents(&roots, None);
+        let leaf = m.graph.nodes.iter().position(|n| n.name == "leaf").unwrap();
+        assert_eq!(m.chain(&parents, leaf), "next -> mid -> leaf");
+    }
+}

@@ -1,0 +1,707 @@
+//! A lightweight item parser on top of the lexer: function definitions
+//! with body spans, `impl`/`mod`/`trait` scopes, `use` declarations, and
+//! call/method-call/macro sites.
+//!
+//! This is *not* a Rust parser — it is the minimum structure the call
+//! graph needs: which functions exist (with stable qualified names),
+//! which token range each body owns, and which calls appear inside each
+//! body. Anything it cannot shape (trait-object dispatch, `<T as
+//! Tr>::f` casts, const-generic braces) degrades to an unresolved call
+//! or a missed edge, never a crash: the graph is explicitly
+//! best-effort, and the unresolved bucket is reported so the limits
+//! stay visible.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// Rust keywords that can precede `(` without being a call.
+const KEYWORDS: [&str; 36] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "while",
+];
+
+/// Is `t` a keyword (so `t(` is control flow, not a call)?
+pub fn is_keyword(t: &str) -> bool {
+    KEYWORDS.contains(&t) || t == "Self" || t == "self" || t == "where" || t == "use"
+}
+
+/// One parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Stable qualified name: `crate::mod::…::[Type::]name`.
+    pub qual: String,
+    /// Surrounding `impl`/`trait` type name, if any.
+    pub impl_type: Option<String>,
+    /// Index of the owning file in the analyzed slice.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (or the signature's `;`).
+    pub end_line: u32,
+    /// Token index range of the body including braces, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Declared `pub` (including `pub(crate)` etc.).
+    pub is_pub: bool,
+    /// Defined inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+}
+
+/// How a call site invokes its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` or `a::b::name(..)`, turbofish included.
+    Path,
+    /// `.name(..)` method syntax.
+    Method,
+    /// `name!(..)` macro invocation.
+    Macro,
+}
+
+/// One call, method call, or macro invocation inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments (`["a", "b", "name"]`); a single segment for
+    /// methods and macros.
+    pub path: Vec<String>,
+    /// Call syntax at the site.
+    pub kind: CallKind,
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// Index of the calling [`FnDef`] in the owning [`ParsedFile`].
+    pub caller: usize,
+    /// Method call written as `self.name(..)` — resolvable against the
+    /// caller's own impl type.
+    pub self_receiver: bool,
+}
+
+/// One `use` mapping: the name a path is bound to in this file.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Local binding (`Baz` for `use foo::bar::Baz` or `… as Baz`).
+    pub alias: String,
+    /// Full path segments as written.
+    pub path: Vec<String>,
+}
+
+/// Parse result for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// All call sites attributed to their innermost enclosing fn.
+    pub calls: Vec<CallSite>,
+    /// All `use` bindings.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Module path a file contributes by its position on disk:
+/// `crates/des/src/calendar/legacy.rs` → `["calendar", "legacy"]`.
+fn file_module_path(f: &SourceFile) -> Vec<String> {
+    let mut rest = f.path.as_str();
+    if let Some(stripped) = rest.strip_prefix("crates/") {
+        rest = stripped.split_once('/').map(|(_, r)| r).unwrap_or(stripped);
+    }
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    let mut parts: Vec<String> = rest
+        .split('/')
+        .filter(|p| *p != "src")
+        .map(str::to_string)
+        .collect();
+    while matches!(
+        parts.last().map(String::as_str),
+        Some("lib") | Some("mod") | Some("main")
+    ) {
+        parts.pop();
+    }
+    parts
+}
+
+/// What a `{` on the scope stack belongs to.
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+    Block,
+}
+
+/// Parses `file` (index `file_idx` in the analyzed slice) into items.
+pub fn parse_file(file_idx: usize, file: &SourceFile) -> ParsedFile {
+    let toks = &file.lexed.toks;
+    let mut out = ParsedFile::default();
+    let base_mods = file_module_path(file);
+    let mut stack: Vec<Scope> = Vec::new();
+    // Pending scope for the next `{`, set by mod/impl/trait/fn headers.
+    let mut pending: Option<Scope> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                stack.push(pending.take().unwrap_or(Scope::Block));
+                i += 1;
+            }
+            "}" => {
+                if let Some(Scope::Fn(fi)) = stack.last() {
+                    let fi = *fi;
+                    out.fns[fi].end_line = t.line;
+                    if let Some((start, _)) = out.fns[fi].body {
+                        out.fns[fi].body = Some((start, i + 1));
+                    }
+                }
+                stack.pop();
+                pending = None;
+                i += 1;
+            }
+            ";" => {
+                // `mod name;` / trait method decls cancel a pending scope.
+                pending = None;
+                i += 1;
+            }
+            "mod" if toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident) => {
+                pending = Some(Scope::Mod(toks[i + 1].text.clone()));
+                i += 2;
+            }
+            "trait" if toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident) => {
+                pending = Some(Scope::Impl(toks[i + 1].text.clone()));
+                i += 2;
+            }
+            "impl" => {
+                let (ty, next) = impl_type_name(toks, i + 1);
+                pending = Some(Scope::Impl(ty.unwrap_or_default()));
+                i = next;
+            }
+            "use" => {
+                i = parse_use(toks, i + 1, &mut out.uses);
+            }
+            "fn" if toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident) => {
+                let name = toks[i + 1].text.clone();
+                let line = t.line;
+                let impl_type = stack.iter().rev().find_map(|s| match s {
+                    Scope::Impl(ty) if !ty.is_empty() => Some(ty.clone()),
+                    _ => None,
+                });
+                let mut mods = base_mods.clone();
+                for s in &stack {
+                    if let Scope::Mod(m) = s {
+                        mods.push(m.clone());
+                    }
+                }
+                let mut qual = file.krate.clone();
+                for m in &mods {
+                    qual.push_str("::");
+                    qual.push_str(m);
+                }
+                if let Some(ty) = &impl_type {
+                    qual.push_str("::");
+                    qual.push_str(ty);
+                }
+                qual.push_str("::");
+                qual.push_str(&name);
+                let fi = out.fns.len();
+                out.fns.push(FnDef {
+                    name,
+                    qual,
+                    impl_type,
+                    file: file_idx,
+                    line,
+                    end_line: line,
+                    body: None,
+                    is_pub: is_pub_before(toks, i),
+                    in_test: file.in_test_region(line),
+                });
+                // Find the body `{` (or `;` for a bodiless decl) at
+                // bracket depth 0 relative to the signature.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "<" | "::<" => angle += 1,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        "<<" => angle += 2,
+                        "->" => {}
+                        ";" if paren <= 0 && angle <= 0 => {
+                            out.fns[fi].end_line = toks[j].line;
+                            break;
+                        }
+                        "{" if paren <= 0 && angle <= 0 => {
+                            out.fns[fi].body = Some((j, j));
+                            pending = Some(Scope::Fn(fi));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => {
+                if let Some(caller) = innermost_fn(&stack) {
+                    if let Some(next_i) = collect_call(toks, i, caller, &mut out.calls) {
+                        i = next_i;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Innermost `Fn` scope on the stack, if any.
+fn innermost_fn(stack: &[Scope]) -> Option<usize> {
+    stack.iter().rev().find_map(|s| match s {
+        Scope::Fn(fi) => Some(*fi),
+        _ => None,
+    })
+}
+
+/// Was the `fn` at token `i` declared `pub`? Scans back over the
+/// visibility/qualifier prefix (`pub(crate) const unsafe async fn`).
+fn is_pub_before(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    let mut budget = 8usize;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        match toks[j].text.as_str() {
+            "pub" => return true,
+            "(" | ")" | "crate" | "super" | "self" | "in" | "const" | "unsafe" | "async"
+            | "extern" => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Resolves the self-type name of an `impl` header starting at `i`
+/// (just past the `impl` keyword). Returns the type name and the token
+/// index to resume at (the header's `{`, or wherever scanning stopped).
+fn impl_type_name(toks: &[Tok], i: usize) -> (Option<String>, usize) {
+    let mut j = i;
+    // Skip the generic parameter list `<...>` if present.
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" | "::<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "<<" => depth += 2,
+                "->" => {}
+                _ => {}
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // Walk to the `{`, remembering the last plain ident seen at angle
+    // depth 0 — that is the self-type for both `impl Foo` and
+    // `impl Trait for Foo` (the segment after `for` wins).
+    let mut ty: Option<String> = None;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" if depth <= 0 => return (ty, j),
+            ";" if depth <= 0 => return (ty, j),
+            "<" | "::<" => depth += 1,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "where" if depth <= 0 => {
+                // Type is settled; skip the where clause to the `{`.
+                while j < toks.len() && toks[j].text != "{" {
+                    j += 1;
+                }
+                return (ty, j);
+            }
+            t if toks[j].kind == TokKind::Ident && depth <= 0 && !is_keyword(t) => {
+                ty = Some(t.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (ty, j)
+}
+
+/// Parses one `use` declaration starting just past the `use` keyword,
+/// pushing every binding it creates. Returns the index past the `;`.
+fn parse_use(toks: &[Tok], i: usize, out: &mut Vec<UseDecl>) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    parse_use_tree(toks, i, &mut prefix, out)
+}
+
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            ";" => return i + 1,
+            "::" => i += 1,
+            "{" => {
+                i += 1;
+                loop {
+                    let before = prefix.len();
+                    i = parse_use_group_item(toks, i, prefix, out);
+                    prefix.truncate(before);
+                    match toks.get(i).map(|t| t.text.as_str()) {
+                        Some(",") => i += 1,
+                        Some("}") => {
+                            i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                // After a group the decl is done up to `;`.
+                while i < toks.len() && toks[i].text != ";" {
+                    i += 1;
+                }
+                return (i + 1).min(toks.len());
+            }
+            "*" => {
+                // Glob: no single binding to record.
+                i += 1;
+            }
+            "as" => {
+                if let Some(alias) = toks.get(i + 1) {
+                    out.push(UseDecl {
+                        alias: alias.text.clone(),
+                        path: prefix.clone(),
+                    });
+                    prefix.truncate(depth_at_entry);
+                    i += 2;
+                    // consume to `;`
+                    while i < toks.len() && toks[i].text != ";" {
+                        i += 1;
+                    }
+                    return (i + 1).min(toks.len());
+                }
+                i += 1;
+            }
+            _ if toks[i].kind == TokKind::Ident => {
+                prefix.push(toks[i].text.clone());
+                i += 1;
+                // A segment followed by `;` (or anything that is not a
+                // path continuation or rename) ends this binding.
+                match toks.get(i).map(|t| t.text.as_str()) {
+                    Some(";") => {
+                        finish_leaf(prefix, out);
+                        return i + 1;
+                    }
+                    Some("::") | Some("as") => {}
+                    _ => {
+                        finish_leaf(prefix, out);
+                        return i;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// One item inside a `use path::{ ... }` group.
+fn parse_use_group_item(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "," | "}" => return i,
+            "::" => i += 1,
+            "{" => {
+                i += 1;
+                loop {
+                    let before = prefix.len();
+                    i = parse_use_group_item(toks, i, prefix, out);
+                    prefix.truncate(before);
+                    match toks.get(i).map(|t| t.text.as_str()) {
+                        Some(",") => i += 1,
+                        Some("}") => return i + 1,
+                        _ => return i,
+                    }
+                }
+            }
+            "*" => i += 1,
+            "as" => {
+                if let Some(alias) = toks.get(i + 1) {
+                    out.push(UseDecl {
+                        alias: alias.text.clone(),
+                        path: prefix.clone(),
+                    });
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            "self" => {
+                // `use foo::bar::{self, ..}` binds `bar` itself.
+                finish_leaf(prefix, out);
+                i += 1;
+            }
+            _ if toks[i].kind == TokKind::Ident => {
+                prefix.push(toks[i].text.clone());
+                i += 1;
+                let next = toks.get(i).map(|t| t.text.as_str());
+                if next != Some("::") && next != Some("as") {
+                    finish_leaf(prefix, out);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn finish_leaf(prefix: &[String], out: &mut Vec<UseDecl>) {
+    if let Some(last) = prefix.last() {
+        out.push(UseDecl {
+            alias: last.clone(),
+            path: prefix.to_vec(),
+        });
+    }
+}
+
+/// If tokens at `i` start a call/method-call/macro site, records it and
+/// returns the index to resume at; otherwise `None`.
+fn collect_call(toks: &[Tok], i: usize, caller: usize, out: &mut Vec<CallSite>) -> Option<usize> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || is_keyword(&t.text) {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+    // `#[allow(..)]` / `#[cfg(..)]` inside a body: attribute, not a call.
+    if prev == Some("[") && i >= 2 && toks[i - 2].text == "#" {
+        return None;
+    }
+    // Macro invocation: `name!`. (`!=` lexes as one token, so a bare
+    // `!` really is a macro bang.)
+    if toks.get(i + 1).map(|n| n.text.as_str()) == Some("!") {
+        out.push(CallSite {
+            path: vec![t.text.clone()],
+            kind: CallKind::Macro,
+            line: t.line,
+            caller,
+            self_receiver: false,
+        });
+        return Some(i + 2);
+    }
+    // Where does the argument list open? Directly, or after a turbofish.
+    let after = match toks.get(i + 1).map(|n| n.text.as_str()) {
+        Some("(") => i + 1,
+        Some("::<") => {
+            let mut depth = 1i32;
+            let mut j = i + 2;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "<" | "::<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "->" => {}
+                    _ => {}
+                }
+                j += 1;
+            }
+            if toks.get(j).map(|n| n.text.as_str()) != Some("(") {
+                return None;
+            }
+            j
+        }
+        _ => return None,
+    };
+    if prev == Some(".") {
+        // Method call. `self.name(..)` pins the receiver.
+        let self_recv = i >= 2 && toks[i - 2].text == "self" && (i < 3 || toks[i - 3].text != ".");
+        out.push(CallSite {
+            path: vec![t.text.clone()],
+            kind: CallKind::Method,
+            line: t.line,
+            caller,
+            self_receiver: self_recv,
+        });
+        return Some(after + 1);
+    }
+    // Path call: walk `seg :: seg :: name` backwards.
+    let mut path = vec![t.text.clone()];
+    let mut j = i;
+    while j >= 2 && toks[j - 1].text == "::" && toks[j - 2].kind == TokKind::Ident {
+        path.insert(0, toks[j - 2].text.clone());
+        j -= 2;
+    }
+    // `<T as Trait>::name(..)` and similar — the path starts at a `>`;
+    // leave it single-segment (it will land in the unresolved bucket).
+    out.push(CallSite {
+        path,
+        kind: CallKind::Path,
+        line: t.line,
+        caller,
+        self_receiver: false,
+    });
+    Some(after + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        let f = SourceFile::new("crates/des/src/calendar.rs", src);
+        parse_file(0, &f)
+    }
+
+    #[test]
+    fn fn_defs_get_qualified_names() {
+        let p = parse(
+            "pub fn free() {}\n\
+             impl Calendar {\n    pub fn next(&mut self) {}\n    fn helper(&self) {}\n}\n\
+             mod inner {\n    fn deep() {}\n}\n",
+        );
+        let quals: Vec<&str> = p.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "des::calendar::free",
+                "des::calendar::Calendar::next",
+                "des::calendar::Calendar::helper",
+                "des::calendar::inner::deep",
+            ]
+        );
+        assert!(p.fns[0].is_pub);
+        assert!(p.fns[1].is_pub);
+        assert!(!p.fns[2].is_pub);
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let p = parse("impl Iterator for Wheel {\n    fn next(&mut self) {}\n}\n");
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Wheel"));
+        assert_eq!(p.fns[0].qual, "des::calendar::Wheel::next");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve() {
+        let p = parse("impl<T: Clone> Holder<T> {\n    fn get(&self) {}\n}\n");
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn body_spans_cover_nested_braces() {
+        let p = parse("fn f() {\n    if x { y(); }\n    z();\n}\nfn g() {}\n");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[0].end_line, 4);
+        assert_eq!(p.fns[1].line, 5);
+    }
+
+    #[test]
+    fn calls_attribute_to_innermost_fn() {
+        let p = parse("fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}\n");
+        let by_name = |n: &str| {
+            p.calls
+                .iter()
+                .find(|c| c.path.last().map(String::as_str) == Some(n))
+                .map(|c| c.caller)
+        };
+        assert_eq!(by_name("deep"), Some(1), "inner fn owns its call");
+        assert_eq!(by_name("shallow"), Some(0));
+    }
+
+    #[test]
+    fn method_and_path_and_macro_calls_classify() {
+        let p = parse(
+            "fn f(&self) {\n    self.step();\n    other.run();\n    des::rng::mix(1);\n    format!(\"x\");\n}\n",
+        );
+        let kinds: Vec<(CallKind, String)> = p
+            .calls
+            .iter()
+            .map(|c| (c.kind, c.path.join("::")))
+            .collect();
+        assert!(kinds.contains(&(CallKind::Method, "step".into())));
+        assert!(kinds.contains(&(CallKind::Method, "run".into())));
+        assert!(kinds.contains(&(CallKind::Path, "des::rng::mix".into())));
+        assert!(kinds.contains(&(CallKind::Macro, "format".into())));
+        let step = p.calls.iter().find(|c| c.path == ["step"]).unwrap();
+        assert!(step.self_receiver);
+        let run = p.calls.iter().find(|c| c.path == ["run"]).unwrap();
+        assert!(!run.self_receiver);
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        let p = parse("fn f() {\n    let v = parse::<u32>(s);\n    x.collect::<Vec<_>>();\n}\n");
+        assert!(p
+            .calls
+            .iter()
+            .any(|c| c.path == ["parse"] && c.kind == CallKind::Path));
+        assert!(p
+            .calls
+            .iter()
+            .any(|c| c.path == ["collect"] && c.kind == CallKind::Method));
+    }
+
+    #[test]
+    fn use_decls_bind_aliases() {
+        let p = parse(
+            "use std::collections::BTreeMap;\n\
+             use crate::rng::{SimRng, mix as rmix};\n\
+             use super::wheel::*;\n",
+        );
+        let find = |a: &str| {
+            p.uses
+                .iter()
+                .find(|u| u.alias == a)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(find("BTreeMap"), Some("std::collections::BTreeMap".into()));
+        assert_eq!(find("SimRng"), Some("crate::rng::SimRng".into()));
+        assert_eq!(find("rmix"), Some("crate::rng::mix".into()));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let p = parse("fn real() {}\n#[cfg(test)]\nmod t {\n    fn fake() {}\n}\n");
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn bodiless_trait_decls_have_no_span() {
+        let p = parse("trait T {\n    fn must(&self);\n    fn dflt(&self) { self.must(); }\n}\n");
+        assert_eq!(p.fns[0].body, None);
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[1].qual, "des::calendar::T::dflt");
+        let c = p.calls.iter().find(|c| c.path == ["must"]).unwrap();
+        assert_eq!(c.caller, 1);
+    }
+
+    #[test]
+    fn module_paths_from_disk_layout() {
+        let f = SourceFile::new("crates/des/src/lib.rs", "fn a() {}");
+        assert_eq!(parse_file(0, &f).fns[0].qual, "des::a");
+        let f = SourceFile::new("src/lib.rs", "fn a() {}");
+        assert_eq!(parse_file(0, &f).fns[0].qual, "aitax::a");
+        let f = SourceFile::new("crates/kernel/src/sched/cfs.rs", "fn a() {}");
+        assert_eq!(parse_file(0, &f).fns[0].qual, "kernel::sched::cfs::a");
+        let f = SourceFile::new("crates/lab/tests/pool.rs", "fn a() {}");
+        assert_eq!(parse_file(0, &f).fns[0].qual, "lab::tests::pool::a");
+    }
+}

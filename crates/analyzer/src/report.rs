@@ -8,6 +8,19 @@
 use std::collections::BTreeMap;
 
 use crate::diag::{Diagnostic, Severity};
+use crate::graph::ResolutionStats;
+
+/// Call-graph shape for one analyzer run, surfaced in `--json` so the
+/// resolution approximation is visible rather than silent.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSummary {
+    /// Functions parsed workspace-wide.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Call-site resolution statistics, including the unresolved bucket.
+    pub resolution: ResolutionStats,
+}
 
 /// Outcome of one analyzer run.
 #[derive(Debug, Clone)]
@@ -18,6 +31,8 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// How many findings inline `aitax-allow` comments excused.
     pub suppressed: usize,
+    /// Call-graph shape, when the graph pass ran.
+    pub graph: Option<GraphSummary>,
 }
 
 impl Report {
@@ -65,6 +80,18 @@ impl Report {
             self.suppressed,
             self.files_scanned,
         ));
+        if let Some(g) = &self.graph {
+            out.push_str(&format!(
+                "call graph: {} function(s), {} edge(s); {}/{} call site(s) resolved \
+                 ({} external, {} ambiguous)\n",
+                g.functions,
+                g.edges,
+                g.resolution.resolved,
+                g.resolution.calls,
+                g.resolution.external,
+                g.resolution.ambiguous
+            ));
+        }
         out
     }
 
@@ -97,6 +124,18 @@ impl Report {
             out.push_str(&format!("\"{lint}\": {n}"));
         }
         out.push_str("},\n");
+        if let Some(g) = &self.graph {
+            out.push_str(&format!(
+                "  \"graph\": {{\"functions\": {}, \"edges\": {}, \"resolution\": \
+                 {{\"calls\": {}, \"resolved\": {}, \"external\": {}, \"ambiguous\": {}}}}},\n",
+                g.functions,
+                g.edges,
+                g.resolution.calls,
+                g.resolution.resolved,
+                g.resolution.external,
+                g.resolution.ambiguous
+            ));
+        }
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -163,6 +202,7 @@ mod tests {
                 },
             ],
             suppressed: 1,
+            graph: None,
         }
     }
 
@@ -206,6 +246,7 @@ mod tests {
             files_scanned: 0,
             diagnostics: vec![],
             suppressed: 0,
+            graph: None,
         };
         assert!(r.render_json().contains("\"diagnostics\": []"));
     }

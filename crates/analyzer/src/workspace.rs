@@ -10,19 +10,20 @@ use std::path::{Path, PathBuf};
 
 use crate::datalint;
 use crate::diag::{Diagnostic, Severity};
-use crate::lint::{known_lint_names, registry};
-use crate::report::Report;
+use crate::lint::{known_lint_names, registry, workspace_registry};
+use crate::model::WorkspaceModel;
+use crate::report::{GraphSummary, Report};
 use crate::source::{enabled_lints, SourceFile};
 use crate::suppress;
 
-/// Analyzes the workspace rooted at `root` (the directory holding the
-/// top-level `Cargo.toml`). Includes the runtime catalog data lints.
-pub fn analyze_root(root: &Path) -> io::Result<Report> {
+/// Loads and classifies every workspace `.rs` file under `root` (the
+/// directory holding the top-level `Cargo.toml`), skipping the
+/// analyzer's own lint fixtures — they are deliberate violations,
+/// exercised by their golden tests rather than the workspace pass.
+pub fn load_files(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = relative(root, &path);
-        // The analyzer's lint fixtures are deliberate violations; they are
-        // exercised by their own golden tests, not the workspace pass.
         if rel.contains("tests/fixtures/") {
             continue;
         }
@@ -30,14 +31,32 @@ pub fn analyze_root(root: &Path) -> io::Result<Report> {
         files.push(SourceFile::new(&rel, &src));
     }
     attach_crate_warns(&mut files);
-    Ok(analyze_sources(&files, true))
+    Ok(files)
 }
 
-/// Runs the registry over already-built sources. `with_data_lints`
-/// additionally validates the built SoC catalogs (`catalog-sane`).
+/// Analyzes the workspace rooted at `root`. Includes the runtime catalog
+/// data lints.
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    Ok(analyze_sources(&load_files(root)?, true))
+}
+
+/// Runs the per-file registry and the graph-based workspace lints over
+/// already-built sources. `with_data_lints` additionally validates the
+/// built SoC catalogs (`catalog-sane`).
 pub fn analyze_sources(files: &[SourceFile], with_data_lints: bool) -> Report {
     let lints = registry();
     let known = known_lint_names();
+    let model = WorkspaceModel::build(files);
+    // Workspace lints emit across files; group their findings per file
+    // so each file's inline suppressions apply uniformly.
+    let mut ws_by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for l in workspace_registry() {
+        let mut raw = Vec::new();
+        l.check(&model, &mut raw);
+        for d in raw {
+            ws_by_file.entry(d.file.clone()).or_default().push(d);
+        }
+    }
     let mut all = Vec::new();
     let mut suppressed_total = 0usize;
     for f in files {
@@ -45,6 +64,7 @@ pub fn analyze_sources(files: &[SourceFile], with_data_lints: bool) -> Report {
         for l in &lints {
             l.check(f, &mut raw);
         }
+        raw.extend(ws_by_file.remove(&f.path).unwrap_or_default());
         let mut sup_diags = Vec::new();
         let mut sups = suppress::parse(&f.path, &f.lexed, &known, &mut sup_diags);
         let (kept, n) = suppress::apply(raw, &mut sups);
@@ -72,6 +92,11 @@ pub fn analyze_sources(files: &[SourceFile], with_data_lints: bool) -> Report {
         files_scanned: files.len(),
         diagnostics: all,
         suppressed: suppressed_total,
+        graph: Some(GraphSummary {
+            functions: model.graph.nodes.len(),
+            edges: model.graph.edges.iter().map(|e| e.len()).sum(),
+            resolution: model.graph.stats,
+        }),
     }
 }
 

@@ -1,0 +1,13 @@
+//@path crates/hostutil/src/clock.rs
+//! Non-sim half of the `determinism-taint` fixture: wall-clock and
+//! environment reads that are fine here — until sim code reaches them.
+
+pub fn stamp_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn shell() -> String {
+    // Not reachable from any sim entry point: no diagnostic.
+    let _ = shell;
+    std::env::var("SHELL").unwrap_or_default()
+}

@@ -1,0 +1,8 @@
+//@path crates/des/src/fixture_probe.rs
+//! Sim half of the `determinism-taint` fixture: a des-crate `pub fn`
+//! that routes through a helper living in a non-sim crate, where the
+//! point determinism lints cannot see.
+
+pub fn sample(run: u128) -> u128 {
+    run ^ hostutil::clock::stamp_ms()
+}

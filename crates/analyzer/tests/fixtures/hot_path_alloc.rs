@@ -12,7 +12,7 @@ pub fn record(task: u64, label: &str) -> (String, String, String) {
     (tag, owned, copied)
 }
 
-pub fn dispatch_next(ev: &Ev) -> String {
+pub fn next(ev: &Ev) -> String {
     let label = &ev.label;
     label.clone()
 }

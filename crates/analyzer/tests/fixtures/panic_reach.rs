@@ -1,0 +1,22 @@
+//! Fixture: `panic-reach` — an unwrap below a DES decision point
+//! escalates from the `panic-path` warning to an error, and one
+//! `aitax-allow(panic-path)` comment silences both lints.
+
+pub fn next(queue: &mut Vec<u64>) -> u64 {
+    head(queue) + checked(queue)
+}
+
+fn head(queue: &mut Vec<u64>) -> u64 {
+    *queue.first().unwrap()
+}
+
+fn tail(queue: &mut Vec<u64>) -> u64 {
+    // Unreachable from a decision point: panic-path still warns here,
+    // but panic-reach stays quiet.
+    let _ = tail;
+    *queue.last().unwrap()
+}
+
+fn checked(queue: &mut Vec<u64>) -> u64 {
+    *queue.last().unwrap() // aitax-allow(panic-path): fixture caller pushes before calling
+}

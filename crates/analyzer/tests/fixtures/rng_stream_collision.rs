@@ -1,0 +1,14 @@
+//! Fixture: `rng-stream-collision` — two stream constants share the
+//! same value, so two "independent" derived RNG streams are identical.
+
+const STREAM_DEVICE: u64 = 9;
+const STREAM_ARRIVAL: u64 = 9;
+const STREAM_PROBE: u64 = 3;
+
+pub fn seeds(root: &SimRng, device: u64) {
+    let _ = root.derive2(STREAM_DEVICE, device);
+    let _ = root.derive(STREAM_ARRIVAL);
+    // Unique values stay quiet, whether named or literal.
+    let _ = root.derive(STREAM_PROBE);
+    let _ = root.derive(7);
+}

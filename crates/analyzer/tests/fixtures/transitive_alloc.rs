@@ -1,0 +1,41 @@
+//! Fixture: `transitive-alloc` — allocation in a helper the hot path
+//! reaches through the call graph, not in the entry point itself.
+
+pub fn step(events: &mut Vec<u64>, label: &str) {
+    drain(events);
+    annotate(label);
+}
+
+fn drain(events: &mut Vec<u64>) {
+    for e in events.iter() {
+        stash(*e);
+    }
+}
+
+fn stash(e: u64) {
+    // Two levels below the root: step -> drain -> stash.
+    let tag = format!("ev-{e}");
+    let _ = tag;
+}
+
+fn annotate(label: &str) -> String {
+    // One level below the root: step -> annotate.
+    label.to_string()
+}
+
+fn cold(label: &str) -> String {
+    // Not reachable from any hot-path root: no diagnostic.
+    let _ = cold;
+    label.to_string()
+}
+
+fn grow(out: &mut Vec<u64>, n: u64) {
+    // Reached from sweep() only — also cold, Vec growth included.
+    for i in 0..n {
+        out.push(i);
+    }
+}
+
+pub fn sweep(out: &mut Vec<u64>) {
+    grow(out, 8);
+}

@@ -23,10 +23,44 @@ fn analyze_fixture(name: &str) -> Report {
     analyze_sources(&[file], false)
 }
 
-/// Runs one fixture, asserts the lint under test actually fires, and
+/// Loads every `.rs` file under `tests/fixtures/<name>/` as one
+/// mini-workspace. A `//@path <virtual-path>` first line assigns the
+/// file's repo-relative path (and thereby its crate), so a fixture can
+/// span a sim crate and a non-sim helper crate — which the workspace
+/// (call-graph) lints need to demonstrate cross-crate reachability.
+fn analyze_fixture_dir(name: &str) -> Report {
+    let dir = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {dir} unreadable: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", p.display()));
+            let virt = src
+                .lines()
+                .next()
+                .and_then(|l| l.strip_prefix("//@path "))
+                .map(|v| v.trim().to_string())
+                .unwrap_or_else(|| {
+                    format!(
+                        "fixtures/{name}/{}",
+                        p.file_name().unwrap().to_string_lossy()
+                    )
+                });
+            SourceFile::new(&virt, &src)
+        })
+        .collect();
+    analyze_sources(&files, false)
+}
+
+/// Asserts the lint under test actually fired in `report`, and
 /// exact-matches the full diagnostic set against the committed golden.
-fn check_fixture(name: &str, lint: &str) {
-    let report = analyze_fixture(name);
+fn check_report(name: &str, lint: &str, report: &Report) {
     assert!(
         report.diagnostics.iter().any(|d| d.lint == lint),
         "fixture {name} never fired `{lint}`; got {:?}",
@@ -37,6 +71,11 @@ fn check_fixture(name: &str, lint: &str) {
         &report.render_tsv(),
         Tolerance::EXACT,
     );
+}
+
+/// Runs one single-file fixture through [`check_report`].
+fn check_fixture(name: &str, lint: &str) {
+    check_report(name, lint, &analyze_fixture(name));
 }
 
 #[test]
@@ -92,6 +131,61 @@ fn opp_monotone_fixture() {
 #[test]
 fn bad_suppression_fixture() {
     check_fixture("bad_suppression", "bad-suppression");
+}
+
+#[test]
+fn transitive_alloc_fixture() {
+    check_fixture("transitive_alloc", "transitive-alloc");
+}
+
+#[test]
+fn panic_reach_fixture() {
+    check_fixture("panic_reach", "panic-reach");
+}
+
+#[test]
+fn rng_stream_collision_fixture() {
+    check_fixture("rng_stream_collision", "rng-stream-collision");
+}
+
+#[test]
+fn determinism_taint_fixture() {
+    check_report(
+        "determinism_taint",
+        "determinism-taint",
+        &analyze_fixture_dir("determinism_taint"),
+    );
+}
+
+#[test]
+fn determinism_taint_diagnostics_land_in_the_helper_crate() {
+    // The finding belongs to the non-sim helper that holds the taint,
+    // not to the sim entry point that reaches it.
+    let report = analyze_fixture_dir("determinism_taint");
+    for d in report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "determinism-taint")
+    {
+        assert_eq!(d.file, "crates/hostutil/src/clock.rs", "{d:?}");
+    }
+}
+
+#[test]
+fn panic_reach_suppression_covers_both_lints() {
+    // `checked()` carries one aitax-allow(panic-path) comment; neither
+    // panic-path nor panic-reach may survive for that line, and the
+    // suppression must count as used (no stale-allow).
+    let report = analyze_fixture("panic_reach");
+    assert!(report.suppressed >= 1);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.lint != "stale-allow" && d.line != 21),
+        "{:?}",
+        report.diagnostics
+    );
 }
 
 #[test]

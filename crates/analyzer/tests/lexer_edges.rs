@@ -1,0 +1,68 @@
+//! Regression fixtures for the lexer edge cases the item parser sits
+//! on: lifetime quotes vs char literals, labeled loops, and turbofish
+//! `::<` tokenization.
+//!
+//! These go through the public `lex` API with realistic source shapes;
+//! the unit tests in `src/lexer.rs` cover the same cases at token
+//! granularity.
+
+use aitax_analyzer::analyze_sources;
+use aitax_analyzer::lexer::{lex, TokKind};
+use aitax_analyzer::source::SourceFile;
+
+#[test]
+fn lifetimes_chars_and_labels_coexist() {
+    let src = r#"
+fn find<'a>(hay: &'a str, needle: char) -> Option<usize> {
+    'outer: for (i, c) in hay.char_indices() {
+        if c == needle || c == 'µ' || c == '\'' {
+            break 'outer;
+        }
+        if c == 'x' {
+            return Some(i);
+        }
+    }
+    None
+}
+"#;
+    let l = lex(src);
+    let lifetimes: Vec<&str> = l
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "a", "outer", "outer"]);
+    let chars: Vec<&str> = l
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["µ", "\\'", "x"]);
+}
+
+#[test]
+fn turbofish_does_not_break_call_paths() {
+    let src = "fn f(v: &[u32]) -> Vec<u32> { v.iter().copied().collect::<Vec<u32>>() }";
+    let l = lex(src);
+    // One turbofish token, and the path separator count is what the
+    // source shows (zero plain `::` here).
+    assert_eq!(l.toks.iter().filter(|t| t.text == "::<").count(), 1);
+    assert_eq!(l.toks.iter().filter(|t| t.text == "::").count(), 0);
+}
+
+#[test]
+fn stray_quote_after_multibyte_char_does_not_swallow_lint_targets() {
+    // Before the lookahead fix, 'µ' lexed as a lifetime and the stray
+    // closing quote opened a bogus char literal that swallowed the rest
+    // of the line — including real lint targets like Instant::now().
+    let src = "fn f() { let c = 'µ'; let t = Instant::now(); }\n";
+    let file = SourceFile::new("crates/des/src/x.rs", src);
+    let report = analyze_sources(&[file], false);
+    assert!(
+        report.diagnostics.iter().any(|d| d.lint == "wall-clock"),
+        "wall-clock must still fire after a multibyte char literal: {:?}",
+        report.diagnostics
+    );
+}
