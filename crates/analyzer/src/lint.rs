@@ -91,7 +91,11 @@ pub const HOT_PATH_CRATES: [&str; 3] = ["aitax", "des", "kernel"];
 /// public hot API. `accel_enqueue`/`preempt_running` run per event too,
 /// but only via boxed `on_done` callbacks and task wakeups — dynamic
 /// dispatch the static graph cannot see — so they stay listed.
-pub const HOT_PATH_FNS: [&str; 9] = [
+/// `reset` is the context-reuse path (`Machine::reset`,
+/// `Calendar::reset`, `TraceBuffer::reset`): its whole point is reusing
+/// the previous run's storage, so an allocation there is the init tax
+/// sneaking back in.
+pub const HOT_PATH_FNS: [&str; 10] = [
     "accel_enqueue",
     "cancel",
     "cancel_timer",
@@ -99,6 +103,7 @@ pub const HOT_PATH_FNS: [&str; 9] = [
     "peek_time",
     "preempt_running",
     "record",
+    "reset",
     "schedule_after",
     "step",
 ];

@@ -1,0 +1,68 @@
+//! Fixture: compiled-artifact caches under the determinism policy.
+//!
+//! The workspace's real caches (`aitax_models::cache`, the framework's
+//! plan cache) are `BTreeMap`-keyed and content-addressed: no wall
+//! clock, no environment, nothing that could make a cache hit differ
+//! from a rebuild. This fixture is the cache that breaks every rule —
+//! `HashMap` keying (iteration order leaks into eviction), wall-clock
+//! timestamps (entries age by host time), and an env-var switch (cache
+//! behavior varies by machine) — and must light up the determinism
+//! lints.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A cached plan stamped with host time: two hosts disagree about which
+/// entry is "oldest", so eviction — and therefore rebuild counts — are
+/// not reproducible.
+pub struct StampedPlan {
+    pub built_at: Instant,
+    pub cost: u64,
+}
+
+pub struct BadPlanCache {
+    entries: Mutex<HashMap<(String, u32), StampedPlan>>,
+}
+
+impl BadPlanCache {
+    pub fn lookup(&self, key: (String, u32), build: impl FnOnce() -> u64) -> u64 {
+        let mut map = self.entries.lock().unwrap();
+        if let Some(hit) = map.get(&key) {
+            return hit.cost;
+        }
+        let plan = StampedPlan {
+            built_at: Instant::now(),
+            cost: build(),
+        };
+        let cost = plan.cost;
+        map.insert(key, plan);
+        cost
+    }
+
+    /// Evicts the oldest half of the cache — "oldest" by wall clock,
+    /// over an iteration order that is itself randomized.
+    pub fn evict_stale(&self) -> usize {
+        let mut map = self.entries.lock().unwrap();
+        let cutoff = Instant::now();
+        let stale: Vec<(String, u32)> = map
+            .iter()
+            .filter(|(_, v)| v.built_at < cutoff)
+            .map(|(k, _)| k.clone())
+            .take(map.len() / 2)
+            .collect();
+        for k in &stale {
+            map.remove(k);
+        }
+        stale.len()
+    }
+
+    /// Cache capacity from the environment: the same workload caches
+    /// differently on different machines.
+    pub fn capacity(&self) -> usize {
+        std::env::var("PLAN_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}

@@ -99,6 +99,22 @@ fn thread_spawn_fixture() {
 }
 
 #[test]
+fn cache_policy_fixture() {
+    // A compiled-artifact cache that violates the determinism policy
+    // the real graph/plan caches obey: HashMap keying, wall-clock entry
+    // stamps and an env-var capacity switch must all fire.
+    check_fixture("cache_policy", "unordered-collection");
+    let report = analyze_fixture("cache_policy");
+    for lint in ["wall-clock", "env-read"] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.lint == lint),
+            "cache fixture must also fire `{lint}`; got {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
 fn float_eq_fixture() {
     check_fixture("float_eq", "float-eq");
 }

@@ -13,7 +13,7 @@ use aitax_models::zoo::{ModelId, Zoo};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_calendar() {
     bench_case("des/calendar_10k_events", 30, || {
@@ -48,9 +48,9 @@ fn bench_compilation() {
         ("mobilenet_v1", ModelId::MobileNetV1),
         ("inception_v4", ModelId::InceptionV4),
     ] {
-        let graph = Rc::new(Zoo::entry(id).build_graph_with(DType::I8));
+        let graph = Arc::new(Zoo::entry(id).build_graph_with(DType::I8));
         bench_case(&format!("nnapi_compile/{name}"), 30, || {
-            Session::compile(Engine::nnapi(), black_box(graph.clone()), &soc).unwrap()
+            Session::compile(Engine::nnapi(), black_box(graph.clone()), soc).unwrap()
         });
     }
 }

@@ -7,7 +7,7 @@
 //! `BENCH_sim.json` (schema `aitax-sim-bench/v1`) so the perf trajectory
 //! is tracked in version control.
 //!
-//! Six scenarios, all seeded and deterministic:
+//! Ten scenarios, all seeded and deterministic:
 //!
 //! * `calendar-churn` — schedule/fire/cancel churn through [`Calendar`]
 //!   with a rolling population of pending events,
@@ -22,7 +22,19 @@
 //!   foreground tasks, tracing on): the loop that must stay
 //!   allocation-free,
 //! * `machine-mixed` — a realistic mix: noise timers, DSP ping-pong,
-//!   wandering NNAPI-fallback tasks.
+//!   wandering NNAPI-fallback tasks,
+//! * `init-tax-fresh` / `init-tax-reused` — the simulator's **own** init
+//!   tax: N repeated short runs (the probe/sweep/CI-smoke shape) paying
+//!   the pre-cache setup — graph build, plan compile, machine boot —
+//!   every run, vs the same N runs resolving the compiled-artifact
+//!   caches and resetting one reused [`SimContext`]. The payload is
+//!   deliberately tiny so the setup share dominates, exactly as it does
+//!   in short probe runs. The gated digests pin that both arms simulate
+//!   identical histories; the wall ratio is the amortization,
+//! * `init-tax-fleet-fresh` / `init-tax-fleet-reused` — the end-to-end
+//!   version of the same split on the fleet's per-device path
+//!   (a throwaway context per device vs `run_device_in` with a shared
+//!   context, full inference payloads).
 //!
 //! Wall-clock events/sec is **informational** (it varies with the host);
 //! the deterministic counters (events scheduled/fired/cancelled, trace
@@ -41,10 +53,15 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use aitax_core::SimContext;
 use aitax_des::trace::{TraceKind, TraceResource};
 use aitax_des::{Calendar, SimRng, SimSpan, TraceBuffer};
+use aitax_fleet::{run_device_in, DevicePartial, PopulationSpec};
+use aitax_framework::{Engine, Session};
 use aitax_kernel::{Machine, NoiseConfig, TaskSpec, Work};
+use aitax_models::zoo::{ModelId, Zoo};
 use aitax_soc::{SocCatalog, SocId};
+use aitax_tensor::DType;
 
 // ------------------------------------------------------- counting allocator
 
@@ -89,6 +106,8 @@ struct Sizes {
     stream_events: u64,
     hot_events: u64,
     mixed_events: u64,
+    init_runs: u64,
+    fleet_devices: usize,
 }
 
 const FULL: Sizes = Sizes {
@@ -99,6 +118,8 @@ const FULL: Sizes = Sizes {
     stream_events: 4_000_000,
     hot_events: 1_000_000,
     mixed_events: 600_000,
+    init_runs: 20_000,
+    fleet_devices: 32,
 };
 
 const QUICK: Sizes = Sizes {
@@ -109,6 +130,8 @@ const QUICK: Sizes = Sizes {
     stream_events: 400_000,
     hot_events: 120_000,
     mixed_events: 80_000,
+    init_runs: 2_000,
+    fleet_devices: 6,
 };
 
 /// Ring capacity for the `trace-stream` scenario — same in both modes so
@@ -481,9 +504,149 @@ fn machine_mixed(n: u64) -> ScenarioResult {
     }
 }
 
+// ---------------------------------------------------------------- init tax
+
+/// Folds one 64-bit observation into an order-sensitive digest.
+fn fold(digest: &mut u64, bits: u64) {
+    *digest = digest.rotate_left(7) ^ bits;
+}
+
+/// One short run's worth of simulated work on a checked-out machine: two
+/// small foreground tasks drained to quiescence (bounded at 64 events).
+/// The payload is deliberately tiny so the per-run setup share dominates
+/// — the shape of probe runs, grid sweeps and CI smokes, where the init
+/// tax hurts most. The simulated history is folded into `digest`.
+fn short_run(m: &mut Machine, digest: &mut u64) {
+    for i in 0..2 {
+        m.submit_cpu(
+            TaskSpec::foreground(format!("short{i}"), Work::Fp32Flops(2e7)),
+            |_| {},
+        );
+    }
+    let mut steps = 0u64;
+    while steps < 64 && m.step() {
+        steps += 1;
+    }
+    fold(digest, steps);
+    fold(digest, m.now().as_ns());
+    fold(digest, m.stats().context_switches);
+}
+
+/// The simulator's own init tax: `runs` repeated short runs, each paying
+/// the full pre-cache setup — graph rebuilt, plan recompiled, machine
+/// booted from nothing (the workspace's per-run behavior before the
+/// compiled-artifact caches and `Machine::reset`) — vs the same `runs`
+/// resolving the caches and resetting one reused [`SimContext`].
+///
+/// The digests are gated: they fold the session shape and every run's
+/// simulated history, so a reset that diverges from a fresh boot by even
+/// one event or one nanosecond drifts the counter block and fails CI.
+/// The wall ratio between the two arms is the amortization headline
+/// (informational — it varies with the host).
+fn init_tax(runs: u64) -> (ScenarioResult, ScenarioResult) {
+    let mut fresh_digest = 0u64;
+    let start = Instant::now();
+    for k in 0..runs {
+        // The pre-cache setup path: build + compile from scratch, boot a
+        // brand-new machine via a throwaway context.
+        let graph =
+            std::sync::Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::F32));
+        let session = Session::compile(Engine::tflite_cpu(4), graph, SocCatalog::get(SocId::Sd845))
+            .expect("supported combo");
+        fold(&mut fresh_digest, session.graph().input_elements());
+        let mut ctx = SimContext::new();
+        let m = ctx.checkout(SocId::Sd845, k + 1);
+        short_run(m, &mut fresh_digest);
+    }
+    let fresh_secs = start.elapsed().as_secs_f64();
+
+    let mut reused_digest = 0u64;
+    let mut ctx = SimContext::new();
+    let start = Instant::now();
+    for k in 0..runs {
+        let session = Session::compile_cached(
+            Engine::tflite_cpu(4),
+            ModelId::MobileNetV1,
+            DType::F32,
+            SocId::Sd845,
+        )
+        .expect("supported combo");
+        fold(&mut reused_digest, session.graph().input_elements());
+        let m = ctx.checkout(SocId::Sd845, k + 1);
+        short_run(m, &mut reused_digest);
+    }
+    let reused_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        fresh_digest, reused_digest,
+        "context reuse changed simulated results"
+    );
+
+    let result = |name, secs, digest| ScenarioResult {
+        name,
+        events: runs,
+        events_per_sec: runs as f64 / secs,
+        counters: vec![("runs", runs), ("digest", digest)],
+    };
+    (
+        result("init-tax-fresh", fresh_secs, fresh_digest),
+        result("init-tax-reused", reused_secs, reused_digest),
+    )
+}
+
+/// Digest of one device's fleet contribution.
+fn partial_digest(digest: &mut u64, p: &DevicePartial) {
+    fold(digest, p.requests);
+    fold(digest, p.latency.mean().to_bits());
+    fold(digest, p.tax_fraction.to_bits());
+    fold(digest, p.energy_mj.to_bits());
+}
+
+/// The same split on the fleet path: every device through a throwaway
+/// context (one machine boot per device — the shard behavior before
+/// worker-held contexts) vs all devices through one shared context.
+fn init_tax_fleet(devices: usize) -> (ScenarioResult, ScenarioResult) {
+    let pop = PopulationSpec::new("init-tax").devices(devices).seed(13);
+    let requests = 4 * devices as u64;
+
+    let mut fresh_digest = 0u64;
+    let start = Instant::now();
+    for k in 0..devices {
+        let mut ctx = SimContext::new();
+        let p = run_device_in(&mut ctx, &pop.device(k), pop.requests_for(k, requests));
+        partial_digest(&mut fresh_digest, &p);
+    }
+    let fresh_secs = start.elapsed().as_secs_f64();
+
+    let mut reused_digest = 0u64;
+    let mut ctx = SimContext::new();
+    let start = Instant::now();
+    for k in 0..devices {
+        let p = run_device_in(&mut ctx, &pop.device(k), pop.requests_for(k, requests));
+        partial_digest(&mut reused_digest, &p);
+    }
+    let reused_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        fresh_digest, reused_digest,
+        "context reuse changed fleet partials"
+    );
+
+    let result = |name, secs, digest| ScenarioResult {
+        name,
+        events: devices as u64,
+        events_per_sec: devices as f64 / secs,
+        counters: vec![("devices", devices as u64), ("digest", digest)],
+    };
+    (
+        result("init-tax-fleet-fresh", fresh_secs, fresh_digest),
+        result("init-tax-fleet-reused", reused_secs, reused_digest),
+    )
+}
+
 // ------------------------------------------------------------------ output
 
 fn run_all(sizes: Sizes) -> Vec<ScenarioResult> {
+    let (init_fresh, init_reused) = init_tax(sizes.init_runs);
+    let (fleet_fresh, fleet_reused) = init_tax_fleet(sizes.fleet_devices);
     vec![
         calendar_churn(sizes.calendar_iters),
         wheel_churn(sizes.wheel_iters),
@@ -491,6 +654,10 @@ fn run_all(sizes: Sizes) -> Vec<ScenarioResult> {
         trace_stream(sizes.stream_events),
         machine_hot(sizes.hot_events),
         machine_mixed(sizes.mixed_events),
+        init_fresh,
+        init_reused,
+        fleet_fresh,
+        fleet_reused,
     ]
 }
 
@@ -561,6 +728,26 @@ fn des_composite(results: &[ScenarioResult]) -> String {
         eps,
         base_eps,
         eps / base_eps
+    )
+}
+
+/// The setup-amortization ratios: reused-arm throughput over fresh-arm
+/// throughput for the short-run and fleet init-tax pairs. Informational
+/// — these are wall-clock ratios; the digests inside the pairs are what
+/// CI gates.
+fn init_tax_composite(results: &[ScenarioResult]) -> String {
+    let eps = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.events_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    format!(
+        "    \"init_tax_amortization\": {{\"short_run_speedup\": {:.2}, \
+         \"fleet_speedup\": {:.2}}}",
+        eps("init-tax-reused") / eps("init-tax-fresh"),
+        eps("init-tax-fleet-reused") / eps("init-tax-fleet-fresh")
     )
 }
 
@@ -638,6 +825,8 @@ fn main() {
     );
     let full_results = if quick { &other_results } else { &results };
     json.push_str(&des_composite(full_results));
+    json.push_str(",\n");
+    json.push_str(&init_tax_composite(full_results));
     json.push_str(",\n");
     json.push_str("    \"scenarios\": [\n");
     json.push_str(&wall_block(full_results, true));

@@ -117,7 +117,7 @@ pub fn table2() -> Table {
             soc.host_system.to_string(),
             soc.name.to_string(),
             accel,
-            driver_for(&soc).name.to_string(),
+            driver_for(soc).name.to_string(),
         ]);
     }
     t

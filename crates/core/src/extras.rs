@@ -219,7 +219,7 @@ pub fn taxonomy_trees(opts: ExperimentOpts) -> String {
             .iterations(opts.iterations)
             .seed(opts.seed)
             .run();
-        let tree = TaxonomyReport::from_report(&r, &soc);
+        let tree = TaxonomyReport::from_report(&r, soc);
         out.push_str(&format!(
             "=== {name} ({}) ===
 ",

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod artifact;
+pub mod context;
 pub mod degradation;
 pub mod energy;
 pub mod experiment;
@@ -64,6 +65,7 @@ pub mod stats;
 pub mod taxonomy;
 pub mod tenant;
 
+pub use context::SimContext;
 pub use degradation::DegradationReport;
 pub use energy::EnergyReport;
 pub use pipeline::{E2eConfig, E2eReport};

@@ -7,6 +7,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use aitax_capture::{CameraConfig, RandomTensorGen, StdlibFlavor};
 use aitax_des::{FaultPlan, SimSpan, SimTime, TraceBuffer};
@@ -18,6 +19,7 @@ use aitax_pipeline::{CostModel, PixelOp};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
 
+use crate::context::SimContext;
 use crate::degradation::DegradationReport;
 use crate::energy::EnergyReport;
 use crate::runmode::RunMode;
@@ -170,22 +172,41 @@ impl E2eConfig {
         self
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment in a throwaway [`SimContext`].
     ///
     /// # Panics
     ///
     /// Panics if the engine cannot run the model's datatype (e.g. the
     /// Hexagon delegate with an FP32 graph) — check Table I first.
     pub fn run(self) -> E2eReport {
-        let soc = SocCatalog::get(self.soc);
+        self.run_in(&mut SimContext::new())
+    }
+
+    /// Runs the experiment in `ctx`, reusing its machine when possible.
+    ///
+    /// Results are byte-identical to [`E2eConfig::run`]: the reused
+    /// machine is reset to a fresh boot's state, and the graph/plan come
+    /// from caches of pure functions. What reuse buys is setup cost —
+    /// repeated runs skip the machine allocation, graph build and
+    /// session compile (the simulator's own "model initialization" tax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine cannot run the model's datatype (e.g. the
+    /// Hexagon delegate with an FP32 graph) — check Table I first.
+    pub fn run_in(self, ctx: &mut SimContext) -> E2eReport {
+        // The one catalog lookup of the run: compile paths key off
+        // `self.soc` and the machine checkout resolves its own spec only
+        // when it actually boots a machine.
+        let spec = SocCatalog::get(self.soc);
         let entry = Zoo::entry(self.model);
-        let graph = Rc::new(entry.build_graph_with(self.dtype));
-        let session = Session::compile(self.engine, graph.clone(), &soc)
+        let session = Session::compile_cached(self.engine, self.model, self.dtype, self.soc)
             // aitax-allow(panic-path): user-facing runner: an unsupported engine/model pairing is a usage error worth aborting
             .unwrap_or_else(|e| panic!("cannot run {}: {e}", entry.display_name));
+        let graph = session.graph_shared();
         let plan = session.plan().clone();
 
-        let mut m = Machine::new(soc, self.seed);
+        let m = ctx.checkout(self.soc, self.seed);
         if let Some(t) = self.initial_temp_c {
             m.set_initial_temp(t);
         }
@@ -215,12 +236,11 @@ impl E2eConfig {
                 .background_engine
                 // aitax-allow(panic-path): builder contract: background_loops > 0 requires background_engine
                 .expect("background loops require an engine");
-            let soc2 = SocCatalog::get(self.soc);
-            let bg_session = Session::compile(bg_engine, graph.clone(), &soc2)
+            let bg_session = Session::compile_cached(bg_engine, self.model, self.dtype, self.soc)
                 // aitax-allow(panic-path): user-facing runner: an unusable background engine is a usage error worth aborting
                 .unwrap_or_else(|e| panic!("background engine unusable: {e}"));
             for _ in 0..self.background_loops {
-                spawn_background_loop(&mut m, bg_session.clone());
+                spawn_background_loop(m, bg_session.clone());
             }
         }
 
@@ -249,7 +269,7 @@ impl E2eConfig {
         let d = driver.clone();
         let st = state.clone();
         let init_start = m.now();
-        driver.session.initialize(&mut m, move |m| {
+        driver.session.initialize(m, move |m| {
             st.borrow_mut().model_init = m.now() - init_start;
             d.begin_capture(m);
         });
@@ -266,16 +286,18 @@ impl E2eConfig {
             None
         };
         let (breakdowns, model_init) = {
-            let st = state.borrow();
-            (st.breakdowns.clone(), st.model_init)
+            let mut st = state.borrow_mut();
+            // Move the per-iteration breakdowns out rather than cloning
+            // them; the run is over and the state cell is about to drop.
+            (std::mem::take(&mut st.breakdowns), st.model_init)
         };
         let energy = trace.as_ref().map(|tr| {
             let st = state.borrow();
             EnergyReport::from_trace(
-                &SocCatalog::get(self.soc).power,
+                &spec.power,
                 tr,
                 &st.stage_windows,
-                st.breakdowns.len(),
+                breakdowns.len(),
                 m.now(),
             )
         });
@@ -314,7 +336,7 @@ struct RunState {
 #[derive(Clone)]
 struct Driver {
     entry: ZooEntry,
-    graph: Rc<Graph>,
+    graph: Arc<Graph>,
     session: Session,
     config: E2eConfig,
     noise: NoiseConfig,

@@ -163,7 +163,7 @@ mod tests {
             .iterations(20)
             .seed(4)
             .run();
-        TaxonomyReport::from_report(&r, &SocCatalog::get(SocId::Sd845))
+        TaxonomyReport::from_report(&r, SocCatalog::get(SocId::Sd845))
     }
 
     #[test]

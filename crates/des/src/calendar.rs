@@ -197,6 +197,31 @@ impl Calendar {
         Self::default()
     }
 
+    /// Resets the calendar to its just-constructed state — clock at
+    /// [`SimTime::ZERO`], no pending events, zeroed counters, sequence
+    /// and generation numbering restarted — while keeping the slab and
+    /// free-list heap capacity, so a reused calendar schedules its next
+    /// run without reallocating. Tokens minted by a reset calendar are
+    /// identical to those a fresh calendar would mint (the slab refills
+    /// from index 0 at generation 0), which is what makes a reset run
+    /// byte-identical to a fresh one.
+    ///
+    /// Tokens from before the reset must not be passed to
+    /// [`Calendar::cancel`] afterwards; like any stale token they are
+    /// rejected unless the slab happens to re-mint the same
+    /// (slot, generation) pair, which a full reset makes possible.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        self.ents.clear();
+        self.free.clear();
+        self.buckets = [[Bucket::EMPTY; SLOTS]; LEVELS];
+        self.occ = [0; LEVELS];
+        self.scheduled_total = 0;
+        self.fired_total = 0;
+        self.cancelled_total = 0;
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -679,6 +704,52 @@ mod tests {
         let mut expect: Vec<(u64, Token)> = delays.into_iter().zip(toks).collect();
         expect.sort_by_key(|&(d, _)| d);
         assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn reset_calendar_is_indistinguishable_from_fresh() {
+        let mut used = Calendar::new();
+        // Dirty every piece of state: schedule, cancel, fire, advance.
+        let mut tokens = Vec::new();
+        for i in 0..200u64 {
+            tokens.push(used.schedule_after(SimSpan::from_ns(1 + i * 37 % 5000)));
+        }
+        for t in tokens.iter().step_by(3) {
+            used.cancel(*t);
+        }
+        while used.next().is_some() {}
+        used.advance_to(SimTime::from_ns(1 << 40));
+        used.reset();
+
+        let mut fresh = Calendar::new();
+        assert_eq!(used.now(), fresh.now());
+        assert_eq!(used.pending(), 0);
+        assert_eq!(used.scheduled_total(), 0);
+        // Replay an identical script on both: tokens, fire order, clocks
+        // and counters must match exactly.
+        let script: Vec<u64> = (0..100).map(|i| 1 + (i * i) % 1000).collect();
+        let mut ta = Vec::new();
+        let mut tb = Vec::new();
+        for &d in &script {
+            ta.push(used.schedule_after(SimSpan::from_ns(d)));
+            tb.push(fresh.schedule_after(SimSpan::from_ns(d)));
+        }
+        assert_eq!(ta, tb, "reset calendar must mint fresh-identical tokens");
+        for (x, y) in ta.iter().zip(&tb).skip(1).step_by(4) {
+            assert_eq!(used.cancel(*x), fresh.cancel(*y));
+        }
+        loop {
+            let a = used.next();
+            let b = fresh.next();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(used.now(), fresh.now());
+        assert_eq!(used.scheduled_total(), fresh.scheduled_total());
+        assert_eq!(used.fired_total(), fresh.fired_total());
+        assert_eq!(used.cancelled_total(), fresh.cancelled_total());
     }
 
     #[test]

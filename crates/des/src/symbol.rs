@@ -90,6 +90,19 @@ impl SymbolTable {
             .expect("symbol resolved against a table that did not intern it")
     }
 
+    /// Forgets every interned string, invalidating previously minted
+    /// symbols. The string vector keeps its capacity, so a reused table
+    /// re-interns its first labels without growing.
+    ///
+    /// A reused table must start empty rather than carry symbols over:
+    /// symbol indices are assigned in intern order, so retained content
+    /// would make the numbering (and thus trace bytes) depend on what
+    /// earlier runs happened to intern.
+    pub fn clear(&mut self) {
+        self.strings.clear();
+        self.index.clear();
+    }
+
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.strings.len()
@@ -144,6 +157,18 @@ mod tests {
         let _ = s;
         let empty = SymbolTable::new();
         empty.resolve(Symbol(0));
+    }
+
+    #[test]
+    fn clear_restarts_numbering_like_a_fresh_table() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.clear();
+        assert!(t.is_empty());
+        // Post-clear numbering matches a brand-new table.
+        assert_eq!(t.intern("z").index(), 0);
+        assert_eq!(t.intern("a").index(), 1);
     }
 
     #[test]

@@ -533,6 +533,20 @@ impl TraceBuffer {
         self.dropped = 0;
     }
 
+    /// Resets the buffer to the [`TraceBuffer::disabled`] starting state
+    /// — recording off, unbounded, no events, symbol table emptied —
+    /// while retaining the event columns' and symbol vector's heap
+    /// capacity. A machine reusing this buffer starts its next run
+    /// exactly where a fresh one would (symbol numbering restarts at 0,
+    /// so reused-run trace bytes match fresh-run bytes) without paying
+    /// the allocations again.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.enabled = false;
+        self.cap = 0;
+        self.symbols.clear();
+    }
+
     /// Total bytes of retained event records, priced at the size of the
     /// [`TraceEvent`] view struct (the unit profiler reports are
     /// denominated in, independent of the columnar packing).
@@ -830,6 +844,29 @@ mod tests {
         assert_eq!(RpcPhase::ALL.len(), 6);
         assert_eq!(RpcPhase::ALL[0], RpcPhase::IoctlEntry);
         assert_eq!(RpcPhase::ALL[5], RpcPhase::IoctlReturn);
+    }
+
+    #[test]
+    fn reset_matches_disabled_starting_state() {
+        let mut buf = TraceBuffer::enabled_ring(4);
+        let s = buf.intern("old-label");
+        for i in 0..9 {
+            buf.record(
+                SimTime::from_ns(i),
+                TraceResource::Dsp,
+                TraceKind::ExecStart { task: i, label: s },
+            );
+        }
+        assert!(buf.dropped() > 0);
+        buf.reset();
+        assert!(!buf.is_enabled());
+        assert_eq!(buf.capacity(), None);
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.dropped(), 0);
+        assert!(buf.symbols().is_empty());
+        // Re-enabled, the buffer numbers symbols like a fresh one.
+        buf.set_enabled(true);
+        assert_eq!(buf.intern("first-of-next-run").index(), 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! derived seed.
 
 use aitax_core::pipeline::E2eConfig;
-use aitax_core::{RunMode, StreamDist};
+use aitax_core::{RunMode, SimContext, StreamDist};
 use aitax_des::fault::FaultPlan;
 use aitax_des::SimTime;
 use aitax_framework::Engine;
@@ -85,13 +85,25 @@ fn base_config(spec: &DeviceSpec, iterations: usize, seed: u64) -> E2eConfig {
     cfg
 }
 
-/// Runs device `spec` for `requests` requests.
+/// Runs device `spec` for `requests` requests in a throwaway
+/// [`SimContext`].
 ///
 /// Deterministic: the partial depends only on the spec and request
 /// count, never on the thread, shard, or time it ran. Devices with zero
 /// requests (populations larger than the request budget) return an empty
 /// partial without simulating anything.
 pub fn run_device(spec: &DeviceSpec, requests: u64) -> DevicePartial {
+    run_device_in(&mut SimContext::new(), spec, requests)
+}
+
+/// Runs device `spec` in `ctx`, reusing its machine when possible.
+///
+/// The main run and the traced energy probe share the context, so the
+/// probe's machine is a reset of the main run's rather than a second
+/// allocation; shard workers thread one context through every device
+/// they execute. Byte-identical to [`run_device`] — context reuse only
+/// skips setup work (`tests/determinism.rs` pins the fleet artifact).
+pub fn run_device_in(ctx: &mut SimContext, spec: &DeviceSpec, requests: u64) -> DevicePartial {
     let mut latency = StreamDist::new();
     let mut tax_fraction = 0.0;
     let mut model_init_ms = 0.0;
@@ -101,7 +113,7 @@ pub fn run_device(spec: &DeviceSpec, requests: u64) -> DevicePartial {
     let mut mean_power_w = 0.0;
 
     if requests > 0 {
-        let main = base_config(spec, requests as usize, spec.run_seed).run();
+        let main = base_config(spec, requests as usize, spec.run_seed).run_in(ctx);
         for &ms in main.e2e_summary().samples_ms() {
             latency.record(ms);
         }
@@ -117,7 +129,7 @@ pub fn run_device(spec: &DeviceSpec, requests: u64) -> DevicePartial {
         let probe = base_config(spec, PROBE_ITERS, spec.probe_seed)
             .tracing(true)
             .trace_bound(PROBE_TRACE_EVENTS)
-            .run();
+            .run_in(ctx);
         if let Some(e) = probe.energy.as_ref() {
             energy_mj = e.energy_per_inference_j() * 1e3;
             energy_tax = e.energy_tax_fraction();
@@ -221,7 +233,7 @@ mod tests {
         use aitax_framework::Session;
         use aitax_models::zoo::Zoo;
         use aitax_soc::SocCatalog;
-        use std::rc::Rc;
+        use std::sync::Arc;
         // At rate 1.0 the mix crosses float hosts with accelerator
         // co-tenant draws; the sampler must route those to an engine the
         // host graph compiles on (quant-only DSP delegates reject fp32),
@@ -234,9 +246,9 @@ mod tests {
         for k in 0..pop.devices {
             let d = pop.device(k);
             let Some(co) = d.co_tenant else { continue };
-            let graph = Rc::new(Zoo::entry(d.model).build_graph_with(d.dtype));
+            let graph = Arc::new(Zoo::entry(d.model).build_graph_with(d.dtype));
             assert!(
-                Session::compile(co.engine, graph, &SocCatalog::get(d.soc)).is_ok(),
+                Session::compile(co.engine, graph, SocCatalog::get(d.soc)).is_ok(),
                 "device {k}: co-tenant engine {} cannot run the {:?} host graph",
                 co.engine.label(),
                 d.dtype

@@ -1,25 +1,31 @@
 //! Sharded fleet execution on the lab's work-stealing pool.
 //!
 //! A [`ShardPlan`] cuts the device index space into contiguous ranges;
-//! each range becomes one task for [`aitax_lab::run_tasks`], and a task
-//! expands its devices lazily — sampling [`DeviceSpec`]s and running
-//! them one at a time — so the (device, request) grid never materializes.
+//! each range becomes one task for [`aitax_lab::run_tasks_ctx`], and a
+//! task expands its devices lazily — sampling [`DeviceSpec`]s and
+//! running them one at a time — so the (device, request) grid never
+//! materializes. Each pool worker keeps one
+//! [`SimContext`](aitax_core::SimContext), so consecutive devices on a
+//! worker (and the main-run/energy-probe pair within one device) reuse
+//! a machine instead of re-allocating calendar, trace and run-queue
+//! storage per run.
 //!
 //! **Shards never pre-merge.** A task returns its devices' raw
-//! [`DevicePartial`]s, and because [`run_tasks`] returns results in
+//! [`DevicePartial`]s, and because [`run_tasks_ctx`] returns results in
 //! input (= shard, = device) order, flattening them reconstructs the
 //! canonical device sequence no matter how many shards or threads ran.
 //! That is what keeps the downstream float folds byte-identical for any
 //! `--shards` × `--threads` combination.
 //!
-//! [`run_tasks`]: aitax_lab::run_tasks
+//! [`run_tasks_ctx`]: aitax_lab::run_tasks_ctx
 //! [`DeviceSpec`]: crate::population::DeviceSpec
 
 use std::ops::Range;
 
-use aitax_lab::run_tasks;
+use aitax_core::SimContext;
+use aitax_lab::run_tasks_ctx;
 
-use crate::device::{run_device, DevicePartial};
+use crate::device::{run_device_in, DevicePartial};
 use crate::population::PopulationSpec;
 
 /// A contiguous partition of `devices` into at most `shards` ranges.
@@ -72,12 +78,13 @@ pub fn run_fleet(
     threads: usize,
 ) -> Vec<DevicePartial> {
     let plan = ShardPlan::new(spec.devices, shards);
-    let per_shard: Vec<Vec<DevicePartial>> = run_tasks(plan.ranges(), threads, |range| {
-        range
-            .clone()
-            .map(|k| run_device(&spec.device(k), spec.requests_for(k, requests)))
-            .collect()
-    });
+    let per_shard: Vec<Vec<DevicePartial>> =
+        run_tasks_ctx(plan.ranges(), threads, SimContext::new, |ctx, range| {
+            range
+                .clone()
+                .map(|k| run_device_in(ctx, &spec.device(k), spec.requests_for(k, requests)))
+                .collect()
+        });
     per_shard.into_iter().flatten().collect()
 }
 

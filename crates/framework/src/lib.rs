@@ -33,10 +33,10 @@
 //! use aitax_kernel::Machine;
 //! use aitax_models::zoo::{ModelId, Zoo};
 //! use aitax_soc::{SocCatalog, SocId};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let soc = SocCatalog::get(SocId::Sd845);
-//! let graph = Rc::new(Zoo::entry(ModelId::MobileNetV1).build_graph());
+//! let graph = Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph());
 //! let session = Session::compile(Engine::tflite_cpu(4), graph, &soc)?;
 //! let mut m = Machine::new(soc, 1);
 //! session.invoke(&mut m, |_m| {});

@@ -26,7 +26,7 @@ use crate::tflite;
 /// The application's NNAPI execution preference
 /// (`ANEURALNETWORKS_PREFER_*`). Benchmarks default to
 /// `FAST_SINGLE_ANSWER` (§III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum ExecutionPreference {
     /// Minimize single-inference latency.
     #[default]
@@ -182,7 +182,7 @@ mod tests {
     use aitax_soc::{SocCatalog, SocId};
     use aitax_tensor::DType;
 
-    fn soc845() -> SocSpec {
+    fn soc845() -> &'static SocSpec {
         SocCatalog::get(SocId::Sd845)
     }
 
@@ -195,7 +195,7 @@ mod tests {
         // The Fig. 5 pathology: accepted by the driver, rejected by the
         // DSP, executed on the single-threaded reference path.
         let g = graph(ModelId::EfficientNetLite0, DType::I8);
-        let plan = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let plan = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         assert!(plan.dsp_probe, "first invoke probes the DSP");
         let ref_macs: u64 = plan
             .partitions
@@ -214,7 +214,7 @@ mod tests {
         let g = graph(ModelId::EfficientNetLite0, DType::I8);
         let plan = plan_nnapi(
             &g,
-            &SocCatalog::get(SocId::Sd865),
+            SocCatalog::get(SocId::Sd865),
             ExecutionPreference::FastSingleAnswer,
             4,
         );
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn mobilenet_int8_offloads_to_dsp_on_sd845() {
         let g = graph(ModelId::MobileNetV1, DType::I8);
-        let plan = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let plan = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         assert!(plan.offloaded_mac_fraction() > 0.9);
         assert!(!plan.dsp_probe);
     }
@@ -239,7 +239,7 @@ mod tests {
         // §IV-A: Inception models "are only partially able to be
         // offloaded by NNAPI" — the factorized 7×7 ops stay on the CPU.
         let g = graph(ModelId::InceptionV3, DType::F32);
-        let plan = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let plan = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         let frac = plan.offloaded_mac_fraction();
         assert!(
             (0.3..0.95).contains(&frac),
@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn ssd_detection_op_stays_in_tflite() {
         let g = graph(ModelId::SsdMobileNetV2, DType::I8);
-        let plan = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let plan = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         let last = plan.partitions.last().unwrap();
         assert!(matches!(last.target, ExecTarget::TfLiteCpu { .. }));
     }
@@ -259,8 +259,8 @@ mod tests {
     #[test]
     fn low_power_preference_degrades_gpu_efficiency() {
         let g = graph(ModelId::MobileNetV1, DType::F32);
-        let fast = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
-        let low = plan_nnapi(&g, &soc845(), ExecutionPreference::LowPower, 4);
+        let fast = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let low = plan_nnapi(&g, soc845(), ExecutionPreference::LowPower, 4);
         let eff = |p: &Plan| match p.partitions[0].target {
             ExecTarget::Gpu { efficiency } => efficiency,
             _ => panic!("expected GPU partition"),
@@ -272,7 +272,7 @@ mod tests {
     fn driver_catalog_matches_chipset_generations() {
         for id in SocId::ALL {
             let soc = SocCatalog::get(id);
-            let d = driver_for(&soc);
+            let d = driver_for(soc);
             assert_eq!(d.per_channel_quant_on_dsp, id == SocId::Sd865, "{id}");
         }
     }
@@ -282,7 +282,7 @@ mod tests {
         let g = graph(ModelId::MobileNetV1, DType::I8);
         let plan = plan_nnapi(
             &g,
-            &SocCatalog::get(SocId::Sd865),
+            SocCatalog::get(SocId::Sd865),
             ExecutionPreference::FastSingleAnswer,
             4,
         );
@@ -295,7 +295,7 @@ mod tests {
             .iter()
             .any(|p| matches!(p.target, ExecTarget::Dsp { .. })));
         // Chipsets without an NPU keep using the DSP.
-        let plan845 = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let plan845 = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         assert!(plan845
             .partitions
             .iter()
@@ -305,9 +305,9 @@ mod tests {
     #[test]
     fn dsp_compile_includes_weight_upload() {
         let g = graph(ModelId::MobileNetV1, DType::I8);
-        let with_dsp = plan_nnapi(&g, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let with_dsp = plan_nnapi(&g, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         let gf = graph(ModelId::MobileNetV1, DType::F32);
-        let without = plan_nnapi(&gf, &soc845(), ExecutionPreference::FastSingleAnswer, 4);
+        let without = plan_nnapi(&gf, soc845(), ExecutionPreference::FastSingleAnswer, 4);
         // fp32 weights are 4× larger but skip the DSP upload; the int8
         // plan still pays a driver prepare that scales with DSP use.
         assert!(with_dsp.compile_span > SimSpan::from_ms(9.0));

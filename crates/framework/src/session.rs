@@ -1,21 +1,27 @@
 //! Sessions: compiled models ready to invoke on a [`Machine`].
 
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use aitax_des::SimSpan;
 use aitax_kernel::{GpuJob, Machine, RpcDevice, RpcInvoke, RpcOutcome, TaskSpec, Work};
+use aitax_models::zoo::ModelId;
 use aitax_models::Graph;
-use aitax_soc::SocSpec;
+use aitax_soc::{SocCatalog, SocId, SocSpec};
 use aitax_tensor::DType;
 
 use crate::cost;
 use crate::nnapi::ExecutionPreference;
 
 /// Which runtime drives model execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Ord`/`Hash` exist so an engine can key deterministic plan caches
+/// (BTreeMap-keyed, per the workspace determinism policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Engine {
     /// TFLite interpreter on CPU threads (the native kernel path).
     TfLiteCpu {
@@ -233,8 +239,8 @@ impl fmt::Display for CompileError {
 impl Error for CompileError {}
 
 struct Inner {
-    graph: Rc<Graph>,
-    plan: Plan,
+    graph: Arc<Graph>,
+    plan: Arc<Plan>,
     dsp_probe_done: Cell<bool>,
     /// Set once a FastRPC invocation exhausts its retries: the runtime
     /// marks the accelerator unusable and routes every later accelerator
@@ -296,28 +302,51 @@ impl Session {
     /// mismatches (DSP runtimes need quantized models).
     pub fn compile(
         engine: Engine,
-        graph: Rc<Graph>,
+        graph: Arc<Graph>,
         soc: &SocSpec,
     ) -> Result<Session, CompileError> {
-        let quant_only = matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp);
-        if quant_only && !graph.dtype().is_quantized() {
-            return Err(CompileError::UnsupportedDType {
-                engine: engine.label(),
-                dtype: graph.dtype(),
-            });
-        }
-        let plan = match engine {
-            Engine::TfLiteCpu { threads } => crate::tflite::plan_cpu(&graph, threads),
-            Engine::TfLiteGpu { threads } => crate::tflite::plan_gpu(&graph, threads),
-            Engine::TfLiteHexagon { threads } => crate::tflite::plan_hexagon(&graph, soc, threads),
-            Engine::Nnapi {
-                threads,
-                preference,
-            } => crate::nnapi::plan_nnapi(&graph, soc, preference, threads),
-            Engine::SnpeDsp => crate::snpe::plan_dsp(&graph, soc),
-            Engine::SnpeGpu => crate::snpe::plan_gpu(&graph),
-        };
-        Ok(Session {
+        check_dtype(engine, graph.dtype())?;
+        let plan = Arc::new(build_plan(engine, &graph, soc));
+        Ok(Session::assemble(engine, graph, plan))
+    }
+
+    /// Like [`Session::compile`], but resolves the graph and plan through
+    /// the process-wide compiled-artifact caches: the zoo builder and the
+    /// partitioner each run once per distinct `(engine, model, dtype,
+    /// soc)` configuration, and later calls only mint fresh per-session
+    /// mutable state (probe/fallback/burst flags). Since graph building
+    /// and planning are pure functions of the key, a cache hit is
+    /// definitionally identical to a fresh compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedDType`] for engine/datatype
+    /// mismatches, same as [`Session::compile`] (nothing is cached for a
+    /// rejected configuration).
+    pub fn compile_cached(
+        engine: Engine,
+        model: ModelId,
+        dtype: DType,
+        soc: SocId,
+    ) -> Result<Session, CompileError> {
+        check_dtype(engine, dtype)?;
+        let graph = aitax_models::cached_graph(model, dtype);
+        let cache = PLANS.get_or_init(|| Mutex::new(BTreeMap::new()));
+        // aitax-allow(panic-path): planners are pure and never panic, so
+        // the mutex cannot be poisoned.
+        let mut map = cache.lock().expect("plan cache poisoned");
+        let plan = map
+            .entry((engine, model, dtype, soc))
+            .or_insert_with(|| Arc::new(build_plan(engine, &graph, SocCatalog::get(soc))))
+            .clone();
+        drop(map);
+        Ok(Session::assemble(engine, graph, plan))
+    }
+
+    /// Mints a session around shared compiled artifacts with fresh
+    /// per-session mutable state.
+    fn assemble(engine: Engine, graph: Arc<Graph>, plan: Arc<Plan>) -> Session {
+        Session {
             inner: Rc::new(Inner {
                 graph,
                 plan,
@@ -328,7 +357,7 @@ impl Session {
                 burst_warm: Cell::new(false),
             }),
             engine,
-        })
+        }
     }
 
     /// The engine this session was compiled for.
@@ -344,6 +373,12 @@ impl Session {
     /// The model graph.
     pub fn graph(&self) -> &Graph {
         &self.inner.graph
+    }
+
+    /// A shared handle to the model graph (the same allocation this
+    /// session executes — cheap to clone, never copied).
+    pub fn graph_shared(&self) -> Arc<Graph> {
+        self.inner.graph.clone()
     }
 
     /// Sets the QoS priority stamped on every CPU task and FastRPC
@@ -413,6 +448,41 @@ impl Session {
         } else {
             run_partition(inner, 0, m, Box::new(on_done));
         }
+    }
+}
+
+/// The process-wide compiled-plan cache behind [`Session::compile_cached`].
+/// BTreeMap-keyed for deterministic iteration; plans are pure functions of
+/// the key, so the cache never changes what a session computes.
+type PlanKey = (Engine, ModelId, DType, SocId);
+static PLANS: OnceLock<Mutex<BTreeMap<PlanKey, Arc<Plan>>>> = OnceLock::new();
+
+/// Rejects engine/datatype pairs the runtime cannot place (DSP runtimes
+/// need quantized models).
+fn check_dtype(engine: Engine, dtype: DType) -> Result<(), CompileError> {
+    let quant_only = matches!(engine, Engine::TfLiteHexagon { .. } | Engine::SnpeDsp);
+    if quant_only && !dtype.is_quantized() {
+        return Err(CompileError::UnsupportedDType {
+            engine: engine.label(),
+            dtype,
+        });
+    }
+    Ok(())
+}
+
+/// Runs the engine's partitioner — the pure (graph, soc) → plan function
+/// both compile paths share.
+fn build_plan(engine: Engine, graph: &Graph, soc: &SocSpec) -> Plan {
+    match engine {
+        Engine::TfLiteCpu { threads } => crate::tflite::plan_cpu(graph, threads),
+        Engine::TfLiteGpu { threads } => crate::tflite::plan_gpu(graph, threads),
+        Engine::TfLiteHexagon { threads } => crate::tflite::plan_hexagon(graph, soc, threads),
+        Engine::Nnapi {
+            threads,
+            preference,
+        } => crate::nnapi::plan_nnapi(graph, soc, preference, threads),
+        Engine::SnpeDsp => crate::snpe::plan_dsp(graph, soc),
+        Engine::SnpeGpu => crate::snpe::plan_gpu(graph),
     }
 }
 
@@ -583,12 +653,12 @@ mod tests {
     use aitax_soc::{SocCatalog, SocId};
     use std::cell::Cell;
 
-    fn soc() -> SocSpec {
+    fn soc() -> &'static SocSpec {
         SocCatalog::get(SocId::Sd845)
     }
 
-    fn graph(id: ModelId, dtype: DType) -> Rc<Graph> {
-        Rc::new(Zoo::entry(id).build_graph_with(dtype))
+    fn graph(id: ModelId, dtype: DType) -> Arc<Graph> {
+        Arc::new(Zoo::entry(id).build_graph_with(dtype))
     }
 
     fn run_invoke(session: &Session, m: &mut Machine) -> f64 {
@@ -605,7 +675,7 @@ mod tests {
         let err = Session::compile(
             Engine::TfLiteHexagon { threads: 4 },
             graph(ModelId::MobileNetV1, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap_err();
         assert!(matches!(err, CompileError::UnsupportedDType { .. }));
@@ -617,7 +687,7 @@ mod tests {
         let s = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::MobileNetV1, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap();
         assert_eq!(s.plan().partitions.len(), 1);
@@ -630,7 +700,7 @@ mod tests {
         let s = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::MobileNetV1, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap();
         let mut m = Machine::new(soc(), 3);
@@ -641,8 +711,8 @@ mod tests {
     #[test]
     fn four_threads_beat_one() {
         let g = graph(ModelId::MobileNetV1, DType::F32);
-        let s4 = Session::compile(Engine::tflite_cpu(4), g.clone(), &soc()).unwrap();
-        let s1 = Session::compile(Engine::tflite_cpu(1), g, &soc()).unwrap();
+        let s4 = Session::compile(Engine::tflite_cpu(4), g.clone(), soc()).unwrap();
+        let s1 = Session::compile(Engine::tflite_cpu(1), g, soc()).unwrap();
         let mut m4 = Machine::new(soc(), 3);
         let mut m1 = Machine::new(soc(), 3);
         let t4 = run_invoke(&s4, &mut m4);
@@ -660,7 +730,7 @@ mod tests {
         let s = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::InceptionV3, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap();
         let mut m = Machine::new(soc(), 3);
@@ -676,13 +746,13 @@ mod tests {
         let sf = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::MobileNetV1, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap();
         let sq = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::MobileNetV1, DType::I8),
-            &soc(),
+            soc(),
         )
         .unwrap();
         let mut mf = Machine::new(soc(), 3);
@@ -695,7 +765,7 @@ mod tests {
     #[test]
     fn plan_describe_is_informative() {
         let g = graph(ModelId::SsdMobileNetV2, DType::I8);
-        let s = Session::compile(Engine::nnapi(), g.clone(), &soc()).unwrap();
+        let s = Session::compile(Engine::nnapi(), g.clone(), soc()).unwrap();
         let text = s.plan().describe(&g);
         assert!(text.contains("ssd_mobilenet_v2"));
         assert!(text.contains("dsp"));
@@ -707,13 +777,13 @@ mod tests {
     fn broken_dsp_falls_back_to_cpu_and_completes() {
         use aitax_des::{FaultKind, FaultPlan, SimTime};
         let g = graph(ModelId::MobileNetV1, DType::I8);
-        let s = Session::compile(Engine::SnpeDsp, g.clone(), &soc()).unwrap();
+        let s = Session::compile(Engine::SnpeDsp, g.clone(), soc()).unwrap();
 
         let mut healthy = Machine::new(soc(), 11);
         let t_healthy = run_invoke(&s, &mut healthy);
         assert!(healthy.degradation().is_clean());
 
-        let s2 = Session::compile(Engine::SnpeDsp, g, &soc()).unwrap();
+        let s2 = Session::compile(Engine::SnpeDsp, g, soc()).unwrap();
         let mut broken = Machine::new(soc(), 11);
         broken.install_fault_plan(
             FaultPlan::new(2).sustained(FaultKind::DspSignalTimeout, SimTime::ZERO),
@@ -734,11 +804,64 @@ mod tests {
     }
 
     #[test]
+    fn compile_cached_matches_fresh_compile() {
+        for engine in [Engine::tflite_cpu(4), Engine::nnapi(), Engine::SnpeDsp] {
+            let fresh =
+                Session::compile(engine, graph(ModelId::MobileNetV1, DType::I8), soc()).unwrap();
+            let cached =
+                Session::compile_cached(engine, ModelId::MobileNetV1, DType::I8, SocId::Sd845)
+                    .unwrap();
+            assert_eq!(cached.plan(), fresh.plan(), "{engine}");
+            assert_eq!(cached.graph(), fresh.graph(), "{engine}");
+            let mut mf = Machine::new(soc(), 7);
+            let mut mc = Machine::new(soc(), 7);
+            let tf = run_invoke(&fresh, &mut mf);
+            let tc = run_invoke(&cached, &mut mc);
+            assert_eq!(tf.to_bits(), tc.to_bits(), "{engine}");
+        }
+    }
+
+    #[test]
+    fn compile_cached_shares_plan_allocations() {
+        let a = Session::compile_cached(
+            Engine::tflite_cpu(2),
+            ModelId::SqueezeNet,
+            DType::F32,
+            SocId::Sd855,
+        )
+        .unwrap();
+        let b = Session::compile_cached(
+            Engine::tflite_cpu(2),
+            ModelId::SqueezeNet,
+            DType::F32,
+            SocId::Sd855,
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(&a.inner.plan, &b.inner.plan));
+        assert!(Arc::ptr_eq(&a.inner.graph, &b.inner.graph));
+        // Per-session mutable state is NOT shared.
+        a.set_priority(2);
+        assert_eq!(b.priority(), 0);
+    }
+
+    #[test]
+    fn compile_cached_rejects_dtype_mismatch_without_caching() {
+        let err = Session::compile_cached(
+            Engine::TfLiteHexagon { threads: 4 },
+            ModelId::MobileNetV1,
+            DType::F32,
+            SocId::Sd845,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedDType { .. }));
+    }
+
+    #[test]
     fn session_is_cheaply_cloneable() {
         let s = Session::compile(
             Engine::tflite_cpu(4),
             graph(ModelId::MobileNetV1, DType::F32),
-            &soc(),
+            soc(),
         )
         .unwrap();
         let s2 = s.clone();

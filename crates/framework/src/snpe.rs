@@ -68,8 +68,9 @@ mod tests {
     use aitax_tensor::DType;
     use std::cell::Cell;
     use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn soc() -> SocSpec {
+    fn soc() -> &'static SocSpec {
         SocCatalog::get(SocId::Sd845)
     }
 
@@ -84,8 +85,8 @@ mod tests {
 
     #[test]
     fn snpe_is_single_partition() {
-        let g = Rc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
-        let s = Session::compile(Engine::SnpeDsp, g, &soc()).unwrap();
+        let g = Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
+        let s = Session::compile(Engine::SnpeDsp, g, soc()).unwrap();
         assert_eq!(s.plan().partitions.len(), 1);
         assert_eq!(s.plan().offloaded_mac_fraction(), 1.0);
     }
@@ -93,9 +94,9 @@ mod tests {
     #[test]
     fn snpe_dsp_beats_cpu_for_quantized_models() {
         // The §IV-B comparison: vendor DSP runtime outperforms the CPU.
-        let g = Rc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
-        let snpe = Session::compile(Engine::SnpeDsp, g.clone(), &soc()).unwrap();
-        let cpu = Session::compile(Engine::tflite_cpu(4), g, &soc()).unwrap();
+        let g = Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
+        let snpe = Session::compile(Engine::SnpeDsp, g.clone(), soc()).unwrap();
+        let cpu = Session::compile(Engine::tflite_cpu(4), g, soc()).unwrap();
         let mut m1 = Machine::new(soc(), 9);
         let mut m2 = Machine::new(soc(), 9);
         // Warm the DSP session so we compare steady state.
@@ -111,9 +112,9 @@ mod tests {
     #[test]
     fn snpe_dsp_beats_nnapi_dsp() {
         // §IV-B: vendor runtime beats NNAPI even when both hit the DSP.
-        let g = Rc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
-        let snpe = Session::compile(Engine::SnpeDsp, g.clone(), &soc()).unwrap();
-        let nnapi = Session::compile(Engine::nnapi(), g, &soc()).unwrap();
+        let g = Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph_with(DType::I8));
+        let snpe = Session::compile(Engine::SnpeDsp, g.clone(), soc()).unwrap();
+        let nnapi = Session::compile(Engine::nnapi(), g, soc()).unwrap();
         let mut m1 = Machine::new(soc(), 9);
         let mut m2 = Machine::new(soc(), 9);
         invoke_ms(&snpe, &mut m1);
@@ -128,7 +129,7 @@ mod tests {
 
     #[test]
     fn snpe_rejects_float_on_dsp() {
-        let g = Rc::new(Zoo::entry(ModelId::MobileNetV1).build_graph());
-        assert!(Session::compile(Engine::SnpeDsp, g, &soc()).is_err());
+        let g = Arc::new(Zoo::entry(ModelId::MobileNetV1).build_graph());
+        assert!(Session::compile(Engine::SnpeDsp, g, soc()).is_err());
     }
 }

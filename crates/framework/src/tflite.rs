@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn hexagon_splits_ssd_at_detection_post_process() {
         let g = graph(ModelId::SsdMobileNetV2, DType::I8);
-        let plan = plan_hexagon(&g, &SocCatalog::get(SocId::Sd845), 4);
+        let plan = plan_hexagon(&g, SocCatalog::get(SocId::Sd845), 4);
         // The custom DetectionPostProcess op must be a CPU partition.
         let last = plan.partitions.last().unwrap();
         assert!(matches!(last.target, ExecTarget::TfLiteCpu { .. }));
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn mobilenet_int8_offloads_almost_fully_to_dsp() {
         let g = graph(ModelId::MobileNetV1, DType::I8);
-        let plan = plan_hexagon(&g, &SocCatalog::get(SocId::Sd845), 4);
+        let plan = plan_hexagon(&g, SocCatalog::get(SocId::Sd845), 4);
         assert!(
             plan.offloaded_mac_fraction() > 0.95,
             "got {}",

@@ -8,7 +8,7 @@ use aitax_models::graph::GraphBuilder;
 use aitax_models::{Graph, Op};
 use aitax_soc::{SocCatalog, SocId};
 use aitax_tensor::DType;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An arbitrary (but valid) operator.
 fn arb_op(rng: &mut SimRng) -> Op {
@@ -75,7 +75,7 @@ fn arb_graph(rng: &mut SimRng) -> Graph {
 
 fn assert_plan_sound(graph: &Graph, engine: Engine) {
     let soc = SocCatalog::get(SocId::Sd845);
-    let session = Session::compile(engine, Rc::new(graph.clone()), &soc).expect("compiles");
+    let session = Session::compile(engine, Arc::new(graph.clone()), soc).expect("compiles");
     let plan = session.plan();
     // 1. Partitions tile the graph exactly: no gaps, overlaps or
     //    reordering.
@@ -141,7 +141,7 @@ fn per_channel_never_reaches_dsp_on_sd845() {
     for case in 0..48 {
         let g = arb_graph(&mut rng).with_per_channel_quant(true);
         let soc = SocCatalog::get(SocId::Sd845);
-        let session = Session::compile(Engine::nnapi(), Rc::new(g), &soc).unwrap();
+        let session = Session::compile(Engine::nnapi(), Arc::new(g), soc).unwrap();
         for p in &session.plan().partitions {
             let on_dsp = matches!(p.target, ExecTarget::Dsp { .. });
             assert!(
@@ -163,7 +163,7 @@ fn plans_execute_to_completion() {
         let graph = arb_graph(&mut rng);
         let seed = rng.next_u64();
         let soc = SocCatalog::get(SocId::Sd845);
-        let session = Session::compile(Engine::nnapi(), Rc::new(graph), &soc).unwrap();
+        let session = Session::compile(Engine::nnapi(), Arc::new(graph), soc).unwrap();
         let mut m = Machine::new(SocCatalog::get(SocId::Sd845), seed);
         let done = std::rc::Rc::new(Cell::new(false));
         let d = done.clone();

@@ -170,7 +170,7 @@ pub(crate) enum Ev {
 ///
 /// See the [crate-level docs](crate) for an overview and example.
 pub struct Machine {
-    pub(crate) spec: SocSpec,
+    pub(crate) spec: &'static SocSpec,
     pub(crate) core_specs: Vec<aitax_soc::CpuCoreSpec>,
     pub(crate) cal: Calendar,
     pub(crate) rng: SimRng,
@@ -201,11 +201,15 @@ pub struct Machine {
 impl Machine {
     /// Boots a machine from an SoC spec with a deterministic seed.
     ///
+    /// The spec is borrowed for the life of the process (specs come from
+    /// the static [`SocCatalog`](aitax_soc::SocCatalog)), so booting — and
+    /// resetting — a machine never copies Table II data.
+    ///
     /// # Panics
     ///
     /// Panics if the spec's power description does not have one core rail
     /// per CPU core.
-    pub fn new(spec: SocSpec, seed: u64) -> Self {
+    pub fn new(spec: &'static SocSpec, seed: u64) -> Self {
         let core_specs = spec.cores();
         assert_eq!(
             spec.power.core_rails.len(),
@@ -247,6 +251,49 @@ impl Machine {
         }
     }
 
+    /// Resets the machine to the state [`Machine::new`]`(spec, seed)`
+    /// would produce, in place — every observable field (clock, RNG
+    /// stream, scheduler/accelerator queues, thermal/DVFS state, trace,
+    /// counters, object numbering) matches a fresh boot, so a run on a
+    /// reset machine is byte-identical to a run on a new one. What
+    /// survives is invisible to the simulation: heap capacity in the
+    /// calendar slab, run queues, task/event tables and trace columns,
+    /// which is what makes repeated short runs allocation-free after the
+    /// first.
+    pub fn reset(&mut self, seed: u64) {
+        self.cal.reset();
+        self.rng = SimRng::seed_from(seed);
+        self.trace.reset();
+        for core in &mut self.cores {
+            core.running = None;
+            core.runq.clear();
+            core.last_task = None;
+        }
+        self.tasks.clear();
+        self.events.clear();
+        for accel in [&mut self.dsp, &mut self.gpu, &mut self.npu] {
+            accel.queue.clear();
+            accel.running = None;
+        }
+        self.dsp_session_mapped = false;
+        self.thermal = ThermalState::new(self.spec.thermal);
+        for (gov, rail) in self
+            .governor
+            .iter_mut()
+            .zip(self.spec.power.core_rails.iter())
+        {
+            *gov = CoreGov::new(rail.nominal().freq_hz);
+        }
+        self.dvfs = DvfsPolicy::default();
+        self.rpc_costs = FastRpcCosts::default();
+        self.noise_generation = 0;
+        self.next_obj_id = 1;
+        self.wander_probability = crate::sched::DEFAULT_WANDER_PROBABILITY;
+        self.fault_plan = None;
+        self.stats = MachineStats::default();
+        self.degradation = DegradationStats::default();
+    }
+
     /// Overrides the per-slice probability that wandering-class tasks
     /// (NNAPI fallback threads) migrate between cores. Zero pins them —
     /// the ablation knob for quantifying how much of the Fig. 5/6
@@ -262,8 +309,8 @@ impl Machine {
     }
 
     /// The SoC this machine models.
-    pub fn spec(&self) -> &SocSpec {
-        &self.spec
+    pub fn spec(&self) -> &'static SocSpec {
+        self.spec
     }
 
     /// Accumulated counters.

@@ -53,5 +53,5 @@ pub use agg::{DistStats, ScenarioStats, SweepReport};
 pub use artifact::{bench_json, sweep_csv, sweep_json, write_artifacts, write_bench_json};
 pub use chrome::chrome_trace;
 pub use job::{JobResult, JobSpec};
-pub use pool::{default_threads, run_jobs, run_tasks};
+pub use pool::{default_threads, run_jobs, run_tasks, run_tasks_ctx};
 pub use scenario::{FaultSpec, Grid, Scenario};

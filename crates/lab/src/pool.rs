@@ -54,13 +54,40 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    run_tasks_ctx(tasks, threads, || (), |_scratch, task| run(task))
+}
+
+/// [`run_tasks`] with per-worker scratch state: each worker calls `mk`
+/// once when it starts and threads the resulting context through every
+/// task it executes.
+///
+/// This is how context reuse (e.g. [`aitax_core::SimContext`]) crosses
+/// the pool: the context need not be `Send` because it is born and dies
+/// on its worker's thread. Determinism survives **only if** `run` is
+/// context-oblivious — a run in a reused context must equal a run in a
+/// fresh one. Work-stealing makes worker→task assignment timing-
+/// dependent, so any context-carried state that leaked into results
+/// would vary run to run; `tests/lab_determinism.rs` pins that it does
+/// not.
+///
+/// # Panics
+///
+/// Propagates a panic from any task after the pool unwinds.
+pub fn run_tasks_ctx<T, R, C, Mk, F>(tasks: Vec<T>, threads: usize, mk: Mk, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    Mk: Fn() -> C + Sync,
+    F: Fn(&mut C, &T) -> R + Sync,
+{
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return tasks.iter().map(run).collect();
+        let mut ctx = mk();
+        return tasks.iter().map(|t| run(&mut ctx, t)).collect();
     }
 
     // Deal tasks round-robin so every worker starts with local work and
@@ -77,26 +104,33 @@ where
         for me in 0..threads {
             let queues = &queues;
             let results = &results;
+            let mk = &mk;
             let run = &run;
-            scope.spawn(move || loop {
-                // Own deque first (front), then steal (back) round-robin.
-                // The own-queue guard must drop before stealing: holding
-                // it while locking a victim's queue would let a ring of
-                // stealing workers deadlock.
-                // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
-                let mut task = queues[me].lock().unwrap().pop_front();
-                if task.is_none() {
-                    task = (1..threads)
-                        // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
-                        .find_map(|d| queues[(me + d) % threads].lock().unwrap().pop_back());
-                }
-                match task {
-                    Some((idx, task)) => {
-                        let result = run(&task);
-                        // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
-                        *results[idx].lock().unwrap() = Some(result);
+            scope.spawn(move || {
+                // Per-worker scratch, created on this thread (contexts
+                // need not be Send) and reused across every task the
+                // worker executes or steals.
+                let mut ctx = mk();
+                loop {
+                    // Own deque first (front), then steal (back) round-robin.
+                    // The own-queue guard must drop before stealing: holding
+                    // it while locking a victim's queue would let a ring of
+                    // stealing workers deadlock.
+                    // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
+                    let mut task = queues[me].lock().unwrap().pop_front();
+                    if task.is_none() {
+                        task = (1..threads)
+                            // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
+                            .find_map(|d| queues[(me + d) % threads].lock().unwrap().pop_back());
                     }
-                    None => break,
+                    match task {
+                        Some((idx, task)) => {
+                            let result = run(&mut ctx, &task);
+                            // aitax-allow(panic-path): mutex poisoning only follows a task panic, which the pool propagates anyway
+                            *results[idx].lock().unwrap() = Some(result);
+                        }
+                        None => break,
+                    }
                 }
             });
         }
@@ -117,8 +151,11 @@ where
 
 /// Runs every sweep job and returns the results **in job-id order**.
 ///
-/// Thin wrapper over [`run_tasks`]: [`Grid::expand`] numbers jobs by
-/// position, so input order and job-id order coincide.
+/// Thin wrapper over [`run_tasks_ctx`]: [`Grid::expand`] numbers jobs by
+/// position, so input order and job-id order coincide. Each worker keeps
+/// one [`SimContext`](aitax_core::SimContext), so consecutive jobs on a
+/// worker reuse its machine instead of re-paying the simulator's own
+/// init tax per job.
 ///
 /// [`Grid::expand`]: crate::scenario::Grid::expand
 pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
@@ -126,7 +163,9 @@ pub fn run_jobs(jobs: Vec<JobSpec>, threads: usize) -> Vec<JobResult> {
         jobs.iter().enumerate().all(|(i, j)| j.id == i),
         "job ids must match input positions"
     );
-    run_tasks(jobs, threads, JobSpec::run)
+    run_tasks_ctx(jobs, threads, aitax_core::SimContext::new, |ctx, job| {
+        job.run_in(ctx)
+    })
 }
 
 #[cfg(test)]

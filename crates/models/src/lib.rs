@@ -28,10 +28,12 @@
 //! ```
 
 pub mod archs;
+pub mod cache;
 pub mod graph;
 pub mod op;
 pub mod zoo;
 
+pub use cache::cached_graph;
 pub use graph::{Graph, GraphError};
 pub use op::{Op, OpKind};
 pub use zoo::{MlTask, ModelId, PostTask, PreTask, SupportMatrix, Zoo, ZooEntry};

@@ -22,7 +22,6 @@ use aitax_core::stage::StageBreakdown;
 use aitax_des::{Acquired, Arbiter, HoldId, SimTime, Ticket};
 use aitax_framework::Session;
 use aitax_kernel::{Machine, TaskSpec, Work};
-use aitax_models::zoo::Zoo;
 use aitax_pipeline::{CostModel, PixelOp, RuntimeKind};
 use aitax_soc::SocCatalog;
 
@@ -145,7 +144,7 @@ type WorldRef = Rc<RefCell<World>>;
 /// construction bugs, e.g. a DSP engine with a float model).
 pub fn run_scenario(cfg: &ServeConfig, only: Option<usize>) -> ScenarioRun {
     let soc = SocCatalog::get(cfg.soc);
-    let mut m = Machine::new(soc.clone(), cfg.seed);
+    let mut m = Machine::new(soc, cfg.seed);
     let cost = CostModel::new(RuntimeKind::Native);
 
     let tenants: Vec<Option<TenantState>> = cfg
@@ -156,11 +155,10 @@ pub fn run_scenario(cfg: &ServeConfig, only: Option<usize>) -> ScenarioRun {
             if only.is_some_and(|o| o != k) {
                 return None;
             }
-            let graph = Rc::new(Zoo::entry(spec.model).build_graph_with(spec.dtype));
-            let elements = graph.input_elements().max(1);
-            let session = Session::compile(spec.engine, graph, &soc)
+            let session = Session::compile_cached(spec.engine, spec.model, spec.dtype, cfg.soc)
                 // aitax-allow(panic-path): scenario builders pair engines with supported dtypes
                 .expect("tenant engine/dtype mismatch");
+            let elements = session.graph().input_elements().max(1);
             session.set_priority(spec.qos.priority());
             Some(TenantState {
                 session,

@@ -51,20 +51,26 @@ impl std::fmt::Display for SocId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SocCatalog;
 
+/// The lazily-built catalog. Table II is immutable data, so every caller
+/// shares one `'static` copy: a run's setup path borrows its spec instead
+/// of rebuilding four cluster/rail vectors per lookup.
+static CATALOG: std::sync::OnceLock<[SocSpec; 4]> = std::sync::OnceLock::new();
+
 impl SocCatalog {
-    /// Builds the spec for a platform.
-    pub fn get(id: SocId) -> SocSpec {
-        match id {
-            SocId::Sd835 => sd835(),
-            SocId::Sd845 => sd845(),
-            SocId::Sd855 => sd855(),
-            SocId::Sd865 => sd865(),
-        }
+    /// The spec for a platform, borrowed from the shared static catalog.
+    pub fn get(id: SocId) -> &'static SocSpec {
+        let idx = match id {
+            SocId::Sd835 => 0,
+            SocId::Sd845 => 1,
+            SocId::Sd855 => 2,
+            SocId::Sd865 => 3,
+        };
+        &Self::all()[idx]
     }
 
-    /// All specs, oldest first.
-    pub fn all() -> Vec<SocSpec> {
-        SocId::ALL.iter().map(|&id| Self::get(id)).collect()
+    /// All specs, oldest first (same order as [`SocId::ALL`]).
+    pub fn all() -> &'static [SocSpec; 4] {
+        CATALOG.get_or_init(|| [sd835(), sd845(), sd855(), sd865()])
     }
 }
 

@@ -55,8 +55,8 @@ fn explore(name: &str, engine: Engine) -> f64 {
 
     // 2. The power timeline: what a power rail scope would show.
     let trace = report.trace.as_ref().expect("tracing enabled");
-    let spec = SocCatalog::get(SocId::Sd845).power;
-    let meter = EnergyMeter::new(&spec);
+    let spec = &SocCatalog::get(SocId::Sd845).power;
+    let meter = EnergyMeter::new(spec);
     let end = trace
         .last()
         .map(|e| e.time)

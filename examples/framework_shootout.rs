@@ -68,7 +68,7 @@ fn main() {
         t2.row(vec![
             soc.to_string(),
             ms,
-            aitax::framework::nnapi::driver_for(&spec).name.to_string(),
+            aitax::framework::nnapi::driver_for(spec).name.to_string(),
         ]);
     }
     print!("{}", t2.render_text());

@@ -11,20 +11,21 @@ use aitax::core::pipeline::E2eConfig;
 use aitax::core::taxonomy::TaxonomyReport;
 use aitax::des::SimSpan;
 use aitax::framework::{Engine, Session};
-use aitax::models::zoo::{ModelId, Zoo};
+use aitax::models::zoo::ModelId;
 use aitax::profiler::ProfileReport;
 use aitax::soc::{SocCatalog, SocId};
 use aitax::tensor::DType;
-use std::rc::Rc;
 
 fn explore(name: &str, engine: Engine) {
     println!("==================== {name} ====================\n");
     let soc = SocCatalog::get(SocId::Sd845);
-    let graph = Rc::new(Zoo::entry(ModelId::EfficientNetLite0).build_graph_with(DType::I8));
 
-    // 1. What did compilation decide?
-    let session = Session::compile(engine, graph.clone(), &soc).expect("supported combo");
-    print!("{}", session.plan().describe(&graph));
+    // 1. What did compilation decide? (Cached: re-running an engine
+    // reuses the compiled plan.)
+    let session =
+        Session::compile_cached(engine, ModelId::EfficientNetLite0, DType::I8, SocId::Sd845)
+            .expect("supported combo");
+    print!("{}", session.plan().describe(session.graph()));
 
     // 2. Run it and profile the machine.
     let report = E2eConfig::new(ModelId::EfficientNetLite0, DType::I8)
@@ -38,7 +39,7 @@ fn explore(name: &str, engine: Engine) {
     println!("\n{}", profile.render_ascii());
 
     // 3. Where did the time go, taxonomically?
-    let tree = TaxonomyReport::from_report(&report, &soc);
+    let tree = TaxonomyReport::from_report(&report, soc);
     println!("{}", tree.render());
 }
 

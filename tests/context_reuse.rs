@@ -1,0 +1,185 @@
+//! The context-reuse determinism contract, pinned differentially:
+//!
+//! * an [`E2eConfig`] run through a **reused** [`SimContext`] — dirty
+//!   machine, warm graph/plan caches, reset-in-place instead of a boot —
+//!   produces a report byte-identical (via `Debug`, which covers every
+//!   field including the trace and its symbol table) to a fresh run;
+//! * SoC switches inside one context (reboot path) and same-SoC resets
+//!   both reproduce fresh results, in any interleaving;
+//! * lab sweeps, whose workers now hold one context across all their
+//!   jobs, match per-job fresh runs at 1, 2 and 8 threads;
+//! * fleet shards match per-device fresh runs at any shard × thread
+//!   split, and the `BENCH_fleet.json` rendering is byte-identical;
+//! * the reused-arm fingerprints are golden-pinned
+//!   (`tests/goldens/context_reuse_fingerprints.tsv`), so a reset that
+//!   drifts from boot semantics fails CI even if fresh and reused drift
+//!   together.
+
+use std::fmt::Write as _;
+
+use aitax::core::pipeline::{E2eConfig, E2eReport};
+use aitax::core::runmode::RunMode;
+use aitax::core::SimContext;
+use aitax::fleet::{artifact, run_device, run_device_in, FleetReport, PopulationSpec};
+use aitax::framework::Engine;
+use aitax::lab::{run_jobs, scenarios};
+use aitax::models::zoo::ModelId;
+use aitax::soc::SocId;
+use aitax::tensor::DType;
+use aitax::testkit::{check_golden, Tolerance};
+
+/// The configs the differential sweeps over: the default CLI benchmark,
+/// a traced NNAPI app run with background contention, and a different
+/// SoC — so a shared context must reset in place twice and reboot once.
+fn configs() -> Vec<(&'static str, E2eConfig)> {
+    vec![
+        (
+            "cli-cpu-f32",
+            E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+                .iterations(6)
+                .seed(21),
+        ),
+        (
+            "app-nnapi-i8-traced",
+            E2eConfig::new(ModelId::MobileNetV1, DType::I8)
+                .engine(Engine::nnapi())
+                .run_mode(RunMode::AndroidApp)
+                .background(1, Engine::tflite_cpu(2))
+                .tracing(true)
+                .iterations(5)
+                .seed(22),
+        ),
+        (
+            "sd865-cpu-i8",
+            E2eConfig::new(ModelId::SqueezeNet, DType::I8)
+                .soc(SocId::Sd865)
+                .iterations(4)
+                .seed(23),
+        ),
+    ]
+}
+
+/// Full-fidelity fingerprint: the derived `Debug` rendering covers every
+/// report field — per-iteration breakdowns, machine counters, the plan,
+/// and (when traced) every trace event plus the interned symbol table.
+fn fingerprint(r: &E2eReport) -> String {
+    format!("{r:?}")
+}
+
+/// FNV-1a over the fingerprint, for compact golden rows.
+fn digest(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn reused_context_reproduces_fresh_runs_exactly() {
+    let fresh: Vec<(&str, String)> = configs()
+        .into_iter()
+        .map(|(name, cfg)| (name, fingerprint(&cfg.run())))
+        .collect();
+
+    // One context across everything, started dirty: a warmup run leaves
+    // a used machine behind before the first comparison, and the config
+    // order forces reset → reset → reboot (Sd845, Sd845, Sd865).
+    let mut ctx = SimContext::new();
+    E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .iterations(2)
+        .seed(99)
+        .run_in(&mut ctx);
+    for pass in 0..2 {
+        for ((name, cfg), (_, want)) in configs().into_iter().zip(&fresh) {
+            let got = fingerprint(&cfg.run_in(&mut ctx));
+            assert_eq!(
+                &got, want,
+                "{name}: reused-context report drifted from fresh (pass {pass})"
+            );
+        }
+    }
+}
+
+#[test]
+fn soc_switch_interleavings_reproduce_fresh_runs() {
+    // Alternating SoCs forces a reboot on every checkout; the machine
+    // must come back indistinguishable from a first boot each time.
+    let a = E2eConfig::new(ModelId::MobileNetV1, DType::F32)
+        .iterations(3)
+        .seed(31);
+    let b = a.clone().soc(SocId::Sd835);
+    let want_a = fingerprint(&a.clone().run());
+    let want_b = fingerprint(&b.clone().run());
+    let mut ctx = SimContext::new();
+    for _ in 0..2 {
+        assert_eq!(fingerprint(&a.clone().run_in(&mut ctx)), want_a);
+        assert_eq!(fingerprint(&b.clone().run_in(&mut ctx)), want_b);
+    }
+}
+
+#[test]
+fn lab_workers_match_fresh_per_job_runs_at_any_thread_count() {
+    let grid = scenarios::smoke(3, 11);
+    let jobs = grid.expand();
+    // Fresh arm: every job in its own context, serially.
+    let fresh: Vec<_> = jobs.iter().map(|j| j.run()).collect();
+    for threads in [1, 2, 8] {
+        let pooled = run_jobs(jobs.clone(), threads);
+        assert_eq!(
+            fresh, pooled,
+            "{threads}-thread pool (one reused context per worker) \
+             drifted from per-job fresh runs"
+        );
+    }
+}
+
+#[test]
+fn fleet_shards_match_fresh_per_device_runs() {
+    const REQUESTS: u64 = 120;
+    let spec = PopulationSpec::new("reuse").devices(24).seed(5);
+    // Fresh arm: a brand-new context per device.
+    let fresh: Vec<_> = (0..spec.devices)
+        .map(|k| run_device(&spec.device(k), spec.requests_for(k, REQUESTS)))
+        .collect();
+    // One shared context over the whole population, twice over.
+    let mut ctx = SimContext::new();
+    for _ in 0..2 {
+        let reused: Vec<_> = (0..spec.devices)
+            .map(|k| run_device_in(&mut ctx, &spec.device(k), spec.requests_for(k, REQUESTS)))
+            .collect();
+        assert_eq!(fresh, reused, "shared-context device partials drifted");
+    }
+    // The sharded runner (per-worker contexts) and its artifacts.
+    let bench = artifact::bench_json(&FleetReport::aggregate(&spec, &fresh));
+    for (shards, threads) in [(1, 1), (3, 2), (8, 8)] {
+        let partials = aitax::fleet::run_fleet(&spec, REQUESTS, shards, threads);
+        assert_eq!(
+            fresh, partials,
+            "{shards} shards × {threads} threads drifted from fresh"
+        );
+        assert_eq!(
+            bench,
+            artifact::bench_json(&FleetReport::aggregate(&spec, &partials)),
+            "{shards}×{threads}: BENCH_fleet.json rendering must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn reused_fingerprints_match_golden() {
+    // Golden-pinned digests of the reused arm: if reset-in-place ever
+    // diverges from boot semantics — even in a way that also shifts
+    // fresh runs — the committed rows catch it.
+    let mut ctx = SimContext::new();
+    let mut tsv = String::from("config\tdigest\n");
+    for (name, cfg) in configs() {
+        let _ = writeln!(
+            tsv,
+            "{name}\t{:016x}",
+            digest(&fingerprint(&cfg.run_in(&mut ctx)))
+        );
+    }
+    check_golden("context_reuse_fingerprints", &tsv, Tolerance::EXACT);
+}
